@@ -1,0 +1,76 @@
+(* Command-line front end: run SQL against a generated TPC-H database
+   in any execution mode, with EXPLAIN and execution traces.
+
+     dune exec bin/aeq_cli.exe -- --sf 0.01 --mode adaptive \
+       "select count(*) from lineitem"
+     dune exec bin/aeq_cli.exe -- --explain "select ..."
+     dune exec bin/aeq_cli.exe -- --trace --mode adaptive --tpch 11 *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "bytecode" -> Ok Aeq_exec.Driver.Bytecode
+    | "unopt" | "unoptimized" -> Ok Aeq_exec.Driver.Unopt
+    | "opt" | "optimized" -> Ok Aeq_exec.Driver.Opt
+    | "adaptive" -> Ok Aeq_exec.Driver.Adaptive
+    | s -> Error (`Msg ("unknown mode " ^ s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Aeq_exec.Driver.mode_name m))
+
+let run sf threads mode explain trace tpch_n sql =
+  let engine = Aeq.Engine.create ~n_threads:threads () in
+  Printf.printf "loading TPC-H sf=%.3f ...\n%!" sf;
+  Aeq.Engine.load_tpch engine ~scale_factor:sf;
+  let sql =
+    match (tpch_n, sql) with
+    | Some n, _ -> Aeq_workload.Queries.tpch_q n
+    | None, Some s -> s
+    | None, None -> "select count(*) as lineitems from lineitem"
+  in
+  if explain then print_endline (Aeq.Engine.explain engine sql)
+  else begin
+    match Aeq.Engine.query engine ~mode ~collect_trace:trace sql with
+    | result ->
+      print_endline (String.concat "\t" result.Aeq_exec.Driver.names);
+      List.iter print_endline (Aeq.Engine.render_rows engine result);
+      let st = result.Aeq_exec.Driver.stats in
+      Printf.printf
+        "-- %d rows | total %.2f ms (codegen %.2f, bytecode %.2f, compile %.2f, exec %.2f)\n"
+        st.Aeq_exec.Driver.rows_out
+        (st.Aeq_exec.Driver.total_seconds *. 1e3)
+        (st.Aeq_exec.Driver.codegen_seconds *. 1e3)
+        (st.Aeq_exec.Driver.bc_seconds *. 1e3)
+        (st.Aeq_exec.Driver.compile_seconds *. 1e3)
+        (st.Aeq_exec.Driver.exec_seconds *. 1e3);
+      Printf.printf "-- pipeline modes: %s\n"
+        (String.concat ", " st.Aeq_exec.Driver.final_modes);
+      (match result.Aeq_exec.Driver.trace with
+      | Some tr -> print_string (Aeq_exec.Trace.render tr ~n_threads:threads)
+      | None -> ())
+    | exception Aeq_ir.Trap.Error m -> Printf.printf "runtime error: %s\n" m
+    | exception Aeq_plan.Planner.Plan_error m -> Printf.printf "planning error: %s\n" m
+    | exception Aeq_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+  end;
+  Aeq.Engine.close engine
+
+let cmd =
+  let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"TPC-H scale factor.") in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "j" ] ~doc:"Worker threads.") in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Aeq_exec.Driver.Adaptive
+      & info [ "mode"; "m" ] ~doc:"Execution mode: bytecode|unopt|opt|adaptive.")
+  in
+  let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan, do not run.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Render the execution trace.") in
+  let tpch_n =
+    Arg.(value & opt (some int) None & info [ "tpch" ] ~doc:"Run TPC-H query N (1..22).")
+  in
+  let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
+  Cmd.v
+    (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
+    Term.(const run $ sf $ threads $ mode $ explain $ trace $ tpch_n $ sql)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_analytics.ml: Aeq Aeq_exec Aeq_workload List Printf String

@@ -1,0 +1,1 @@
+examples/giant_query.ml: Aeq Aeq_backend Aeq_codegen Aeq_exec Aeq_ir Aeq_plan Aeq_util Aeq_workload List Printf String

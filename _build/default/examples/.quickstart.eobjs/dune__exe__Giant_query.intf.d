@@ -1,0 +1,1 @@
+examples/giant_query.mli:

@@ -1,0 +1,1 @@
+examples/metadata_latency.ml: Aeq Aeq_exec Aeq_workload List Printf

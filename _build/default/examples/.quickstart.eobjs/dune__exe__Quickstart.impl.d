@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aeq Aeq_exec List Printf String

@@ -1,0 +1,34 @@
+(* A mixed dashboard workload: small lookups interleaved with heavy
+   analytics. The adaptive engine handles both well — it interprets
+   the cheap queries and compiles the hot pipelines of the expensive
+   ones, per pipeline, based on runtime feedback.
+
+     dune exec examples/adaptive_analytics.exe *)
+
+module Driver = Aeq_exec.Driver
+
+let workload =
+  [
+    ("lookup nations", "select n_name from nation join region on n_regionkey = r_regionkey where r_name = 'ASIA' order by n_name");
+    ("big aggregation", Aeq_workload.Queries.tpch_q 1);
+    ("point-ish query", List.assoc "meta4" Aeq_workload.Queries.metadata);
+    ("join heavy", Aeq_workload.Queries.tpch_q 5);
+    ("another lookup", List.assoc "meta2" Aeq_workload.Queries.metadata);
+    ("filter + sum", Aeq_workload.Queries.tpch_q 6);
+  ]
+
+let () =
+  let engine = Aeq.Engine.create ~n_threads:4 () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.02;
+  Printf.printf "%-18s %10s %12s  %s\n" "query" "total[ms]" "compile[ms]" "pipeline modes at completion";
+  List.iter
+    (fun (name, sql) ->
+      let r = Aeq.Engine.query engine ~mode:Driver.Adaptive sql in
+      let st = r.Driver.stats in
+      Printf.printf "%-18s %10.2f %12.2f  %s\n" name
+        (st.Driver.total_seconds *. 1e3)
+        (st.Driver.compile_seconds *. 1e3)
+        (String.concat ", " st.Driver.final_modes))
+    workload;
+  print_endline "\nnote how cheap queries stay on 'bytecode' while expensive pipelines upgrade.";
+  Aeq.Engine.close engine

@@ -1,0 +1,32 @@
+(* The pgAdmin scenario from the paper's introduction: a burst of
+   small catalog-style queries where an always-compile engine wastes
+   almost all its time in the compiler, while the bytecode interpreter
+   and the adaptive mode answer instantly.
+
+     dune exec examples/metadata_latency.exe *)
+
+module Driver = Aeq_exec.Driver
+
+let () =
+  let engine = Aeq.Engine.create () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.01;
+  Printf.printf "running %d metadata queries per mode:\n\n"
+    (List.length Aeq_workload.Queries.metadata);
+  Printf.printf "%-14s %12s %14s %14s\n" "mode" "total[ms]" "compile[ms]" "exec[ms]";
+  List.iter
+    (fun mode ->
+      let total = ref 0.0 and compile = ref 0.0 and exec = ref 0.0 in
+      List.iter
+        (fun (_, sql) ->
+          let r = Aeq.Engine.query engine ~mode sql in
+          let st = r.Driver.stats in
+          total := !total +. st.Driver.total_seconds;
+          compile := !compile +. st.Driver.compile_seconds +. st.Driver.bc_seconds;
+          exec := !exec +. st.Driver.exec_seconds)
+        Aeq_workload.Queries.metadata;
+      Printf.printf "%-14s %12.2f %14.2f %14.2f\n" (Driver.mode_name mode) (!total *. 1e3)
+        (!compile *. 1e3) (!exec *. 1e3))
+    [ Driver.Opt; Driver.Unopt; Driver.Bytecode; Driver.Adaptive ];
+  print_endline
+    "\nthe adaptive engine answers these like an interpreter: compilation never pays off.";
+  Aeq.Engine.close engine

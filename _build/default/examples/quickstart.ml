@@ -1,0 +1,32 @@
+(* Quickstart: create an engine, load data, run SQL adaptively.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let engine = Aeq.Engine.create () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.01;
+
+  let sql =
+    {|select l_returnflag, l_linestatus, sum(l_quantity) as total_qty, count(*) as cnt
+       from lineitem
+       where l_shipdate <= date '1998-09-02'
+       group by l_returnflag, l_linestatus
+       order by l_returnflag, l_linestatus|}
+  in
+  print_endline "plan:";
+  print_endline (Aeq.Engine.explain engine sql);
+
+  let result = Aeq.Engine.query engine sql in
+  print_endline (String.concat "\t" result.Aeq_exec.Driver.names);
+  List.iter print_endline (Aeq.Engine.render_rows engine result);
+
+  let st = result.Aeq_exec.Driver.stats in
+  Printf.printf
+    "\ncodegen %.2f ms | bytecode translation %.2f ms | compilation %.2f ms | execution %.2f ms\n"
+    (st.Aeq_exec.Driver.codegen_seconds *. 1e3)
+    (st.Aeq_exec.Driver.bc_seconds *. 1e3)
+    (st.Aeq_exec.Driver.compile_seconds *. 1e3)
+    (st.Aeq_exec.Driver.exec_seconds *. 1e3);
+  Printf.printf "final pipeline modes: %s\n"
+    (String.concat ", " st.Aeq_exec.Driver.final_modes);
+  Aeq.Engine.close engine

@@ -1,0 +1,1 @@
+lib/backend/calibration.ml: Aeq_mem Aeq_util Aeq_vm Builder Closure_compile Compiler Cost_model Instr Int64 Layout Stdlib Types

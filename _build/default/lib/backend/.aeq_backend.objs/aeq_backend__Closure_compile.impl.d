@@ -1,0 +1,1 @@
+lib/backend/closure_compile.ml: Aeq_mem Aeq_vm Array Bytes Int64 List Semantics Stdlib Trap

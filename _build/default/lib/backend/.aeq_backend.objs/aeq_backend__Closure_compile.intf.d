@@ -1,0 +1,1 @@
+lib/backend/closure_compile.mli: Aeq_mem Aeq_vm Bytes

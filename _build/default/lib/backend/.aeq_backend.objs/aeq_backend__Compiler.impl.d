@@ -1,0 +1,1 @@
+lib/backend/compiler.ml: Aeq_passes Aeq_util Aeq_vm Closure_compile Cost_model Func Stdlib

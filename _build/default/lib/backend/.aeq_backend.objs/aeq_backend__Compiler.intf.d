@@ -1,0 +1,1 @@
+lib/backend/compiler.mli: Aeq_mem Aeq_vm Closure_compile Cost_model Func

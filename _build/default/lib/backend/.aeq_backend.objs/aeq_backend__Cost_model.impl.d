@@ -1,0 +1,1 @@
+lib/backend/cost_model.ml:

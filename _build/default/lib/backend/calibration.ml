@@ -1,0 +1,93 @@
+type t = { speedup_unopt : float; speedup_opt : float }
+
+(* A scan-like kernel: loop over a synthetic column doing a filtered
+   checked aggregation — representative of the per-tuple work in
+   generated pipelines. *)
+let build_kernel () =
+  let b = Builder.create ~name:"calib" ~params:[ Types.Ptr; Types.I64 ] in
+  let head = Builder.new_block b in
+  let body = Builder.new_block b in
+  let skip = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.br b head;
+  Builder.switch_to b head;
+  let i = Builder.phi b Types.I64 [ (0, Instr.Imm 0L) ] in
+  let acc = Builder.phi b Types.I64 [ (0, Instr.Imm 0L) ] in
+  let c = Builder.icmp b Instr.Slt Types.I64 i (Builder.param b 1) in
+  Builder.condbr b c ~if_true:body ~if_false:exit;
+  Builder.switch_to b body;
+  let addr = Builder.gep b ~base:(Builder.param b 0) ~index:i ~scale:8 ~offset:0 in
+  let v = Builder.load b Types.I64 addr in
+  let keep = Builder.icmp b Instr.Sgt Types.I64 v (Instr.Imm 16L) in
+  let masked = Builder.binop b Instr.And Types.I64 v (Instr.Imm 0xFFFFL) in
+  let scaled = Builder.checked b Instr.OMul Types.I64 masked (Instr.Imm 3L) in
+  let inc = Builder.select b Types.I64 keep scaled (Instr.Imm 1L) in
+  let acc' = Builder.binop b Instr.Add Types.I64 acc inc in
+  Builder.br b skip;
+  Builder.switch_to b skip;
+  let i' = Builder.binop b Instr.Add Types.I64 i (Instr.Imm 1L) in
+  Builder.br b head;
+  Builder.add_phi_incoming b ~block:head ~dst:i ~pred:skip i';
+  Builder.add_phi_incoming b ~block:head ~dst:acc ~pred:skip acc';
+  Builder.switch_to b exit;
+  Builder.ret b acc;
+  let f = Builder.finish b in
+  Layout.normalize f;
+  f
+
+let no_symbols : Aeq_vm.Rt_fn.resolver = fun _ -> None
+
+let time_per_run f =
+  (* best of 3 to shave scheduling noise *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let _, dt = Aeq_util.Clock.time_it f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let measure_uncached () =
+  let mem = Aeq_mem.Arena.create () in
+  let alloc = Aeq_mem.Arena.allocator mem in
+  let n = 50_000 in
+  let col = Aeq_mem.Arena.alloc alloc (8 * n) in
+  for i = 0 to n - 1 do
+    Aeq_mem.Arena.set_i64 mem (col + (8 * i)) (Int64.of_int (i land 1023))
+  done;
+  let f = build_kernel () in
+  let args = [| Int64.of_int col; Int64.of_int n |] in
+  let prog = Aeq_vm.Translate.translate ~symbols:no_symbols f in
+  let regs = Aeq_vm.Interp.scratch prog in
+  let t_bc =
+    time_per_run (fun () -> ignore (Aeq_vm.Interp.run prog mem ~regs ~args ()))
+  in
+  let unopt =
+    Compiler.compile ~cost_model:Cost_model.off ~symbols:no_symbols ~mem
+      ~mode:Cost_model.Unopt f
+  in
+  let uregs = Closure_compile.scratch unopt.Compiler.exec in
+  let t_unopt =
+    time_per_run (fun () -> ignore (Closure_compile.run unopt.Compiler.exec ~regs:uregs ~args ()))
+  in
+  let opt =
+    Compiler.compile ~cost_model:Cost_model.off ~symbols:no_symbols ~mem
+      ~mode:Cost_model.Opt f
+  in
+  let oregs = Closure_compile.scratch opt.Compiler.exec in
+  let t_opt =
+    time_per_run (fun () -> ignore (Closure_compile.run opt.Compiler.exec ~regs:oregs ~args ()))
+  in
+  {
+    speedup_unopt = Stdlib.max 1.01 (t_bc /. t_unopt);
+    speedup_opt = Stdlib.max 1.02 (t_bc /. t_opt);
+  }
+
+let cache = ref None
+
+let measure () =
+  match !cache with
+  | Some t -> t
+  | None ->
+    let t = measure_uncached () in
+    cache := Some t;
+    t

@@ -1,0 +1,12 @@
+(** Measures the real throughput ratios between the bytecode
+    interpreter and the closure backends on a synthetic arithmetic
+    kernel. The paper determines the inter-mode speed-ups empirically
+    (Section III-C, "determined empirically in our system"); the
+    adaptive controller can feed these measured values into the cost
+    model instead of the paper's published 3.6×/5.0×. Results are
+    computed once and cached for the process. *)
+
+type t = { speedup_unopt : float; speedup_opt : float }
+
+val measure : unit -> t
+(** Cached after the first call (takes a few milliseconds). *)

@@ -1,0 +1,39 @@
+type compiled = {
+  exec : Closure_compile.t;
+  compile_seconds : float;
+  n_instrs_after : int;
+}
+
+(* Pad real work up to the modelled latency (when simulation is on). *)
+let pad_to model mode n_instrs real_elapsed =
+  if model.Cost_model.simulate then begin
+    let target = Cost_model.compile_time model mode n_instrs in
+    if target > real_elapsed then Aeq_util.Clock.busy_wait (target -. real_elapsed);
+    Stdlib.max target real_elapsed
+  end
+  else real_elapsed
+
+let translate_bytecode ?strategy ~cost_model ~symbols f =
+  let n = Func.n_instrs f in
+  let prog, elapsed =
+    Aeq_util.Clock.time_it (fun () -> Aeq_vm.Translate.translate ?strategy ~symbols f)
+  in
+  (prog, pad_to cost_model Cost_model.Bytecode n elapsed)
+
+let compile ~cost_model ~symbols ~mem ~mode f =
+  let n = Func.n_instrs f in
+  let (exec, n_after), elapsed =
+    Aeq_util.Clock.time_it (fun () ->
+        match mode with
+        | Cost_model.Bytecode -> invalid_arg "Compiler.compile: use translate_bytecode"
+        | Cost_model.Unopt ->
+          let prog = Aeq_vm.Translate.translate ~symbols f in
+          (Closure_compile.compile prog mem, n)
+        | Cost_model.Opt ->
+          let clone = Func.copy f in
+          Aeq_passes.Pass_manager.optimize Aeq_passes.Pass_manager.O2 clone;
+          let prog = Aeq_vm.Translate.translate ~symbols clone in
+          (Closure_compile.compile prog mem, Func.n_instrs clone))
+  in
+  let compile_seconds = pad_to cost_model mode n elapsed in
+  { exec; compile_seconds; n_instrs_after = n_after }

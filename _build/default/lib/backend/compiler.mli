@@ -1,0 +1,35 @@
+(** Compilation driver for the three execution modes of Fig. 3.
+
+    Produces executable variants of an IR worker function:
+    - [translate_bytecode]: fast linear translation (Section IV);
+    - [compile] with {!Cost_model.Unopt}: no IR passes, closure
+      compilation ("fast instruction selection");
+    - [compile] with {!Cost_model.Opt}: the full pass pipeline, then
+      closure compilation.
+
+    Each call reports the wall-clock compile latency, which includes
+    the cost-model delay when simulation is on. The input function is
+    never mutated (the optimizer works on a copy). *)
+
+type compiled = {
+  exec : Closure_compile.t;
+  compile_seconds : float;
+  n_instrs_after : int;  (** IR size after passes (Opt shrinks it) *)
+}
+
+val translate_bytecode :
+  ?strategy:Aeq_vm.Regalloc.strategy ->
+  cost_model:Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  Func.t ->
+  Aeq_vm.Bytecode.t * float
+
+val compile :
+  cost_model:Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  mem:Aeq_mem.Arena.t ->
+  mode:Cost_model.mode ->
+  Func.t ->
+  compiled
+(** [mode] must be [Unopt] or [Opt].
+    @raise Invalid_argument on [Bytecode]. *)

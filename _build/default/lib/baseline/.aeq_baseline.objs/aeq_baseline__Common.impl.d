@@ -1,0 +1,1 @@
+lib/baseline/common.ml: Aeq_ir Aeq_plan Aeq_rt Aeq_storage Array Int64 List String

@@ -1,0 +1,1 @@
+lib/baseline/common.mli: Aeq_plan Aeq_rt Aeq_storage

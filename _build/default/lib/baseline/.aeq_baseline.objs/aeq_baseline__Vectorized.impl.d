@@ -1,0 +1,1 @@
+lib/baseline/vectorized.ml: Aeq_ir Aeq_plan Aeq_rt Aeq_sql Aeq_storage Array Common Fun Hashtbl Int64 List Option Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/vectorized.mli: Aeq_plan Aeq_storage

@@ -1,0 +1,1 @@
+lib/baseline/volcano.ml: Aeq_plan Aeq_storage Array Common Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/baseline/volcano.mli: Aeq_plan Aeq_storage

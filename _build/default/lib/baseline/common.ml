@@ -1,0 +1,53 @@
+module P = Aeq_plan.Physical
+module Table = Aeq_storage.Table
+module Dtype = Aeq_storage.Dtype
+
+type db = { catalog : Aeq_storage.Catalog.t; plan : P.t }
+
+let cell db ~tref ~col ~row =
+  let tbl = fst db.plan.P.pl_trefs.(tref) in
+  Table.get (Aeq_storage.Catalog.arena db.catalog) tbl ~col ~row
+
+let pred db id code = Aeq_rt.Bitmap.get db.plan.P.pl_preds.(id) (Int64.to_int code)
+
+let finish_rows db rows =
+  let dtype_arr = Array.of_list db.plan.P.pl_out.P.out_dtypes in
+  let dict = Aeq_storage.Catalog.dict db.catalog in
+  let compare_rows (a : int64 array) (b : int64 array) =
+    let rec go = function
+      | [] -> 0
+      | (idx, desc) :: rest ->
+        let c =
+          match dtype_arr.(idx) with
+          | Dtype.Str ->
+            String.compare (Aeq_rt.Dict.decode dict a.(idx)) (Aeq_rt.Dict.decode dict b.(idx))
+          | _ -> Int64.compare a.(idx) b.(idx)
+        in
+        if c <> 0 then if desc then -c else c else go rest
+    in
+    go db.plan.P.pl_order_by
+  in
+  let rows =
+    if db.plan.P.pl_order_by = [] then rows else List.stable_sort compare_rows rows
+  in
+  match db.plan.P.pl_limit with
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+  | None -> rows
+
+let group_key_of keys eval_key =
+  match keys with
+  | [] -> (0L, 0L)
+  | [ _ ] -> (eval_key 0, 0L)
+  | _ -> (eval_key 0, eval_key 1)
+
+let acc_init = function
+  | Aeq_rt.Agg.Sum | Aeq_rt.Agg.Count -> 0L
+  | Aeq_rt.Agg.Min -> Int64.max_int
+  | Aeq_rt.Agg.Max -> Int64.min_int
+
+let acc_combine kind acc v =
+  match kind with
+  | Aeq_rt.Agg.Sum -> Aeq_ir.Semantics.add_chk ~width:64 acc v
+  | Aeq_rt.Agg.Count -> Int64.add acc 1L
+  | Aeq_rt.Agg.Min -> if Int64.compare v acc < 0 then v else acc
+  | Aeq_rt.Agg.Max -> if Int64.compare v acc > 0 then v else acc

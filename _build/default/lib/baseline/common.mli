@@ -1,0 +1,26 @@
+(** Shared helpers for the baseline engines: both interpret the same
+    physical plan and the same {!Aeq_plan.Scalar_eval} semantics as
+    the compiling engine, so result comparison is exact. *)
+
+type db = {
+  catalog : Aeq_storage.Catalog.t;
+  plan : Aeq_plan.Physical.t;
+}
+
+val cell : db -> tref:int -> col:int -> row:int -> int64
+
+val pred : db -> int -> int64 -> bool
+
+val finish_rows :
+  db -> int64 array list -> int64 array list
+(** Apply ORDER BY and LIMIT exactly like the main driver. *)
+
+val group_key_of : Aeq_plan.Scalar.t list -> (int -> int64) -> int64 * int64
+(** Evaluate up to two group keys with the given scalar evaluator
+    applied per key index. *)
+
+val acc_init : Aeq_rt.Agg.acc_kind -> int64
+
+val acc_combine : Aeq_rt.Agg.acc_kind -> int64 -> int64 -> int64
+(** Fold one value into an accumulator (Sum adds with overflow check,
+    Count increments, Min/Max compare). *)

@@ -1,0 +1,194 @@
+module P = Aeq_plan.Physical
+module Sc = Aeq_plan.Scalar
+module Table = Aeq_storage.Table
+module Ast = Aeq_sql.Ast
+module S = Aeq_ir.Semantics
+module Dtype = Aeq_storage.Dtype
+
+(* A tuple set: aligned row-id vectors, one per available table
+   instance. *)
+type tset = { n : int; rows : (int * int array) list (* tref -> row ids *) }
+
+let scale = Int64.of_int Dtype.scale
+
+(* Vectorised scalar evaluation over a tuple set. *)
+let rec eval_vec db (ts : tset) ~acols (s : Sc.t) : int64 array =
+  match s with
+  | Sc.Col { tref; col; _ } -> (
+    match List.assoc_opt tref ts.rows with
+    | Some ids -> Array.map (fun row -> Common.cell db ~tref ~col ~row) ids
+    | None -> invalid_arg "Vectorized: column of unavailable table")
+  | Sc.Acol { idx; _ } -> (
+    match acols with
+    | Some cols -> Array.map (fun row -> (cols : int64 array array).(idx).(row)) (snd (List.hd ts.rows))
+    | None -> invalid_arg "Vectorized: no aggregate context")
+  | Sc.Const (v, _) -> Array.make ts.n v
+  | Sc.Year e -> Array.map Aeq_rt.Symbols.year_of_days (eval_vec db ts ~acols e)
+  | Sc.Dict_match (id, e) ->
+    Array.map
+      (fun code -> if Common.pred db id code then 1L else 0L)
+      (eval_vec db ts ~acols e)
+  | Sc.Not e -> Array.map (fun v -> if Int64.equal v 0L then 1L else 0L) (eval_vec db ts ~acols e)
+  | Sc.Case (whens, els, _) ->
+    let result = eval_vec db ts ~acols els in
+    let decided = Array.make ts.n false in
+    List.iter
+      (fun (c, v) ->
+        let cv = eval_vec db ts ~acols c in
+        let vv = eval_vec db ts ~acols v in
+        for i = 0 to ts.n - 1 do
+          if (not decided.(i)) && not (Int64.equal cv.(i) 0L) then begin
+            result.(i) <- vv.(i);
+            decided.(i) <- true
+          end
+        done)
+      whens;
+    result
+  | Sc.Bin (op, a, b, _) ->
+    let da = Sc.dtype a and db_ = Sc.dtype b in
+    let va = eval_vec db ts ~acols a and vb = eval_vec db ts ~acols b in
+    let map2 f = Array.init ts.n (fun i -> f va.(i) vb.(i)) in
+    (match op with
+    | Ast.And -> map2 Int64.logand
+    | Ast.Or -> map2 Int64.logor
+    | Ast.Add -> map2 (S.add_chk ~width:64)
+    | Ast.Sub -> map2 (S.sub_chk ~width:64)
+    | Ast.Mul ->
+      if Dtype.equal da Dtype.Decimal && Dtype.equal db_ Dtype.Decimal then
+        map2 (fun x y -> Int64.div (S.mul_chk ~width:64 x y) scale)
+      else map2 (S.mul_chk ~width:64)
+    | Ast.Div ->
+      if Dtype.equal db_ Dtype.Decimal then
+        map2 (fun x y ->
+            if Int64.equal y 0L then Aeq_ir.Trap.division_by_zero ()
+            else Int64.div (S.mul_chk ~width:64 x scale) y)
+      else
+        map2 (fun x y ->
+            if Int64.equal y 0L then Aeq_ir.Trap.division_by_zero () else Int64.div x y)
+    | Ast.Eq -> map2 (fun x y -> S.bool_i64 (Int64.equal x y))
+    | Ast.Ne -> map2 (fun x y -> S.bool_i64 (not (Int64.equal x y)))
+    | Ast.Lt -> map2 (fun x y -> S.bool_i64 (Int64.compare x y < 0))
+    | Ast.Le -> map2 (fun x y -> S.bool_i64 (Int64.compare x y <= 0))
+    | Ast.Gt -> map2 (fun x y -> S.bool_i64 (Int64.compare x y > 0))
+    | Ast.Ge -> map2 (fun x y -> S.bool_i64 (Int64.compare x y >= 0)))
+
+let select ts keep =
+  let idx = ref [] in
+  for i = ts.n - 1 downto 0 do
+    if keep.(i) then idx := i :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  {
+    n = Array.length idx;
+    rows = List.map (fun (t, ids) -> (t, Array.map (fun i -> ids.(i)) idx)) ts.rows;
+  }
+
+let filter db ts ~acols f =
+  let v = eval_vec db ts ~acols f in
+  select ts (Array.map (fun x -> not (Int64.equal x 0L)) v)
+
+let execute catalog (plan : P.t) =
+  let db = { Common.catalog; plan } in
+  let hts = Array.map (fun _ -> Hashtbl.create 1024) plan.P.pl_hts in
+  let groups : (int64 * int64, int64 array) Hashtbl.t = Hashtbl.create 256 in
+  let out_rows = ref [] in
+  let run_scan_pipeline (p : P.pipeline) =
+    let tref = match p.P.p_source with P.Src_scan { tref } -> tref | _ -> assert false in
+    let n = (fst plan.P.pl_trefs.(tref)).Table.n_rows in
+    let ts = ref { n; rows = [ (tref, Array.init n Fun.id) ] } in
+    (* scan filters, column at a time *)
+    List.iter (fun f -> ts := filter db !ts ~acols:None f) p.P.p_scan_filters;
+    (* joins: expand the tuple set per probe *)
+    List.iter
+      (fun (pr : P.probe) ->
+        let keys = eval_vec db !ts ~acols:None pr.P.pr_key in
+        let out_idx = ref [] and out_match = ref [] in
+        for i = Array.length keys - 1 downto 0 do
+          List.iter
+            (fun build_row ->
+              out_idx := i :: !out_idx;
+              out_match := build_row :: !out_match)
+            (Hashtbl.find_all hts.(pr.P.pr_ht) keys.(i))
+        done;
+        let idx = Array.of_list !out_idx and matches = Array.of_list !out_match in
+        ts :=
+          {
+            n = Array.length idx;
+            rows =
+              (pr.P.pr_tref, matches)
+              :: List.map (fun (t, ids) -> (t, Array.map (fun i -> ids.(i)) idx)) !ts.rows;
+          };
+        List.iter (fun f -> ts := filter db !ts ~acols:None f) pr.P.pr_filters)
+      p.P.p_probes;
+    (* sink *)
+    match p.P.p_sink with
+    | P.S_build { ht; key; _ } ->
+      let keys = eval_vec db !ts ~acols:None key in
+      let ids = List.assoc tref !ts.rows in
+      Array.iteri (fun i k -> Hashtbl.add hts.(ht) k ids.(i)) keys
+    | P.S_agg { keys; accs; _ } ->
+      let kvecs = List.map (eval_vec db !ts ~acols:None) keys in
+      let avecs =
+        List.map
+          (fun (_, arg) -> Option.map (eval_vec db !ts ~acols:None) arg)
+          accs
+      in
+      for i = 0 to !ts.n - 1 do
+        let key =
+          Common.group_key_of keys (fun k -> (List.nth kvecs k).(i))
+        in
+        let row =
+          match Hashtbl.find_opt groups key with
+          | Some r -> r
+          | None ->
+            let r =
+              Array.of_list (List.map (fun (kind, _) -> Common.acc_init kind) accs)
+            in
+            Hashtbl.replace groups key r;
+            r
+        in
+        List.iteri
+          (fun j (kind, _) ->
+            let v = match List.nth avecs j with Some vec -> vec.(i) | None -> 0L in
+            row.(j) <- Common.acc_combine kind row.(j) v)
+          accs
+      done
+    | P.S_out { exprs; _ } ->
+      let vecs = List.map (eval_vec db !ts ~acols:None) exprs in
+      for i = !ts.n - 1 downto 0 do
+        out_rows := Array.of_list (List.map (fun v -> v.(i)) vecs) :: !out_rows
+      done
+  in
+  let run_agg_scan (p : P.pipeline) =
+    let key_arity = match plan.P.pl_agg with Some c -> c.P.agg_key_arity | None -> 0 in
+    let n_accs =
+      match plan.P.pl_agg with Some c -> List.length c.P.agg_accs | None -> 0
+    in
+    (* materialise groups as columns *)
+    let n = Hashtbl.length groups in
+    let cols = Array.init (key_arity + n_accs) (fun _ -> Array.make (Stdlib.max 1 n) 0L) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun (k1, k2) accs ->
+        if key_arity >= 1 then cols.(0).(!i) <- k1;
+        if key_arity >= 2 then cols.(1).(!i) <- k2;
+        Array.iteri (fun j v -> cols.(key_arity + j).(!i) <- v) accs;
+        incr i)
+      groups;
+    let ts = ref { n; rows = [ (-1, Array.init n Fun.id) ] } in
+    List.iter (fun f -> ts := filter db !ts ~acols:(Some cols) f) p.P.p_scan_filters;
+    match p.P.p_sink with
+    | P.S_out { exprs; _ } ->
+      let vecs = List.map (eval_vec db !ts ~acols:(Some cols)) exprs in
+      for i = !ts.n - 1 downto 0 do
+        out_rows := Array.of_list (List.map (fun v -> v.(i)) vecs) :: !out_rows
+      done
+    | _ -> invalid_arg "Vectorized: aggregate scan must output"
+  in
+  List.iter
+    (fun (p : P.pipeline) ->
+      match p.P.p_source with
+      | P.Src_scan _ -> run_scan_pipeline p
+      | P.Src_agg_scan _ -> run_agg_scan p)
+    plan.P.pl_pipelines;
+  Common.finish_rows db (List.rev !out_rows)

@@ -1,0 +1,11 @@
+(** Column-at-a-time execution (the "MonetDB" comparison point).
+
+    Every operator materialises full intermediate vectors: filters
+    produce selection vectors, joins produce aligned row-id vectors
+    for each table instance, expressions evaluate into value vectors.
+    No per-tuple interpretation overhead, but full materialisation
+    between operators. Single-threaded. *)
+
+val execute :
+  Aeq_storage.Catalog.t -> Aeq_plan.Physical.t -> int64 array list
+(** @raise Aeq_ir.Trap.Error on arithmetic errors. *)

@@ -1,0 +1,105 @@
+module P = Aeq_plan.Physical
+module Sc = Aeq_plan.Scalar
+module Table = Aeq_storage.Table
+
+let execute catalog (plan : P.t) =
+  let db = { Common.catalog; plan } in
+  (* current tuple: row index per table instance, -1 = unavailable *)
+  let n_trefs = Array.length plan.P.pl_trefs in
+  let cursor = Array.make n_trefs (-1) in
+  let acol_env = ref (fun (_ : int) : int64 -> invalid_arg "no aggregate context") in
+  let eval s =
+    Aeq_plan.Scalar_eval.eval
+      ~col:(fun ~tref ~col ->
+        let row = cursor.(tref) in
+        if row < 0 then invalid_arg "Volcano: column of unavailable table";
+        Common.cell db ~tref ~col ~row)
+      ~acol:(fun idx -> !acol_env idx)
+      ~pred:(fun id code -> Common.pred db id code)
+      s
+  in
+  let eval_bool s = not (Int64.equal (eval s) 0L) in
+  (* hash tables: key -> build row indices *)
+  let hts = Array.map (fun _ -> Hashtbl.create 1024) plan.P.pl_hts in
+  (* aggregation state *)
+  let groups : (int64 * int64, int64 array) Hashtbl.t = Hashtbl.create 256 in
+  let out_rows = ref [] in
+  let run_pipeline (p : P.pipeline) =
+    let scan_rows, set_cursor =
+      match p.P.p_source with
+      | P.Src_scan { tref } ->
+        ( (fst plan.P.pl_trefs.(tref)).Table.n_rows,
+          fun row -> cursor.(tref) <- row )
+      | P.Src_agg_scan _ -> invalid_arg "handled separately"
+    in
+    let rec probe_loop probes k =
+      match probes with
+      | [] -> k ()
+      | (pr : P.probe) :: rest ->
+        let key = eval pr.P.pr_key in
+        let matches = Hashtbl.find_all hts.(pr.P.pr_ht) key in
+        List.iter
+          (fun build_row ->
+            cursor.(pr.P.pr_tref) <- build_row;
+            if List.for_all eval_bool pr.P.pr_filters then probe_loop rest k;
+            cursor.(pr.P.pr_tref) <- -1)
+          matches
+    in
+    let sink () =
+      match p.P.p_sink with
+      | P.S_build { ht; key; _ } ->
+        (* payload is implicit: we keep the build row index *)
+        let src_tref =
+          match p.P.p_source with P.Src_scan { tref } -> tref | _ -> assert false
+        in
+        Hashtbl.add hts.(ht) (eval key) cursor.(src_tref)
+      | P.S_agg { keys; accs; _ } ->
+        let k = Common.group_key_of keys (fun i -> eval (List.nth keys i)) in
+        let row =
+          match Hashtbl.find_opt groups k with
+          | Some r -> r
+          | None ->
+            let r = Array.of_list (List.map (fun (kind, _) -> Common.acc_init kind) accs) in
+            Hashtbl.replace groups k r;
+            r
+        in
+        List.iteri
+          (fun i (kind, arg) ->
+            let v = match arg with Some s -> eval s | None -> 0L in
+            row.(i) <- Common.acc_combine kind row.(i) v)
+          accs
+      | P.S_out { exprs; _ } ->
+        out_rows := Array.of_list (List.map eval exprs) :: !out_rows
+    in
+    for row = 0 to scan_rows - 1 do
+      set_cursor row;
+      if List.for_all eval_bool p.P.p_scan_filters then probe_loop p.P.p_probes sink
+    done;
+    set_cursor (-1)
+  in
+  let run_agg_scan (p : P.pipeline) =
+    let key_arity =
+      match plan.P.pl_agg with Some c -> c.P.agg_key_arity | None -> 0
+    in
+    Hashtbl.iter
+      (fun (k1, k2) accs ->
+        (acol_env :=
+           fun idx ->
+             if idx = 0 && key_arity >= 1 then k1
+             else if idx = 1 && key_arity >= 2 then k2
+             else accs.(idx - key_arity));
+        if List.for_all eval_bool p.P.p_scan_filters then begin
+          match p.P.p_sink with
+          | P.S_out { exprs; _ } ->
+            out_rows := Array.of_list (List.map eval exprs) :: !out_rows
+          | _ -> invalid_arg "Volcano: aggregate scan must output"
+        end)
+      groups
+  in
+  List.iter
+    (fun (p : P.pipeline) ->
+      match p.P.p_source with
+      | P.Src_scan _ -> run_pipeline p
+      | P.Src_agg_scan _ -> run_agg_scan p)
+    plan.P.pl_pipelines;
+  Common.finish_rows db (List.rev !out_rows)

@@ -1,0 +1,12 @@
+(** Volcano-style tuple-at-a-time interpretation (the "PostgreSQL"
+    comparison point of Tables I/II).
+
+    Executes the physical plan one tuple at a time through boxed
+    evaluator closures with per-tuple virtual dispatch — no code
+    generation, no compilation latency, but substantial interpretation
+    overhead per tuple. Single-threaded. *)
+
+val execute :
+  Aeq_storage.Catalog.t -> Aeq_plan.Physical.t -> int64 array list
+(** Result rows, ordered and limited.
+    @raise Aeq_ir.Trap.Error on arithmetic errors. *)

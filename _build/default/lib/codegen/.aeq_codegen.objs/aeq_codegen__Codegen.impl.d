@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Aeq_plan Aeq_rt Aeq_sql Aeq_storage Array Builder Hashtbl Instr Int64 Layout List Printf String Types Verify

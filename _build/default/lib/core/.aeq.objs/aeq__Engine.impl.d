@@ -1,0 +1,1 @@
+lib/core/engine.ml: Aeq_backend Aeq_exec Aeq_plan Aeq_storage Aeq_workload Domain Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Aeq_backend Aeq_exec Aeq_plan Aeq_storage

@@ -1,0 +1,99 @@
+type cache_entry = {
+  ce_plan : Aeq_plan.Physical.t;
+  mutable ce_executions : int;
+  mutable ce_modes : Aeq_backend.Cost_model.mode list;
+      (* pipeline modes at the end of the last execution *)
+}
+
+type t = {
+  catalog : Aeq_storage.Catalog.t;
+  pool : Aeq_exec.Pool.t;
+  cost_model : Aeq_backend.Cost_model.t;
+  plan_cache : (string, cache_entry) Hashtbl.t;
+  mutable cache_enabled : bool;
+}
+
+let create ?n_threads ?cost_model ?chunk_size () =
+  let n_threads =
+    match n_threads with
+    | Some n -> Stdlib.max 1 n
+    | None -> Stdlib.min 8 (Domain.recommended_domain_count ())
+  in
+  let cost_model =
+    match cost_model with
+    | Some m -> m
+    | None ->
+      (* paper-shaped compile latencies, but the controller's speedup
+         expectations come from measurement so adaptive decisions
+         reflect this build's real interpreter/compiled gap *)
+      let cal = Aeq_backend.Calibration.measure () in
+      Aeq_backend.Cost_model.with_speedups Aeq_backend.Cost_model.default
+        ~unopt:cal.Aeq_backend.Calibration.speedup_unopt
+        ~opt:cal.Aeq_backend.Calibration.speedup_opt
+  in
+  {
+    catalog = Aeq_storage.Catalog.create ?chunk_size ();
+    pool = Aeq_exec.Pool.create ~n_threads;
+    cost_model;
+    plan_cache = Hashtbl.create 64;
+    cache_enabled = true;
+  }
+
+let load_tpch ?seed t ~scale_factor = Aeq_workload.Tpch.load ?seed ~scale_factor t.catalog
+
+let catalog t = t.catalog
+
+let pool t = t.pool
+
+let n_threads t = Aeq_exec.Pool.n_threads t.pool
+
+let cost_model t = t.cost_model
+
+let plan t sql = Aeq_plan.Planner.plan_sql t.catalog sql
+
+let explain t sql = Aeq_plan.Explain.to_string (plan t sql)
+
+let set_plan_cache t enabled = t.cache_enabled <- enabled
+
+let cached_executions t sql =
+  match Hashtbl.find_opt t.plan_cache sql with Some e -> e.ce_executions | None -> 0
+
+let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
+  if not t.cache_enabled then begin
+    let p = plan t sql in
+    Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace t.catalog p ~mode
+      ~pool:t.pool
+  end
+  else begin
+    (* plan cache with per-pipeline mode memory (the paper's Sec. VI
+       extension): repeated executions of the same text reuse the plan
+       and, in adaptive mode, start pipelines in the mode they had
+       converged to last time *)
+    let entry =
+      match Hashtbl.find_opt t.plan_cache sql with
+      | Some e -> e
+      | None ->
+        let e = { ce_plan = plan t sql; ce_executions = 0; ce_modes = [] } in
+        Hashtbl.replace t.plan_cache sql e;
+        e
+    in
+    let initial_modes =
+      if entry.ce_executions > 0 && mode = Aeq_exec.Driver.Adaptive then Some entry.ce_modes
+      else None
+    in
+    let r =
+      Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?initial_modes
+        t.catalog entry.ce_plan ~mode ~pool:t.pool
+    in
+    entry.ce_executions <- entry.ce_executions + 1;
+    if mode = Aeq_exec.Driver.Adaptive then
+      entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes;
+    r
+  end
+
+let render_rows t (r : Aeq_exec.Driver.result) =
+  List.map
+    (fun row -> String.concat "\t" (Aeq_exec.Driver.row_to_strings t.catalog r.Aeq_exec.Driver.dtypes row))
+    r.Aeq_exec.Driver.rows
+
+let close t = Aeq_exec.Pool.shutdown t.pool

@@ -1,0 +1,70 @@
+(** The public API of the adaptive query engine.
+
+    An engine owns an in-memory database (catalog + arena), a
+    persistent worker pool, and a compile-cost model. SQL queries run
+    in one of four execution modes:
+    - [Driver.Bytecode]: translate every pipeline to VM bytecode and
+      interpret (lowest latency);
+    - [Driver.Unopt] / [Driver.Opt]: compile every pipeline up front
+      (single-threaded), then execute — the classical compiling engine;
+    - [Driver.Adaptive]: start interpreting on all threads and let the
+      runtime controller decide per pipeline whether and how far to
+      compile (the paper's contribution).
+
+    {[
+      let engine = Engine.create ~n_threads:8 () in
+      Engine.load_tpch engine ~scale_factor:0.01;
+      let r = Engine.query engine ~mode:Aeq_exec.Driver.Adaptive
+                "select count(*) from lineitem" in
+      List.iter print_endline (Engine.render_rows engine r)
+    ]} *)
+
+type t
+
+val create :
+  ?n_threads:int ->
+  ?cost_model:Aeq_backend.Cost_model.t ->
+  ?chunk_size:int ->
+  unit ->
+  t
+(** [n_threads] defaults to the machine's domain count (max 8);
+    [cost_model] defaults to the paper-calibrated model with simulated
+    LLVM-magnitude compile latencies (pass
+    [Aeq_backend.Cost_model.off] for real latencies only). *)
+
+val load_tpch : ?seed:int64 -> t -> scale_factor:float -> unit
+
+val catalog : t -> Aeq_storage.Catalog.t
+
+val pool : t -> Aeq_exec.Pool.t
+
+val n_threads : t -> int
+
+val cost_model : t -> Aeq_backend.Cost_model.t
+
+val plan : t -> string -> Aeq_plan.Physical.t
+
+val explain : t -> string -> string
+
+val query :
+  ?mode:Aeq_exec.Driver.mode -> ?collect_trace:bool -> t -> string -> Aeq_exec.Driver.result
+(** Plan + execute. [mode] defaults to [Adaptive].
+
+    Plans are cached by query text, with per-pipeline mode memory (the
+    plan-caching extension sketched in the paper's Section VI):
+    adaptive re-executions of a query start each pipeline in the mode
+    it converged to previously, so frequently-run queries end up fully
+    compiled without ever paying an up-front compilation on a cold
+    path. *)
+
+val set_plan_cache : t -> bool -> unit
+(** Disable/enable the plan cache ([true] by default). *)
+
+val cached_executions : t -> string -> int
+(** How often the given query text has executed through the cache. *)
+
+val render_rows : t -> Aeq_exec.Driver.result -> string list
+(** Result rows as tab-separated strings (dictionary decoded). *)
+
+val close : t -> unit
+(** Shut the worker pool down. *)

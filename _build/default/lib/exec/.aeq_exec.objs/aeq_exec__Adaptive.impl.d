@@ -1,0 +1,1 @@
+lib/exec/adaptive.ml: Aeq_backend Aeq_util Atomic Handle Progress Stdlib

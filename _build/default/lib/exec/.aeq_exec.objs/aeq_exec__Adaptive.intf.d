@@ -1,0 +1,1 @@
+lib/exec/adaptive.mli: Aeq_backend Handle Progress

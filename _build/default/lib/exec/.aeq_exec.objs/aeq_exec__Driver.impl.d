@@ -1,0 +1,1 @@
+lib/exec/driver.ml: Adaptive Aeq_backend Aeq_codegen Aeq_mem Aeq_plan Aeq_rt Aeq_storage Aeq_util Array Atomic Bytes Handle Int64 List Pool Printf Progress Stdlib String Trace

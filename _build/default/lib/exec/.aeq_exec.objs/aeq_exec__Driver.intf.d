@@ -1,0 +1,1 @@
+lib/exec/driver.mli: Aeq_backend Aeq_plan Aeq_storage Pool Trace

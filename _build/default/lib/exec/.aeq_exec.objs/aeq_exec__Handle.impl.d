@@ -1,0 +1,1 @@
+lib/exec/handle.ml: Aeq_backend Aeq_vm Atomic Bytes Func Stdlib

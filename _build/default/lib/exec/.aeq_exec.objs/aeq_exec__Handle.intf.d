@@ -1,0 +1,1 @@
+lib/exec/handle.mli: Aeq_backend Aeq_mem Aeq_vm Atomic Bytes Func

@@ -1,0 +1,1 @@
+lib/exec/pool.ml: Array Atomic Condition Domain Mutex Stdlib

@@ -1,0 +1,1 @@
+lib/exec/progress.ml: Aeq_util Array Atomic Stdlib

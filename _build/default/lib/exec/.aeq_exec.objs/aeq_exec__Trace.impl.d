@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Aeq_backend Aeq_util Array Buffer Bytes List Mutex Printf Stdlib

@@ -1,0 +1,69 @@
+module CM = Aeq_backend.Cost_model
+
+type decision = Do_nothing | Compile of CM.mode
+
+type t = {
+  model : CM.t;
+  handle : Handle.t;
+  progress : Progress.t;
+  n_threads : int;
+  evaluating : bool Atomic.t;
+}
+
+let min_delay_seconds = 0.001
+
+let create ~model ~handle ~progress ~n_threads =
+  { model; handle; progress; n_threads; evaluating = Atomic.make false }
+
+let extrapolate ~model ~current_mode ~n_instrs ~remaining ~rate ~n_threads =
+  if rate <= 0.0 || remaining <= 0 then Do_nothing
+  else begin
+    let n = float_of_int remaining in
+    let w = float_of_int n_threads in
+    let t0 = n /. rate /. w in
+    let option mode =
+      let c = CM.compile_time model mode n_instrs in
+      let r = rate *. CM.speedup model mode in
+      (* one thread compiles; the others keep processing during c *)
+      let leftover = Stdlib.max (n -. ((w -. 1.0) *. rate *. c)) 0.0 in
+      c +. (leftover /. r /. w)
+    in
+    match current_mode with
+    | CM.Opt -> Do_nothing
+    | CM.Unopt ->
+      let t2 = option CM.Opt in
+      if t2 < t0 then Compile CM.Opt else Do_nothing
+    | CM.Bytecode ->
+      let t1 = option CM.Unopt and t2 = option CM.Opt in
+      if t1 <= t2 && t1 < t0 then Compile CM.Unopt
+      else if t2 < t1 && t2 < t0 then Compile CM.Opt
+      else Do_nothing
+  end
+
+let maybe_decide t =
+  let now = Aeq_util.Clock.now () in
+  if now -. Progress.start_time t.progress < min_delay_seconds then Do_nothing
+  else if Atomic.get t.handle.Handle.compiling then Do_nothing
+  else if not (Atomic.compare_and_set t.evaluating false true) then Do_nothing
+  else begin
+    let d =
+      extrapolate ~model:t.model
+        ~current_mode:(Handle.mode t.handle)
+        ~n_instrs:t.handle.Handle.n_instrs
+        ~remaining:(Progress.remaining t.progress)
+        ~rate:(Progress.avg_rate t.progress)
+        ~n_threads:t.n_threads
+    in
+    match d with
+    | Do_nothing ->
+      Atomic.set t.evaluating false;
+      Do_nothing
+    | Compile _ ->
+      Atomic.set t.handle.Handle.compiling true;
+      d
+  end
+
+let finish_compile t =
+  Progress.reset_rates t.progress;
+  Atomic.set t.handle.Handle.compiling false;
+  Atomic.set t.evaluating false

@@ -1,0 +1,259 @@
+module A = Aeq_mem.Arena
+module P = Aeq_plan.Physical
+module CM = Aeq_backend.Cost_model
+module Table = Aeq_storage.Table
+module Dtype = Aeq_storage.Dtype
+
+type mode = Bytecode | Unopt | Opt | Adaptive
+
+let mode_name = function
+  | Bytecode -> "bytecode"
+  | Unopt -> "unoptimized"
+  | Opt -> "optimized"
+  | Adaptive -> "adaptive"
+
+type stats = {
+  codegen_seconds : float;
+  bc_seconds : float;
+  compile_seconds : float;
+  exec_seconds : float;
+  total_seconds : float;
+  rows_out : int;
+  final_modes : string list;
+}
+
+type result = {
+  names : string list;
+  dtypes : Dtype.t list;
+  rows : int64 array list;
+  stats : stats;
+  trace : Trace.t option;
+  final_cm_modes : CM.mode list;
+}
+
+let cm_mode_name = function
+  | CM.Bytecode -> "bytecode"
+  | CM.Unopt -> "unoptimized"
+  | CM.Opt -> "optimized"
+
+(* dynamically growing morsel size: small at first for dense rate
+   samples, larger later to cut scheduling overhead *)
+let morsel_size ~processed ~n_threads =
+  let grow = processed / (8 * n_threads) in
+  Stdlib.min 16384 (Stdlib.max 512 grow)
+
+let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes catalog plan
+    ~mode ~pool =
+  let t_start = Aeq_util.Clock.now () in
+  let arena = Aeq_storage.Catalog.arena catalog in
+  let mark = A.mark_chunks arena in
+  let n_threads = Pool.n_threads pool in
+  let ctx =
+    Aeq_rt.Context.create ~arena ~dict:(Aeq_storage.Catalog.dict catalog) ~n_threads
+  in
+  let symbols = Aeq_rt.Symbols.resolver ctx in
+  let layout = P.layout plan in
+  (* --- code generation -------------------------------------------- *)
+  let workers, codegen_seconds =
+    Aeq_util.Clock.time_it (fun () -> Aeq_codegen.Codegen.all_workers plan layout)
+  in
+  let handles = List.map (Handle.create ~cost_model ~symbols) workers in
+  let bc_seconds =
+    List.fold_left (fun acc h -> acc +. h.Handle.bc_translate_seconds) 0.0 handles
+  in
+  (* --- runtime objects (ids match planning order) ------------------ *)
+  Array.iter
+    (fun spec ->
+      ignore
+        (Aeq_rt.Context.register_ht ctx
+           (Aeq_rt.Hash_table.create arena ~expected_entries:spec.P.ht_expected
+              ~payload_bytes:spec.P.ht_payload_bytes)))
+    plan.P.pl_hts;
+  (match plan.P.pl_agg with
+  | Some cfg ->
+    ignore
+      (Aeq_rt.Context.register_agg ctx
+         (Aeq_rt.Agg.create arena ~n_threads ~key_arity:cfg.P.agg_key_arity
+            ~accs:(List.map fst cfg.P.agg_accs)))
+  | None -> ());
+  let out =
+    Aeq_rt.Output.create arena ~n_threads ~row_bytes:plan.P.pl_out.P.out_row_bytes
+  in
+  ignore (Aeq_rt.Context.register_out ctx out);
+  Array.iter (fun bm -> ignore (Aeq_rt.Context.register_pred ctx bm)) plan.P.pl_preds;
+  (* --- state area --------------------------------------------------- *)
+  let setup_alloc = Aeq_rt.Context.allocator ctx ~tid:0 in
+  let state = A.alloc setup_alloc (8 * Stdlib.max 1 (P.n_slots layout)) in
+  Array.iteri
+    (fun tref (tbl, _) ->
+      Array.iteri
+        (fun col (c : Table.column) ->
+          A.set_i64 arena
+            (state + (8 * P.slot_of_col layout ~tref ~col))
+            (Int64.of_int c.Table.data))
+        tbl.Table.columns)
+    plan.P.pl_trefs;
+  (* --- static up-front compilation --------------------------------- *)
+  let compile_seconds = ref 0.0 in
+  (match mode with
+  | Unopt ->
+    List.iter
+      (fun h ->
+        compile_seconds :=
+          !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:CM.Unopt)
+      handles
+  | Opt ->
+    List.iter
+      (fun h ->
+        compile_seconds :=
+          !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:CM.Opt)
+      handles
+  | Bytecode | Adaptive -> ());
+  (* plan-cache warm start (paper Sec. VI): pipelines that ended
+     compiled in an earlier execution of this plan start compiled *)
+  (match (mode, initial_modes) with
+  | Adaptive, Some modes ->
+    List.iteri
+      (fun i m ->
+        match (m, List.nth_opt handles i) with
+        | CM.Bytecode, _ | _, None -> ()
+        | (CM.Unopt | CM.Opt), Some h ->
+          compile_seconds :=
+            !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:m)
+      modes
+  | _ -> ());
+  let trace = if collect_trace then Some (Trace.create ()) else None in
+  (* --- pipelines ----------------------------------------------------- *)
+  let exec_seconds = ref 0.0 in
+  List.iteri
+    (fun pi (p : P.pipeline) ->
+      let handle = List.nth handles pi in
+      let total =
+        match p.P.p_source with
+        | P.Src_scan { tref } -> (fst plan.P.pl_trefs.(tref)).Table.n_rows
+        | P.Src_agg_scan { agg } ->
+          (* pipeline barrier: merge thread-local groups and expose
+             them as a scannable table *)
+          let a = ctx.Aeq_rt.Context.aggs.(agg) in
+          Aeq_rt.Agg.merge a;
+          let n, cols = Aeq_rt.Agg.materialize a ~allocator:setup_alloc in
+          Array.iteri
+            (fun k col ->
+              A.set_i64 arena
+                (state + (8 * P.slot_of_agg_col layout k))
+                (Int64.of_int col))
+            cols;
+          n
+      in
+      let progress = Progress.create ~total_rows:total ~n_threads in
+      let controller =
+        match mode with
+        | Adaptive -> Some (Adaptive.create ~model:cost_model ~handle ~progress ~n_threads)
+        | Bytecode | Unopt | Opt -> None
+      in
+      let next = Atomic.make 0 in
+      let job ~tid =
+        let regs = ref (Bytes.make 256 '\000') in
+        let continue_ = ref true in
+        while !continue_ do
+          let size = morsel_size ~processed:(Progress.processed progress) ~n_threads in
+          let b = Atomic.fetch_and_add next size in
+          if b >= total then continue_ := false
+          else begin
+            let e = Stdlib.min (b + size) total in
+            let t0 = Aeq_util.Clock.now () in
+            Handle.run_morsel handle arena ~regs
+              ~args:
+                [|
+                  Int64.of_int state; Int64.of_int b; Int64.of_int e; Int64.of_int tid;
+                |];
+            let t1 = Aeq_util.Clock.now () in
+            Progress.note_morsel progress ~tid ~rows:(e - b) ~seconds:(t1 -. t0);
+            (match trace with
+            | Some tr ->
+              Trace.record tr ~pipeline:pi ~tid ~t0 ~t1 (Trace.Ev_morsel (Handle.mode handle))
+            | None -> ());
+            match controller with
+            | Some ctl -> (
+              match Adaptive.maybe_decide ctl with
+              | Adaptive.Do_nothing -> ()
+              | Adaptive.Compile m ->
+                let c0 = Aeq_util.Clock.now () in
+                let dt = Handle.promote handle ~cost_model ~symbols ~mem:arena ~mode:m in
+                let c1 = Aeq_util.Clock.now () in
+                (match trace with
+                | Some tr -> Trace.record tr ~pipeline:pi ~tid ~t0:c0 ~t1:c1 (Trace.Ev_compile m)
+                | None -> ());
+                compile_seconds := !compile_seconds +. dt;
+                Adaptive.finish_compile ctl)
+            | None -> ()
+          end
+        done
+      in
+      let (), dt = Aeq_util.Clock.time_it (fun () -> if total > 0 then Pool.run pool job) in
+      exec_seconds := !exec_seconds +. dt)
+    plan.P.pl_pipelines;
+  let final_modes = List.map (fun h -> cm_mode_name (Handle.mode h)) handles in
+  (* --- collect, sort, limit ----------------------------------------- *)
+  let n_cols = List.length plan.P.pl_out.P.out_names in
+  let raw = Aeq_rt.Output.rows out in
+  let rows =
+    Array.to_list raw
+    |> List.map (fun ptr -> Array.init n_cols (fun k -> A.get_i64 arena (ptr + (8 * k))))
+  in
+  let dtypes = plan.P.pl_out.P.out_dtypes in
+  let dict = Aeq_storage.Catalog.dict catalog in
+  let dtype_arr = Array.of_list dtypes in
+  let compare_rows (a : int64 array) (b : int64 array) =
+    let rec go = function
+      | [] -> 0
+      | (idx, desc) :: rest ->
+        let c =
+          match dtype_arr.(idx) with
+          | Dtype.Str ->
+            String.compare (Aeq_rt.Dict.decode dict a.(idx)) (Aeq_rt.Dict.decode dict b.(idx))
+          | _ -> Int64.compare a.(idx) b.(idx)
+        in
+        if c <> 0 then if desc then -c else c else go rest
+    in
+    go plan.P.pl_order_by
+  in
+  let rows = if plan.P.pl_order_by = [] then rows else List.stable_sort compare_rows rows in
+  let rows =
+    match plan.P.pl_limit with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  (* release query scratch *)
+  A.truncate arena mark;
+  let total_seconds = Aeq_util.Clock.now () -. t_start in
+  {
+    names = plan.P.pl_out.P.out_names;
+    dtypes;
+    rows;
+    final_cm_modes = List.map Handle.mode handles;
+    stats =
+      {
+        codegen_seconds;
+        bc_seconds;
+        compile_seconds = !compile_seconds;
+        exec_seconds = !exec_seconds;
+        total_seconds;
+        rows_out = List.length rows;
+        final_modes;
+      };
+    trace;
+  }
+
+let row_to_strings catalog dtypes row =
+  List.mapi
+    (fun i dt ->
+      let v = row.(i) in
+      match dt with
+      | Dtype.Int -> Int64.to_string v
+      | Dtype.Bool -> if Int64.equal v 0L then "false" else "true"
+      | Dtype.Decimal ->
+        Printf.sprintf "%Ld.%02Ld" (Int64.div v 100L) (Int64.rem (Int64.abs v) 100L)
+      | Dtype.Date -> Printf.sprintf "%Ld" (Aeq_rt.Symbols.year_of_days v)
+      | Dtype.Str -> Aeq_rt.Dict.decode (Aeq_storage.Catalog.dict catalog) v)
+    dtypes

@@ -1,0 +1,61 @@
+(** End-to-end query execution: the queryStart role of the paper's
+    Fig. 4, in OCaml (it runs once per query and never pays off to
+    compile).
+
+    Sets up the runtime context and objects, generates and translates
+    the pipeline workers, then runs each pipeline with morsel-driven
+    parallelism. In [Adaptive] mode every pipeline starts in the
+    bytecode interpreter on all threads; after each morsel the
+    controller may decide to compile, in which case the deciding
+    thread compiles (its lane shows a 'C' burst in the trace) while
+    the others keep interpreting, and all threads pick up the new
+    variant on their next morsel. Static modes compile every pipeline
+    up front, single-threaded, exactly like a classical compiling
+    engine. *)
+
+type mode = Bytecode | Unopt | Opt | Adaptive
+
+val mode_name : mode -> string
+
+type stats = {
+  codegen_seconds : float;
+  bc_seconds : float;  (** bytecode translation, all pipelines *)
+  compile_seconds : float;  (** machine-code compilation (incl. adaptive) *)
+  exec_seconds : float;  (** pipeline execution wall time *)
+  total_seconds : float;
+  rows_out : int;
+  final_modes : string list;  (** execution mode of each pipeline at completion *)
+}
+
+type result = {
+  names : string list;
+  dtypes : Aeq_storage.Dtype.t list;
+  rows : int64 array list;  (** ordered, limited *)
+  stats : stats;
+  trace : Trace.t option;
+  final_cm_modes : Aeq_backend.Cost_model.mode list;
+      (** machine-readable variant of [stats.final_modes], usable as
+          the next execution's [initial_modes] *)
+}
+
+val execute :
+  ?cost_model:Aeq_backend.Cost_model.t ->
+  ?collect_trace:bool ->
+  ?initial_modes:Aeq_backend.Cost_model.mode list ->
+  Aeq_storage.Catalog.t ->
+  Aeq_plan.Physical.t ->
+  mode:mode ->
+  pool:Pool.t ->
+  result
+(** Query scratch memory is released (arena truncation) before
+    returning; result rows are decoded into OCaml arrays first.
+
+    [initial_modes] (adaptive mode only) pre-compiles the listed
+    pipelines before execution starts — the plan-caching extension of
+    the paper's Section VI: when a cached query's pipeline ended in a
+    compiled mode last time, later executions start there instead of
+    re-learning. *)
+
+val row_to_strings : Aeq_storage.Catalog.t -> Aeq_storage.Dtype.t list -> int64 array -> string list
+(** Render one result row (decimal scaling, date and dictionary
+    decoding). *)

@@ -1,0 +1,54 @@
+module CM = Aeq_backend.Cost_model
+
+type variant =
+  | V_bytecode of Aeq_vm.Bytecode.t
+  | V_compiled of CM.mode * Aeq_backend.Closure_compile.t
+
+type t = {
+  func : Func.t;
+  bytecode : Aeq_vm.Bytecode.t;
+  current : variant Atomic.t;
+  compiling : bool Atomic.t;
+  n_instrs : int;
+  bc_translate_seconds : float;
+  mutable compile_seconds : float;
+}
+
+let create ~cost_model ~symbols func =
+  let bytecode, bc_seconds =
+    Aeq_backend.Compiler.translate_bytecode ~cost_model ~symbols func
+  in
+  {
+    func;
+    bytecode;
+    current = Atomic.make (V_bytecode bytecode);
+    compiling = Atomic.make false;
+    n_instrs = Func.n_instrs func;
+    bc_translate_seconds = bc_seconds;
+    compile_seconds = 0.0;
+  }
+
+let mode t =
+  match Atomic.get t.current with
+  | V_bytecode _ -> CM.Bytecode
+  | V_compiled (m, _) -> m
+
+let install t v = Atomic.set t.current v
+
+let ensure_regs regs n =
+  if Bytes.length !regs < n then regs := Bytes.make (Stdlib.max n (2 * Bytes.length !regs)) '\000'
+
+let run_morsel t mem ~regs ~args =
+  match Atomic.get t.current with
+  | V_bytecode bc ->
+    ensure_regs regs bc.Aeq_vm.Bytecode.n_reg_bytes;
+    ignore (Aeq_vm.Interp.run bc mem ~regs:!regs ~args ())
+  | V_compiled (_, c) ->
+    ensure_regs regs (Aeq_backend.Closure_compile.n_reg_bytes c);
+    ignore (Aeq_backend.Closure_compile.run c ~regs:!regs ~args ())
+
+let promote t ~cost_model ~symbols ~mem ~mode =
+  let compiled = Aeq_backend.Compiler.compile ~cost_model ~symbols ~mem ~mode t.func in
+  install t (V_compiled (mode, compiled.Aeq_backend.Compiler.exec));
+  t.compile_seconds <- t.compile_seconds +. compiled.Aeq_backend.Compiler.compile_seconds;
+  compiled.Aeq_backend.Compiler.compile_seconds

@@ -1,0 +1,48 @@
+(** Worker-function handles (paper Fig. 5).
+
+    A handle stores every available representation of one pipeline's
+    worker function. Workers pick the current best variant for every
+    morsel; switching execution modes is a single atomic store, and
+    because all variants operate on the same arena state, remaining
+    morsels continue seamlessly in the new mode. *)
+
+type variant =
+  | V_bytecode of Aeq_vm.Bytecode.t
+  | V_compiled of Aeq_backend.Cost_model.mode * Aeq_backend.Closure_compile.t
+
+type t = {
+  func : Func.t;
+  bytecode : Aeq_vm.Bytecode.t;
+  current : variant Atomic.t;
+  compiling : bool Atomic.t;  (** a compile task is in flight *)
+  n_instrs : int;
+  bc_translate_seconds : float;
+  mutable compile_seconds : float;  (** accumulated compilation latency *)
+}
+
+val create :
+  cost_model:Aeq_backend.Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  Func.t ->
+  t
+(** Translate to bytecode (always available, fast). *)
+
+val mode : t -> Aeq_backend.Cost_model.mode
+
+val install : t -> variant -> unit
+
+val run_morsel :
+  t -> Aeq_mem.Arena.t -> regs:Bytes.t ref -> args:int64 array -> unit
+(** Execute one morsel with the current variant, growing the caller's
+    scratch register file if the variant needs more space. *)
+
+val promote :
+  t ->
+  cost_model:Aeq_backend.Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  mem:Aeq_mem.Arena.t ->
+  mode:Aeq_backend.Cost_model.mode ->
+  float
+(** Compile to the given mode (blocking; run it on the thread that
+    volunteered) and install the result. Returns the compile latency
+    in seconds. *)

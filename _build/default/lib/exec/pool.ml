@@ -1,0 +1,106 @@
+type worker_state = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (tid:int -> unit) option;
+  mutable generation : int;
+  mutable stop : bool;
+}
+
+type t = {
+  n_threads : int;
+  states : worker_state array; (* one per extra worker (tids 1..n-1) *)
+  mutable domains : unit Domain.t array;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable done_count : int;
+  error : exn option Atomic.t;
+}
+
+let signal_done t =
+  Mutex.lock t.done_mutex;
+  t.done_count <- t.done_count + 1;
+  Condition.signal t.done_cond;
+  Mutex.unlock t.done_mutex
+
+let worker_loop t state tid =
+  let gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock state.mutex;
+    while state.generation = !gen && not state.stop do
+      Condition.wait state.cond state.mutex
+    done;
+    let job = state.job and stop = state.stop in
+    let this_gen = state.generation in
+    Mutex.unlock state.mutex;
+    if stop then running := false
+    else begin
+      gen := this_gen;
+      (match job with
+      | Some f -> (
+        try f ~tid with e -> ignore (Atomic.compare_and_set t.error None (Some e)))
+      | None -> ());
+      signal_done t
+    end
+  done
+
+let create ~n_threads =
+  let n_threads = Stdlib.max 1 n_threads in
+  let states =
+    Array.init (n_threads - 1) (fun _ ->
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          job = None;
+          generation = 0;
+          stop = false;
+        })
+  in
+  let t =
+    {
+      n_threads;
+      states;
+      domains = [||];
+      done_mutex = Mutex.create ();
+      done_cond = Condition.create ();
+      done_count = 0;
+      error = Atomic.make None;
+    }
+  in
+  t.domains <-
+    Array.mapi (fun i state -> Domain.spawn (fun () -> worker_loop t state (i + 1))) states;
+  t
+
+let n_threads t = t.n_threads
+
+let run t job =
+  Mutex.lock t.done_mutex;
+  t.done_count <- 0;
+  Mutex.unlock t.done_mutex;
+  Atomic.set t.error None;
+  Array.iter
+    (fun state ->
+      Mutex.lock state.mutex;
+      state.job <- Some job;
+      state.generation <- state.generation + 1;
+      Condition.signal state.cond;
+      Mutex.unlock state.mutex)
+    t.states;
+  (* the caller is thread 0 *)
+  (try job ~tid:0 with e -> ignore (Atomic.compare_and_set t.error None (Some e)));
+  Mutex.lock t.done_mutex;
+  while t.done_count < Array.length t.states do
+    Condition.wait t.done_cond t.done_mutex
+  done;
+  Mutex.unlock t.done_mutex;
+  match Atomic.get t.error with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Array.iter
+    (fun state ->
+      Mutex.lock state.mutex;
+      state.stop <- true;
+      Condition.signal state.cond;
+      Mutex.unlock state.mutex)
+    t.states;
+  Array.iter Domain.join t.domains

@@ -1,0 +1,19 @@
+(** Persistent worker pool over OCaml domains.
+
+    One pool lives for the engine's lifetime; each pipeline execution
+    submits a job that every worker runs (with its thread id) and
+    barriers on completion. Thread 0 is the caller's thread, so a
+    1-thread pool runs entirely inline. *)
+
+type t
+
+val create : n_threads:int -> t
+
+val n_threads : t -> int
+
+val run : t -> (tid:int -> unit) -> unit
+(** Execute [job ~tid] on every worker concurrently (the caller runs
+    tid 0); returns when all are done. Exceptions raised by workers
+    are re-raised in the caller (first one wins). *)
+
+val shutdown : t -> unit

@@ -1,0 +1,37 @@
+type t = {
+  total_rows : int;
+  start : float;
+  done_rows : int Atomic.t;
+  rates : float array; (* per-thread last-morsel rate; 0 = no sample *)
+}
+
+let create ~total_rows ~n_threads =
+  {
+    total_rows;
+    start = Aeq_util.Clock.now ();
+    done_rows = Atomic.make 0;
+    rates = Array.make (Stdlib.max 1 n_threads) 0.0;
+  }
+
+let start_time t = t.start
+
+let note_morsel t ~tid ~rows ~seconds =
+  ignore (Atomic.fetch_and_add t.done_rows rows);
+  if seconds > 0.0 then t.rates.(tid) <- float_of_int rows /. seconds
+
+let processed t = Atomic.get t.done_rows
+
+let remaining t = Stdlib.max 0 (t.total_rows - processed t)
+
+let avg_rate t =
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun r ->
+      if r > 0.0 then begin
+        sum := !sum +. r;
+        incr n
+      end)
+    t.rates;
+  if !n = 0 then 0.0 else !sum /. float_of_int !n
+
+let reset_rates t = Array.fill t.rates 0 (Array.length t.rates) 0.0

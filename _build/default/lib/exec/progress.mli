@@ -1,0 +1,26 @@
+(** Pipeline progress tracking (paper Section III-A).
+
+    Records the total work when a pipeline starts and, after every
+    morsel, the per-thread local tuple processing rate. The adaptive
+    controller extrapolates the remaining pipeline duration from the
+    average rate and the remaining-tuple count. *)
+
+type t
+
+val create : total_rows:int -> n_threads:int -> t
+
+val start_time : t -> float
+
+val note_morsel : t -> tid:int -> rows:int -> seconds:float -> unit
+
+val processed : t -> int
+
+val remaining : t -> int
+
+val avg_rate : t -> float
+(** Mean of the per-thread rates observed so far (tuples/second);
+    0 if nothing was measured yet. *)
+
+val reset_rates : t -> unit
+(** Called after a mode switch so the extrapolation uses post-switch
+    rates only (paper Section III-C). *)

@@ -1,0 +1,32 @@
+(** Execution trace recording (the data behind the paper's Fig. 14).
+
+    Each morsel and compilation burst is recorded as an interval per
+    thread; benchmarks render these as per-thread lanes. *)
+
+type kind =
+  | Ev_morsel of Aeq_backend.Cost_model.mode
+  | Ev_compile of Aeq_backend.Cost_model.mode
+
+type event = {
+  pipeline : int;
+  tid : int;
+  t0 : float;  (** seconds since the trace epoch *)
+  t1 : float;
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val epoch : t -> float
+
+val record : t -> pipeline:int -> tid:int -> t0:float -> t1:float -> kind -> unit
+(** Thread-safe. Times are absolute ({!Aeq_util.Clock.now}); stored
+    relative to the epoch. *)
+
+val events : t -> event list
+(** Sorted by start time. *)
+
+val render : t -> n_threads:int -> string
+(** ASCII lanes, one per thread. *)

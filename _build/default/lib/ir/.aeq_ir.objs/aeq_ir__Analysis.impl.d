@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Func Instr List

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Array Int64 Option Types

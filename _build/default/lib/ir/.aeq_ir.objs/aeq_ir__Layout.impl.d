@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Block Cfg Dom Func Hashtbl List Loops

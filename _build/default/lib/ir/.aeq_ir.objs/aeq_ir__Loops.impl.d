@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Block Cfg Dom Func Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Block Format Func Instr Types

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Block Cfg Format Func Instr List Printf String Types

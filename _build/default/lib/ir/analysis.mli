@@ -1,0 +1,16 @@
+(** Cheap size metrics over IR functions.
+
+    [instruction_count] is the measure the paper correlates with
+    compilation time (Fig. 6) and that the adaptive controller feeds
+    into the compile-cost model. *)
+
+val instruction_count : Func.t -> int
+(** φ nodes and terminators included. *)
+
+val block_count : Func.t -> int
+
+val value_count : Func.t -> int
+
+val call_count : Func.t -> int
+
+val module_instruction_count : Func.t list -> int

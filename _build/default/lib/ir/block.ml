@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  mutable phis : Instr.phi array;
+  mutable instrs : Instr.t array;
+  mutable term : Instr.terminator;
+}
+
+let successors b =
+  match b.term with
+  | Instr.Br target -> [ target ]
+  | Instr.CondBr { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Instr.Ret _ | Instr.Abort _ -> []
+
+let make ~id ~phis ~instrs ~term =
+  { id; phis = Array.of_list phis; instrs = Array.of_list instrs; term }
+
+let defined_values b =
+  let phi_defs = Array.to_list (Array.map (fun (p : Instr.phi) -> p.dst) b.phis) in
+  let instr_defs =
+    Array.to_list b.instrs |> List.filter_map (fun i -> Instr.dst_of i)
+  in
+  phi_defs @ instr_defs

@@ -1,0 +1,71 @@
+let predecessors (f : Func.t) =
+  let n = Func.n_blocks f in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter (fun s -> preds.(s) <- b.Block.id :: preds.(s)) (Block.successors b))
+    f.Func.blocks;
+  Array.map List.rev preds
+
+let postorder (f : Func.t) =
+  let n = Func.n_blocks f in
+  let visited = Array.make n false in
+  let order = ref [] in
+  (* Iterative DFS: the stack holds (block, remaining successors). *)
+  let stack = Stack.create () in
+  visited.(0) <- true;
+  Stack.push (0, ref (Block.successors (Func.block f 0))) stack;
+  while not (Stack.is_empty stack) do
+    let b, succs = Stack.top stack in
+    match !succs with
+    | [] ->
+      ignore (Stack.pop stack);
+      order := b :: !order
+    | s :: rest ->
+      succs := rest;
+      if not visited.(s) then begin
+        visited.(s) <- true;
+        Stack.push (s, ref (Block.successors (Func.block f s))) stack
+      end
+  done;
+  (* Prepending on pop yields the reversed postorder directly. *)
+  !order
+
+let reverse_postorder f = Array.of_list (postorder f)
+
+let apply_order (f : Func.t) order =
+  assert (Array.length order > 0 && order.(0) = 0);
+  let n_old = Func.n_blocks f in
+  let old_to_new = Array.make n_old (-1) in
+  Array.iteri (fun new_id old_id -> old_to_new.(old_id) <- new_id) order;
+  let reachable old_id = old_to_new.(old_id) >= 0 in
+  let new_blocks =
+    Array.map
+      (fun old_id ->
+        let b = Func.block f old_id in
+        let phis =
+          Array.map
+            (fun (p : Instr.phi) ->
+              let incoming =
+                Array.to_list p.incoming
+                |> List.filter (fun (pred, _) -> reachable pred)
+                |> List.map (fun (pred, v) -> (old_to_new.(pred), v))
+                |> Array.of_list
+              in
+              { p with Instr.incoming })
+            b.Block.phis
+        in
+        let term =
+          match b.Block.term with
+          | Instr.Br t -> Instr.Br old_to_new.(t)
+          | Instr.CondBr { cond; if_true; if_false } ->
+            Instr.CondBr
+              { cond; if_true = old_to_new.(if_true); if_false = old_to_new.(if_false) }
+          | (Instr.Ret _ | Instr.Abort _) as t -> t
+        in
+        { b with Block.id = old_to_new.(old_id); phis; term })
+      order
+  in
+  f.Func.blocks <- new_blocks
+
+let reorder_rpo (f : Func.t) = apply_order f (reverse_postorder f)

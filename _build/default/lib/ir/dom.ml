@@ -1,0 +1,82 @@
+type t = {
+  idoms : int array;
+  pre : int array;
+  post : int array;
+  kids : int list array;
+}
+
+(* Cooper-Harvey-Kennedy: because blocks are RPO-numbered, walking up
+   idom chains while comparing ids finds the common dominator. *)
+let intersect idoms a b =
+  let a = ref a and b = ref b in
+  while !a <> !b do
+    while !a > !b do
+      a := idoms.(!a)
+    done;
+    while !b > !a do
+      b := idoms.(!b)
+    done
+  done;
+  !a
+
+let compute (f : Func.t) =
+  let n = Func.n_blocks f in
+  let preds = Cfg.predecessors f in
+  let idoms = Array.make n (-1) in
+  idoms.(0) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 1 to n - 1 do
+      let new_idom =
+        List.fold_left
+          (fun acc p ->
+            if idoms.(p) < 0 then acc
+            else match acc with None -> Some p | Some a -> Some (intersect idoms p a))
+          None preds.(b)
+      in
+      match new_idom with
+      | None -> ()
+      | Some d ->
+        if idoms.(b) <> d then begin
+          idoms.(b) <- d;
+          changed := true
+        end
+    done
+  done;
+  let kids = Array.make n [] in
+  for b = n - 1 downto 1 do
+    if idoms.(b) >= 0 then kids.(idoms.(b)) <- b :: kids.(idoms.(b))
+  done;
+  (* Pre/post-order labeling by iterative DFS over the dominator tree. *)
+  let pre = Array.make n 0 and post = Array.make n 0 in
+  let counter = ref 0 in
+  let stack = Stack.create () in
+  Stack.push (0, ref kids.(0)) stack;
+  incr counter;
+  pre.(0) <- !counter;
+  while not (Stack.is_empty stack) do
+    let b, rest = Stack.top stack in
+    match !rest with
+    | [] ->
+      ignore (Stack.pop stack);
+      incr counter;
+      post.(b) <- !counter
+    | c :: more ->
+      rest := more;
+      incr counter;
+      pre.(c) <- !counter;
+      Stack.push (c, ref kids.(c)) stack
+  done;
+  { idoms; pre; post; kids }
+
+let idom t b = t.idoms.(b)
+
+let is_ancestor t ~ancestor b =
+  t.pre.(ancestor) <= t.pre.(b) && t.post.(b) <= t.post.(ancestor)
+
+let preorder t b = t.pre.(b)
+
+let postorder_label t b = t.post.(b)
+
+let children t b = t.kids.(b)

@@ -1,0 +1,115 @@
+(* A member of a nesting level is either a plain block or a whole
+   child loop (emitted recursively as one unit). Members are keyed by
+   their representative block: the block itself, or the child loop's
+   head. *)
+
+let normalize (f : Func.t) =
+  Cfg.reorder_rpo f;
+  let dom = Dom.compute f in
+  let loops = Loops.compute f dom in
+  if Loops.contiguous loops && Loops.n_loops loops = 1 then ()
+  else begin
+    let n = Func.n_blocks f in
+    let inner b = Loops.innermost loops b in
+    (* The member of block [b] at nesting level [li]: [b] itself if its
+       innermost loop is [li], else the ancestor of inner(b) whose
+       parent is [li] (represented by that loop's head). Returns None
+       if [b] is not in loop [li] at all. *)
+    let member_of li b =
+      if not (Loops.contains loops li b) then None
+      else if inner b = li then Some (`Block b)
+      else begin
+        let rec ascend l =
+          if (Loops.loop loops l).Loops.parent = li then l else ascend (Loops.loop loops l).Loops.parent
+        in
+        Some (`Child (ascend (inner b)))
+      end
+    in
+    let rep = function `Block b -> b | `Child l -> (Loops.loop loops l).Loops.head in
+    let order = ref [] in
+    (* Emit the blocks of loop [li] in a topological order of its
+       members, header first; child loops are emitted recursively so
+       their bodies stay contiguous. *)
+    let rec emit_loop li =
+      let head = (Loops.loop loops li).Loops.head in
+      (* Collect members and build the member DAG. *)
+      let members = Hashtbl.create 16 in
+      (* rep block -> member *)
+      let edges = Hashtbl.create 16 in
+      (* rep -> rep list *)
+      let indeg = Hashtbl.create 16 in
+      for b = 0 to n - 1 do
+        match member_of li b with
+        | Some m ->
+          let r = rep m in
+          if not (Hashtbl.mem members r) then begin
+            Hashtbl.replace members r m;
+            if not (Hashtbl.mem indeg r) then Hashtbl.replace indeg r 0
+          end
+        | None -> ()
+      done;
+      for b = 0 to n - 1 do
+        if Loops.contains loops li b then
+          List.iter
+            (fun s ->
+              match (member_of li b, member_of li s) with
+              | Some mb, Some ms ->
+                let rb = rep mb and rs = rep ms in
+                if rb <> rs && rs <> head then begin
+                  let existing =
+                    match Hashtbl.find_opt edges rb with Some l -> l | None -> []
+                  in
+                  if not (List.mem rs existing) then begin
+                    Hashtbl.replace edges rb (rs :: existing);
+                    Hashtbl.replace indeg rs
+                      (1 + match Hashtbl.find_opt indeg rs with Some d -> d | None -> 0)
+                  end
+                end
+              | _ -> ())
+            (Block.successors (Func.block f b))
+      done;
+      (* Kahn's algorithm, lowest representative first for stability.
+         If the member graph has a cycle (irreducible control flow),
+         force-release the smallest remaining representative — the
+         layout stays a permutation, merely less tight. *)
+      let ready = ref [] in
+      Hashtbl.iter (fun r d -> if d = 0 then ready := r :: !ready) indeg;
+      let remaining = ref (Hashtbl.length members) in
+      let emitted = Hashtbl.create 16 in
+      let rec emit_member r =
+        if Hashtbl.mem emitted r then ()
+        else emit_member_now r
+      and emit_member_now r =
+        Hashtbl.replace emitted r ();
+        decr remaining;
+        (match Hashtbl.find members r with
+        | `Block b -> order := b :: !order
+        | `Child l -> emit_loop l);
+        List.iter
+          (fun s ->
+            let d = Hashtbl.find indeg s - 1 in
+            Hashtbl.replace indeg s d;
+            if d = 0 then ready := s :: !ready)
+          (match Hashtbl.find_opt edges r with Some l -> l | None -> [])
+      in
+      (* head goes first *)
+      ready := List.filter (fun r -> r <> head) !ready;
+      emit_member head;
+      while !remaining > 0 do
+        match List.sort compare !ready with
+        | r :: rest ->
+          ready := rest;
+          emit_member r
+        | [] ->
+          (* cycle: force the smallest unemitted member *)
+          let forced = ref (-1) in
+          Hashtbl.iter
+            (fun r _ ->
+              if (not (Hashtbl.mem emitted r)) && (!forced < 0 || r < !forced) then forced := r)
+            members;
+          emit_member !forced
+      done
+    in
+    emit_loop 0;
+    Cfg.apply_order f (Array.of_list (List.rev !order))
+  end

@@ -1,0 +1,19 @@
+(** Loop-aware block layout.
+
+    The bytecode translator's liveness algorithm represents lifetimes
+    and loops as contiguous block-label intervals (paper Fig. 10/11).
+    That representation is sound only if every natural loop body
+    occupies a contiguous label range — which a plain reverse
+    postorder does not guarantee (a DFS may interleave a loop's blocks
+    with its exit path). [normalize] renumbers blocks by laying the
+    CFG out recursively along the loop-nesting forest: each loop is
+    emitted as one contiguous unit (header first), and the members of
+    each nesting level are topologically ordered, so all non-back
+    edges still point forward (the order remains a valid RPO).
+
+    Every producer of IR destined for translation must call this
+    (codegen does; tests do). Idempotent. *)
+
+val normalize : Func.t -> unit
+(** Prune unreachable blocks and renumber so that array order is a
+    reverse postorder in which every loop body is contiguous. *)

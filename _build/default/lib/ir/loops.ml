@@ -1,0 +1,151 @@
+type loop = { head : int; first : int; last : int; parent : int; depth : int }
+
+type t = { loops : loop array; inner : int array; head_set : bool array }
+
+let compute (f : Func.t) dom =
+  let n = Func.n_blocks f in
+  let preds = Cfg.predecessors f in
+  (* Back edges b -> h where h dominates b. *)
+  let back_edges = Hashtbl.create 8 in
+  Array.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun s ->
+          if Dom.is_ancestor dom ~ancestor:s b.Block.id then begin
+            let sources =
+              match Hashtbl.find_opt back_edges s with Some l -> l | None -> []
+            in
+            Hashtbl.replace back_edges s (b.Block.id :: sources)
+          end)
+        (Block.successors b))
+    f.Func.blocks;
+  (* Natural loop bodies: walk predecessors from each back-edge source
+     until the head. *)
+  let bodies =
+    Hashtbl.fold
+      (fun head sources acc ->
+        let in_body = Array.make n false in
+        in_body.(head) <- true;
+        let work = ref sources in
+        let rec drain () =
+          match !work with
+          | [] -> ()
+          | b :: rest ->
+            work := rest;
+            if not in_body.(b) then begin
+              in_body.(b) <- true;
+              List.iter (fun p -> if not in_body.(p) then work := p :: !work) preds.(b)
+            end;
+            drain ()
+        in
+        drain ();
+        (head, in_body) :: acc)
+      back_edges []
+  in
+  (* The root pseudo-loop covers the whole function. *)
+  let all = Array.make n true in
+  let bodies = (0, all) :: List.filter (fun (h, _) -> h <> 0) bodies in
+  let size body = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 body in
+  (* Sort by body size descending: the root comes first, parents before
+     children. *)
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (size b) (size a)) bodies |> Array.of_list
+  in
+  let n_loops = Array.length sorted in
+  let sizes = Array.map (fun (_, body) -> size body) sorted in
+  (* innermost membership: later (smaller) loops overwrite earlier ones *)
+  let inner = Array.make n 0 in
+  Array.iteri
+    (fun li (_, body) ->
+      for b = 0 to n - 1 do
+        if body.(b) then inner.(b) <- li
+      done)
+    sorted;
+  (* parent: the smallest strictly-larger loop containing the head *)
+  let parent_of li =
+    if li = 0 then -1
+    else begin
+      let head, _ = sorted.(li) in
+      let best = ref 0 in
+      for lj = 1 to li - 1 do
+        let _, body_j = sorted.(lj) in
+        if body_j.(head) && sizes.(lj) > sizes.(li) then best := lj
+      done;
+      !best
+    end
+  in
+  let parents = Array.init n_loops parent_of in
+  let depths = Array.make n_loops 0 in
+  for li = 1 to n_loops - 1 do
+    depths.(li) <- depths.(parents.(li)) + 1
+  done;
+  let loops =
+    Array.mapi
+      (fun li (head, body) ->
+        let first = ref (n - 1) and last = ref 0 in
+        for b = 0 to n - 1 do
+          if body.(b) then begin
+            if b < !first then first := b;
+            if b > !last then last := b
+          end
+        done;
+        { head; first = !first; last = !last; parent = parents.(li); depth = depths.(li) })
+      sorted
+  in
+  let head_set = Array.make n false in
+  head_set.(0) <- true;
+  Hashtbl.iter (fun h _ -> head_set.(h) <- true) back_edges;
+  { loops; inner; head_set }
+
+let loops t = t.loops
+
+let innermost t b = t.inner.(b)
+
+let loop t i = t.loops.(i)
+
+(* Walk a loop up its ancestor chain until its depth is [target]. *)
+let rec ascend t l target =
+  if t.loops.(l).depth <= target then l else ascend t t.loops.(l).parent target
+
+let lca t a b =
+  let da = t.loops.(a).depth and db = t.loops.(b).depth in
+  let a = ref (if da > db then ascend t a db else a) in
+  let b = ref (if db > da then ascend t b da else b) in
+  while !a <> !b do
+    a := t.loops.(!a).parent;
+    b := t.loops.(!b).parent
+  done;
+  !a
+
+let outermost_below t ~ancestor l =
+  if l = ancestor then ancestor
+  else begin
+    let cur = ref l in
+    while t.loops.(!cur).parent <> ancestor && t.loops.(!cur).parent >= 0 do
+      cur := t.loops.(!cur).parent
+    done;
+    !cur
+  end
+
+let is_loop_head t b = t.head_set.(b)
+
+let contains t li b =
+  (* li is an ancestor-or-self of b's innermost loop *)
+  let rec ascend_to l = l = li || (l >= 0 && ascend_to t.loops.(l).parent) in
+  ascend_to t.inner.(b)
+
+let contiguous t =
+  (* every loop's body size must equal its interval width *)
+  let n = Array.length t.inner in
+  let ok = ref true in
+  Array.iteri
+    (fun li l ->
+      let count = ref 0 in
+      for b = 0 to n - 1 do
+        if contains t li b then incr count
+      done;
+      if !count <> l.last - l.first + 1 then ok := false)
+    t.loops;
+  !ok
+
+let n_loops t = Array.length t.loops

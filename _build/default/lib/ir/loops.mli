@@ -1,0 +1,61 @@
+(** Loop structure discovery — phase 1 of the paper's linear-time
+    liveness algorithm (Fig. 11).
+
+    The whole function body is treated as one pseudo-loop headed by the
+    entry block. A block [h] is a loop head iff some jump edge
+    [b -> h] has [h] dominating [b]. Each loop's body is its natural
+    loop (all blocks reaching a back edge without passing the head);
+    heads with several back edges share one loop.
+
+    For lifetime extension the body is summarised as the label
+    interval [first..last] (min/max RPO label of any body block). When
+    the RPO lays a loop out contiguously — always the case for the
+    structured CFGs a query compiler emits — this is exact; otherwise
+    it covers a superset of the body, which can only lengthen a
+    lifetime, never truncate it, so register allocation stays sound.
+
+    Requires the function to be RPO-ordered. *)
+
+type loop = {
+  head : int;  (** block id of the loop head *)
+  first : int;  (** smallest body-block label *)
+  last : int;  (** largest body-block label *)
+  parent : int;  (** index of the enclosing loop, [-1] for the root *)
+  depth : int;  (** nesting depth, root pseudo-loop = 0 *)
+}
+
+type t
+
+val compute : Func.t -> Dom.t -> t
+
+val loops : t -> loop array
+(** All loops; index 0 is the root pseudo-loop spanning the whole
+    function. *)
+
+val innermost : t -> int -> int
+(** [innermost t b] is the index of the innermost loop whose body
+    contains block [b] (exact, by membership). *)
+
+val loop : t -> int -> loop
+
+val lca : t -> int -> int -> int
+(** Least common ancestor of two loops in the nesting forest — the
+    innermost loop containing both ("C_v" in Fig. 11). *)
+
+val outermost_below : t -> ancestor:int -> int -> int
+(** [outermost_below t ~ancestor l]: the outermost loop on the path
+    from [l] up to (but excluding) [ancestor]; returns [ancestor] when
+    [l = ancestor]. Used to lift a block to "the outermost loop below
+    C_v" (Fig. 11). *)
+
+val is_loop_head : t -> int -> bool
+
+val contains : t -> int -> int -> bool
+(** [contains t li b]: is block [b] in the body of loop [li]? *)
+
+val contiguous : t -> bool
+(** Whether every loop body occupies a contiguous label range — the
+    invariant {!Layout.normalize} establishes and the interval-based
+    liveness requires. *)
+
+val n_loops : t -> int

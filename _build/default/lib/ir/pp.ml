@@ -1,0 +1,109 @@
+open Format
+
+let value fmt = function
+  | Instr.Vreg id -> fprintf fmt "%%%d" id
+  | Instr.Imm i -> fprintf fmt "%Ld" i
+  | Instr.Fimm f -> fprintf fmt "%g" f
+
+let binop_name = function
+  | Instr.Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "sdiv"
+  | Rem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | LShr -> "lshr"
+  | AShr -> "ashr"
+
+let ovf_name = function Instr.OAdd -> "add" | OSub -> "sub" | OMul -> "mul"
+
+let fbinop_name = function Instr.FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+
+let icmp_name = function
+  | Instr.Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+
+let fcmp_name = function
+  | Instr.FEq -> "oeq"
+  | FNe -> "one"
+  | FLt -> "olt"
+  | FLe -> "ole"
+  | FGt -> "ogt"
+  | FGe -> "oge"
+
+let cast_name = function
+  | Instr.Zext -> "zext"
+  | Sext -> "sext"
+  | Trunc -> "trunc"
+  | SiToFp -> "sitofp"
+  | FpToSi -> "fptosi"
+  | Bitcast -> "bitcast"
+
+let instr fmt = function
+  | Instr.Binop { op; ty; dst; a; b } ->
+    fprintf fmt "%%%d = %s %a %a, %a" dst (binop_name op) Types.pp ty value a value b
+  | Instr.OvfFlag { op; ty; dst; a; b } ->
+    fprintf fmt "%%%d = %s.ovf %a %a, %a" dst (ovf_name op) Types.pp ty value a value b
+  | Instr.Fbinop { op; dst; a; b } ->
+    fprintf fmt "%%%d = %s f64 %a, %a" dst (fbinop_name op) value a value b
+  | Instr.Icmp { op; ty; dst; a; b } ->
+    fprintf fmt "%%%d = icmp %s %a %a, %a" dst (icmp_name op) Types.pp ty value a value b
+  | Instr.Fcmp { op; dst; a; b } ->
+    fprintf fmt "%%%d = fcmp %s f64 %a, %a" dst (fcmp_name op) value a value b
+  | Instr.Select { ty; dst; cond; a; b } ->
+    fprintf fmt "%%%d = select %a %a, %a, %a" dst Types.pp ty value cond value a value b
+  | Instr.Cast { op; from_ty; to_ty; dst; v } ->
+    fprintf fmt "%%%d = %s %a %a to %a" dst (cast_name op) Types.pp from_ty value v Types.pp
+      to_ty
+  | Instr.Load { ty; dst; addr } -> fprintf fmt "%%%d = load %a, %a" dst Types.pp ty value addr
+  | Instr.Store { ty; addr; v } -> fprintf fmt "store %a %a, %a" Types.pp ty value v value addr
+  | Instr.Gep { dst; base; index; scale; offset } ->
+    fprintf fmt "%%%d = gep %a + %a*%d + %d" dst value base value index scale offset
+  | Instr.Call { dst; sym; args; _ } ->
+    (match dst with
+    | Some (d, ty) -> fprintf fmt "%%%d = call %a @%s(" d Types.pp ty sym
+    | None -> fprintf fmt "call void @%s(" sym);
+    Array.iteri (fun i a -> fprintf fmt "%s%a" (if i > 0 then ", " else "") value a) args;
+    fprintf fmt ")"
+
+let terminator fmt = function
+  | Instr.Br t -> fprintf fmt "br label %%b%d" t
+  | Instr.CondBr { cond; if_true; if_false } ->
+    fprintf fmt "br %a, label %%b%d, label %%b%d" value cond if_true if_false
+  | Instr.Ret (Some v) -> fprintf fmt "ret %a" value v
+  | Instr.Ret None -> fprintf fmt "ret void"
+  | Instr.Abort msg -> fprintf fmt "abort \"%s\"" msg
+
+let phi fmt (p : Instr.phi) =
+  fprintf fmt "%%%d = phi %a " p.dst Types.pp p.ty;
+  Array.iteri
+    (fun i (blk, v) -> fprintf fmt "%s[%a, %%b%d]" (if i > 0 then ", " else "") value v blk)
+    p.incoming
+
+let func fmt (f : Func.t) =
+  fprintf fmt "define @%s(" f.Func.name;
+  Array.iteri
+    (fun i ty -> fprintf fmt "%s%a %%%d" (if i > 0 then ", " else "") Types.pp ty i)
+    f.Func.params;
+  fprintf fmt ") {@.";
+  Array.iter
+    (fun (b : Block.t) ->
+      fprintf fmt "b%d:@." b.id;
+      Array.iter (fun p -> fprintf fmt "  %a@." phi p) b.phis;
+      Array.iter (fun i -> fprintf fmt "  %a@." instr i) b.instrs;
+      fprintf fmt "  %a@." terminator b.term)
+    f.Func.blocks;
+  fprintf fmt "}@."
+
+let func_to_string f = Format.asprintf "%a" func f

@@ -1,0 +1,13 @@
+(** Human-readable printer for IR functions, in an LLVM-flavoured
+    textual syntax. Used by EXPLAIN, the disassembler tests and
+    debugging. *)
+
+val value : Format.formatter -> Instr.value -> unit
+
+val instr : Format.formatter -> Instr.t -> unit
+
+val terminator : Format.formatter -> Instr.terminator -> unit
+
+val func : Format.formatter -> Func.t -> unit
+
+val func_to_string : Func.t -> string

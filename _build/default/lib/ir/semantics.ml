@@ -1,0 +1,87 @@
+let sext8 v = Int64.shift_right (Int64.shift_left v 56) 56
+
+let sext16 v = Int64.shift_right (Int64.shift_left v 48) 48
+
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+
+let canon ~width v =
+  match width with
+  | 8 -> sext8 v
+  | 16 -> sext16 v
+  | 32 -> sext32 v
+  | 64 -> v
+  | _ -> invalid_arg "Semantics.canon"
+
+let add ~width a b = canon ~width (Int64.add a b)
+
+let sub ~width a b = canon ~width (Int64.sub a b)
+
+let mul ~width a b = canon ~width (Int64.mul a b)
+
+let div ~width a b =
+  if Int64.equal b 0L then Trap.division_by_zero () else canon ~width (Int64.div a b)
+
+let rem ~width a b =
+  if Int64.equal b 0L then Trap.division_by_zero () else canon ~width (Int64.rem a b)
+
+let shl ~width a b = canon ~width (Int64.shift_left a (Int64.to_int b land 63))
+
+let lshr ~width a b =
+  let masked =
+    match width with
+    | 8 -> Int64.logand a 0xFFL
+    | 16 -> Int64.logand a 0xFFFFL
+    | 32 -> Int64.logand a 0xFFFFFFFFL
+    | _ -> a
+  in
+  canon ~width (Int64.shift_right_logical masked (Int64.to_int b land 63))
+
+let fits ~width v = Int64.equal (canon ~width v) v
+
+let add_ovf ~width a b =
+  if width = 64 then begin
+    let r = Int64.add a b in
+    (* same-sign operands with a differently-signed result *)
+    Int64.logand (Int64.logxor a b) Int64.min_int = 0L
+    && Int64.logand (Int64.logxor a r) Int64.min_int <> 0L
+  end
+  else not (fits ~width (Int64.add a b))
+
+let sub_ovf ~width a b =
+  if width = 64 then begin
+    let r = Int64.sub a b in
+    Int64.logand (Int64.logxor a b) Int64.min_int <> 0L
+    && Int64.logand (Int64.logxor a r) Int64.min_int <> 0L
+  end
+  else not (fits ~width (Int64.sub a b))
+
+let mul_ovf ~width a b =
+  if width = 64 then
+    if Int64.equal a 0L then false
+    else begin
+      let r = Int64.mul a b in
+      (not (Int64.equal (Int64.div r a) b))
+      || (Int64.equal a (-1L) && Int64.equal b Int64.min_int)
+      || (Int64.equal b (-1L) && Int64.equal a Int64.min_int)
+    end
+  else not (fits ~width (Int64.mul a b))
+
+let add_chk ~width a b = if add_ovf ~width a b then Trap.overflow () else Int64.add a b
+
+let sub_chk ~width a b = if sub_ovf ~width a b then Trap.overflow () else Int64.sub a b
+
+let mul_chk ~width a b = if mul_ovf ~width a b then Trap.overflow () else Int64.mul a b
+
+let ucmp ~width a b =
+  match width with
+  | 64 -> Int64.unsigned_compare a b
+  | 8 -> Int64.compare (Int64.logand a 0xFFL) (Int64.logand b 0xFFL)
+  | 16 -> Int64.compare (Int64.logand a 0xFFFFL) (Int64.logand b 0xFFFFL)
+  | 32 -> Int64.compare (Int64.logand a 0xFFFFFFFFL) (Int64.logand b 0xFFFFFFFFL)
+  | _ -> invalid_arg "Semantics.ucmp"
+
+let bool_i64 b = if b then 1L else 0L
+
+let fp_of_bits = Int64.float_of_bits
+
+let bits_of_fp = Int64.bits_of_float

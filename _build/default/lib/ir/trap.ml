@@ -1,0 +1,5 @@
+exception Error of string
+
+let overflow () = raise (Error "integer overflow")
+
+let division_by_zero () = raise (Error "division by zero")

@@ -1,0 +1,11 @@
+(** Runtime query errors raised by every execution backend (bytecode
+    interpreter, compiled closures, direct IR evaluation): integer
+    overflow of checked arithmetic, division by zero, explicit
+    aborts. Raising the same exception from all backends keeps them
+    observationally identical. *)
+
+exception Error of string
+
+val overflow : unit -> 'a
+
+val division_by_zero : unit -> 'a

@@ -1,0 +1,92 @@
+exception Ill_formed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let run (f : Func.t) =
+  let n = Func.n_blocks f in
+  if n = 0 then fail "%s: function has no blocks" f.Func.name;
+  (* Unique definitions. *)
+  let defined = Array.make f.Func.n_values false in
+  for p = 0 to Array.length f.Func.params - 1 do
+    defined.(p) <- true
+  done;
+  let define id where =
+    if id < 0 || id >= f.Func.n_values then fail "%s: value %%%d out of range (%s)" f.Func.name id where;
+    if defined.(id) then fail "%s: value %%%d defined twice (%s)" f.Func.name id where;
+    defined.(id) <- true
+  in
+  Array.iter
+    (fun (b : Block.t) ->
+      Array.iter (fun (p : Instr.phi) -> define p.dst (Printf.sprintf "phi in block %d" b.id)) b.phis;
+      Array.iter
+        (fun i ->
+          match Instr.dst_of i with
+          | Some d -> define d (Printf.sprintf "block %d" b.id)
+          | None -> ())
+        b.instrs)
+    f.Func.blocks;
+  (* Every use refers to a defined value; branch targets in range. *)
+  let check_value where = function
+    | Instr.Vreg id ->
+      if id < 0 || id >= f.Func.n_values || not defined.(id) then
+        fail "%s: use of undefined value %%%d (%s)" f.Func.name id where
+    | Instr.Imm _ | Instr.Fimm _ -> ()
+  in
+  let check_target where t =
+    if t < 0 || t >= n then fail "%s: branch to missing block %d (%s)" f.Func.name t where
+  in
+  (* Validate all branch targets before computing predecessors, which
+     indexes by target. *)
+  Array.iter
+    (fun (b : Block.t) ->
+      let where = Printf.sprintf "block %d" b.id in
+      match b.Block.term with
+      | Instr.Br t -> check_target where t
+      | Instr.CondBr { if_true; if_false; _ } ->
+        check_target where if_true;
+        check_target where if_false
+      | Instr.Ret _ | Instr.Abort _ -> ())
+    f.Func.blocks;
+  let preds = Cfg.predecessors f in
+  Array.iter
+    (fun (b : Block.t) ->
+      let where = Printf.sprintf "block %d" b.id in
+      if b.id < 0 || b.id >= n || Func.block f b.id != b then
+        fail "%s: block id %d does not match its index" f.Func.name b.id;
+      Array.iter
+        (fun (p : Instr.phi) ->
+          let incoming_preds = Array.to_list p.incoming |> List.map fst |> List.sort compare in
+          let actual = List.sort compare preds.(b.id) in
+          if incoming_preds <> actual then
+            fail "%s: phi %%%d in block %d: incoming %s but predecessors %s" f.Func.name p.dst
+              b.id
+              (String.concat "," (List.map string_of_int incoming_preds))
+              (String.concat "," (List.map string_of_int actual));
+          Array.iter (fun (_, v) -> check_value where v) p.incoming)
+        b.phis;
+      Array.iter (fun i -> List.iter (check_value where) (Instr.operands i)) b.instrs;
+      (match b.term with
+      | Instr.Br t -> check_target where t
+      | Instr.CondBr { cond; if_true; if_false } ->
+        check_value where cond;
+        check_target where if_true;
+        check_target where if_false
+      | Instr.Ret (Some v) -> check_value where v
+      | Instr.Ret None | Instr.Abort _ -> ()))
+    f.Func.blocks;
+  (* Type sanity for register destinations. *)
+  Array.iter
+    (fun (b : Block.t) ->
+      Array.iter
+        (fun i ->
+          match (Instr.dst_of i, Instr.result_ty i) with
+          | Some d, Some ty ->
+            if not (Types.equal (Func.ty_of f d) ty) then
+              fail "%s: value %%%d declared %s but instruction yields %s" f.Func.name d
+                (Types.to_string (Func.ty_of f d))
+                (Types.to_string ty)
+          | _ -> ())
+        b.instrs)
+    f.Func.blocks
+
+let check f = match run f with () -> Ok () | exception Ill_formed m -> Error m

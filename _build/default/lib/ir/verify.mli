@@ -1,0 +1,13 @@
+(** Structural and SSA well-formedness checks.
+
+    Run in tests and (cheaply) after code generation: every branch
+    target exists, every used value is defined exactly once, operand
+    types agree with instruction types, and φ incoming edges exactly
+    match the block's predecessors. *)
+
+exception Ill_formed of string
+
+val run : Func.t -> unit
+(** @raise Ill_formed with a diagnostic on the first violation. *)
+
+val check : Func.t -> (unit, string) result

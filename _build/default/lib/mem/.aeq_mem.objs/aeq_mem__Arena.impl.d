@@ -1,0 +1,1 @@
+lib/mem/arena.ml: Array Bytes Char Int64 Mutex Stdlib

@@ -1,0 +1,133 @@
+type t = {
+  chunk_size : int;
+  chunks : Bytes.t array; (* fixed-capacity table; slots filled under lock *)
+  mutable n_chunks : int;
+  mutable total_used : int;
+  lock : Mutex.t;
+}
+
+type ptr = int
+
+type allocator = {
+  arena : t;
+  mutable chunk : int; (* index of the chunk we bump into *)
+  mutable cursor : int;
+  mutable limit : int;
+  mutable generation : int;
+}
+
+let null = 0
+
+let offset_bits = 32
+
+let offset_mask = (1 lsl offset_bits) - 1
+
+let encode chunk off = (chunk lsl offset_bits) lor off
+
+let max_chunks = 1 lsl 16
+
+let create ?(chunk_size = 1 lsl 20) () =
+  let chunks = Array.make max_chunks Bytes.empty in
+  chunks.(0) <- Bytes.make chunk_size '\000';
+  { chunk_size; chunks; n_chunks = 1; total_used = 0; lock = Mutex.create () }
+
+(* Append a chunk of at least [size] bytes; returns its index. Slots
+   are filled left to right under the lock; a pointer into a chunk can
+   only reach another thread through a synchronising structure (the
+   scheduler or a locked hash table), which orders the slot write
+   before any access. *)
+let add_chunk t size =
+  Mutex.lock t.lock;
+  let n = t.n_chunks in
+  if n >= max_chunks then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Arena: chunk table exhausted"
+  end;
+  t.chunks.(n) <- Bytes.make size '\000';
+  t.n_chunks <- n + 1;
+  Mutex.unlock t.lock;
+  n
+
+let allocator t =
+  (* Fresh allocators start with no chunk; the first alloc grabs one.
+     Offset 0 of chunk 0 is never handed out (null pointer). *)
+  { arena = t; chunk = -1; cursor = 0; limit = 0; generation = 0 }
+
+let align_up v align = (v + align - 1) land lnot (align - 1)
+
+let alloc a ?(align = 8) n =
+  assert (n >= 0 && align > 0 && align land (align - 1) = 0);
+  let t = a.arena in
+  let start = align_up a.cursor align in
+  if a.chunk >= 0 && start + n <= a.limit then begin
+    a.cursor <- start + n;
+    t.total_used <- t.total_used + n;
+    encode a.chunk start
+  end
+  else begin
+    let size = Stdlib.max t.chunk_size (n + align + 16) in
+    let idx = add_chunk t size in
+    (* Never return offset 0: pointer 0 must stay null even though
+       chunk indices > 0 would disambiguate; being strict is cheap. *)
+    let start = align_up 8 align in
+    a.chunk <- idx;
+    a.cursor <- start + n;
+    a.limit <- size;
+    t.total_used <- t.total_used + n;
+    encode idx start
+  end
+
+let used t = t.total_used
+
+let reset t =
+  Mutex.lock t.lock;
+  for i = 1 to t.n_chunks - 1 do
+    t.chunks.(i) <- Bytes.empty
+  done;
+  Bytes.fill t.chunks.(0) 0 (Bytes.length t.chunks.(0)) '\000';
+  t.n_chunks <- 1;
+  t.total_used <- 0;
+  Mutex.unlock t.lock
+
+let mark_chunks t = t.n_chunks
+
+let truncate t mark =
+  Mutex.lock t.lock;
+  if mark >= 1 && mark <= t.n_chunks then begin
+    for i = mark to t.n_chunks - 1 do
+      t.chunks.(i) <- Bytes.empty
+    done;
+    t.n_chunks <- mark
+  end;
+  Mutex.unlock t.lock
+
+let[@inline] buf t p = Array.unsafe_get t.chunks (p lsr offset_bits)
+
+let[@inline] off p = p land offset_mask
+
+let get_i8 t p = Char.code (Bytes.unsafe_get (buf t p) (off p))
+
+let set_i8 t p v = Bytes.unsafe_set (buf t p) (off p) (Char.unsafe_chr (v land 0xff))
+
+let get_i16 t p = Bytes.get_uint16_ne (buf t p) (off p)
+
+let set_i16 t p v = Bytes.set_uint16_ne (buf t p) (off p) (v land 0xffff)
+
+let get_i32 t p = Bytes.get_int32_ne (buf t p) (off p)
+
+let set_i32 t p v = Bytes.set_int32_ne (buf t p) (off p) v
+
+let get_i64 t p = Bytes.get_int64_ne (buf t p) (off p)
+
+let set_i64 t p v = Bytes.set_int64_ne (buf t p) (off p) v
+
+let get_f64 t p = Int64.float_of_bits (Bytes.get_int64_ne (buf t p) (off p))
+
+let set_f64 t p v = Bytes.set_int64_ne (buf t p) (off p) (Int64.bits_of_float v)
+
+let blit t ~src ~dst ~len =
+  Bytes.blit (buf t src) (off src) (buf t dst) (off dst) len
+
+let fill_zero t p len = Bytes.fill (buf t p) (off p) len '\000'
+
+let chunk_of t p = (buf t p, off p)

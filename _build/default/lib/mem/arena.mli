@@ -1,0 +1,92 @@
+(** Chunked byte arena backing all query-visible memory.
+
+    The paper's generated machine code operates on raw x86 memory. We
+    reproduce that model with a process of chunks of bytes: IR-level
+    pointers are 63-bit integers encoding [(chunk_index << 32) | byte_
+    offset]. Columns, hash-table entries, aggregation slots and output
+    rows all live here, so the bytecode interpreter and the compiled
+    backend observe bit-identical state — the invariant that makes
+    mid-pipeline mode switching sound.
+
+    Chunks never move once allocated, which makes pointers stable under
+    concurrent allocation (worker threads allocate hash-table entries
+    while others read columns). Every single allocation is contiguous
+    inside one chunk, so generated pointer arithmetic (GEP) never
+    crosses a chunk boundary.
+
+    An {!Arena.t} is the shared chunk store; cheap single-threaded
+    {!allocator}s bump-allocate inside chunks they own and take new
+    chunks from the store under a mutex. *)
+
+type t
+
+type ptr = int
+(** Encoded pointer; [0] is the null pointer (never allocated). *)
+
+type allocator
+
+val null : ptr
+
+val create : ?chunk_size:int -> unit -> t
+(** Fresh arena. [chunk_size] (default 1 MiB) is the granularity at
+    which allocators take memory; larger allocations get dedicated
+    chunks. *)
+
+val allocator : t -> allocator
+(** A new bump allocator. Not thread-safe; create one per worker. *)
+
+val alloc : allocator -> ?align:int -> int -> ptr
+(** [alloc a n] reserves [n] zeroed bytes aligned to [align]
+    (default 8). *)
+
+val used : t -> int
+(** Total bytes handed to allocators (upper bound on live data). *)
+
+val reset : t -> unit
+(** Drop all chunks except the first and invalidate outstanding
+    allocators. Only call between queries. *)
+
+val mark_chunks : t -> int
+(** Current chunk count; pass to [truncate] to release everything
+    allocated afterwards. *)
+
+val truncate : t -> int -> unit
+(** [truncate t mark] drops every chunk added after [mark_chunks]
+    returned [mark]. Earlier allocations (the loaded database) stay
+    valid; allocators created after the mark must be discarded. Used
+    to reclaim per-query scratch between queries. *)
+
+(** {1 Typed access}
+
+    Native endianness. No bounds checks beyond [Bytes]'s; generated
+    code is trusted the same way machine code is. *)
+
+val get_i8 : t -> ptr -> int
+
+val set_i8 : t -> ptr -> int -> unit
+
+val get_i16 : t -> ptr -> int
+
+val set_i16 : t -> ptr -> int -> unit
+
+val get_i32 : t -> ptr -> int32
+
+val set_i32 : t -> ptr -> int32 -> unit
+
+val get_i64 : t -> ptr -> int64
+
+val set_i64 : t -> ptr -> int64 -> unit
+
+val get_f64 : t -> ptr -> float
+
+val set_f64 : t -> ptr -> float -> unit
+
+val blit : t -> src:ptr -> dst:ptr -> len:int -> unit
+(** Copy [len] bytes between (possibly different) chunks. *)
+
+val fill_zero : t -> ptr -> int -> unit
+
+val chunk_of : t -> ptr -> Bytes.t * int
+(** [chunk_of t p] is the backing buffer and the byte offset of [p]
+    within it. Lets hot loops cache the buffer for a column they
+    stream over. *)

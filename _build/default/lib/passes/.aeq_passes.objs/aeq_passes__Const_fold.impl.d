@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Array Block Func Instr Int64 List Semantics Subst Types

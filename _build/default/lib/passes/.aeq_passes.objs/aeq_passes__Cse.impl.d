@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Array Block Dom Func Hashtbl Instr List Subst

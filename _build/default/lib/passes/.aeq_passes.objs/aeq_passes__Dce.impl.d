@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Array Block Func Instr List

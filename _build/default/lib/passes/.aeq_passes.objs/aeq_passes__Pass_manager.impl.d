@@ -1,0 +1,1 @@
+lib/passes/pass_manager.ml: Const_fold Cse Dce Func Layout Printf Sched Simplify_cfg Verify

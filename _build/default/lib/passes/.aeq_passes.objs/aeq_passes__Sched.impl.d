@@ -1,0 +1,1 @@
+lib/passes/sched.ml: Array Block Func Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/passes/sched.mli: Func

@@ -1,0 +1,1 @@
+lib/passes/simplify_cfg.ml: Array Block Cfg Func Instr Int64 List

@@ -1,0 +1,1 @@
+lib/passes/subst.ml: Array Block Func Instr List

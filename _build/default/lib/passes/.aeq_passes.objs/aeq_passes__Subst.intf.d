@@ -1,0 +1,1 @@
+lib/passes/subst.mli: Func Instr

@@ -1,0 +1,217 @@
+module S = Semantics
+
+let width_of = function
+  | Types.I1 | Types.I8 -> 8
+  | Types.I16 -> 16
+  | Types.I32 -> 32
+  | Types.I64 | Types.Ptr -> 64
+  | Types.F64 -> 64
+
+let fold_binop (op : Instr.binop) ty a b =
+  let w = width_of ty in
+  match op with
+  | Instr.Add -> Some (S.add ~width:w a b)
+  | Sub -> Some (S.sub ~width:w a b)
+  | Mul -> Some (S.mul ~width:w a b)
+  | Div -> if Int64.equal b 0L then None else Some (S.div ~width:w a b)
+  | Rem -> if Int64.equal b 0L then None else Some (S.rem ~width:w a b)
+  | And -> Some (Int64.logand a b)
+  | Or -> Some (Int64.logor a b)
+  | Xor -> Some (Int64.logxor a b)
+  | Shl -> Some (S.shl ~width:w a b)
+  | LShr -> Some (S.lshr ~width:w a b)
+  | AShr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+
+let fold_icmp (op : Instr.icmp) ty a b =
+  let w = width_of ty in
+  let r =
+    match op with
+    | Instr.Eq -> Int64.equal a b
+    | Ne -> not (Int64.equal a b)
+    | Slt -> Int64.compare a b < 0
+    | Sle -> Int64.compare a b <= 0
+    | Sgt -> Int64.compare a b > 0
+    | Sge -> Int64.compare a b >= 0
+    | Ult -> S.ucmp ~width:w a b < 0
+    | Ule -> S.ucmp ~width:w a b <= 0
+    | Ugt -> S.ucmp ~width:w a b > 0
+    | Uge -> S.ucmp ~width:w a b >= 0
+  in
+  S.bool_i64 r
+
+let lit = function
+  | Instr.Imm n -> Some n
+  | Instr.Fimm x -> Some (Int64.bits_of_float x)
+  | Instr.Vreg _ -> None
+
+(* Algebraic identities that are safe for all operand values. *)
+let identity (op : Instr.binop) a b =
+  match (op, a, b) with
+  | Instr.Add, v, Instr.Imm 0L | Instr.Add, Instr.Imm 0L, v -> Some v
+  | Instr.Sub, v, Instr.Imm 0L -> Some v
+  | Instr.Mul, _, Instr.Imm 0L | Instr.Mul, Instr.Imm 0L, _ -> Some (Instr.Imm 0L)
+  | Instr.Mul, v, Instr.Imm 1L | Instr.Mul, Instr.Imm 1L, v -> Some v
+  | Instr.And, _, Instr.Imm 0L | Instr.And, Instr.Imm 0L, _ -> Some (Instr.Imm 0L)
+  | Instr.Or, v, Instr.Imm 0L | Instr.Or, Instr.Imm 0L, v -> Some v
+  | Instr.Xor, v, Instr.Imm 0L | Instr.Xor, Instr.Imm 0L, v -> Some v
+  | (Instr.Shl | Instr.LShr | Instr.AShr), v, Instr.Imm 0L -> Some v
+  | _ -> None
+
+let run (f : Func.t) =
+  let subst = Subst.create f in
+  let changed = ref false in
+  let fold_instr (i : Instr.t) =
+    match i with
+    | Instr.Binop { op; ty; dst; a; b } -> (
+      match (lit a, lit b) with
+      | Some x, Some y -> (
+        match fold_binop op ty x y with
+        | Some r ->
+          Subst.set subst dst (Instr.Imm r);
+          None
+        | None -> Some i)
+      | _ -> (
+        match identity op a b with
+        | Some v ->
+          Subst.set subst dst v;
+          None
+        | None -> Some i))
+    | Instr.Icmp { op; ty; dst; a; b } -> (
+      match (lit a, lit b) with
+      | Some x, Some y ->
+        Subst.set subst dst (Instr.Imm (fold_icmp op ty x y));
+        None
+      | _ -> if Instr.value_equal a b then begin
+          (* x==x is true, x<x is false, for non-float types *)
+          match op with
+          | Instr.Eq | Instr.Sle | Instr.Sge | Instr.Ule | Instr.Uge ->
+            Subst.set subst dst (Instr.Imm 1L);
+            None
+          | Instr.Ne | Instr.Slt | Instr.Sgt | Instr.Ult | Instr.Ugt ->
+            Subst.set subst dst (Instr.Imm 0L);
+            None
+        end
+        else Some i)
+    | Instr.Select { dst; cond; a; b; _ } -> (
+      match lit cond with
+      | Some c ->
+        Subst.set subst dst (if Int64.equal c 0L then b else a);
+        None
+      | None ->
+        if Instr.value_equal a b then begin
+          Subst.set subst dst a;
+          None
+        end
+        else Some i)
+    | Instr.Cast { op; from_ty; to_ty; dst; v } -> (
+      match lit v with
+      | Some x ->
+        let r =
+          match op with
+          | Instr.Bitcast -> Some x
+          | Instr.SiToFp -> Some (Int64.bits_of_float (Int64.to_float x))
+          | Instr.FpToSi -> Some (Int64.of_float (Int64.float_of_bits x))
+          | Instr.Zext -> (
+            match from_ty with
+            | Types.I1 | Types.I64 | Types.Ptr -> Some x
+            | Types.I8 -> Some (Int64.logand x 0xFFL)
+            | Types.I16 -> Some (Int64.logand x 0xFFFFL)
+            | Types.I32 -> Some (Int64.logand x 0xFFFFFFFFL)
+            | Types.F64 -> None)
+          | Instr.Sext -> (
+            match from_ty with Types.I1 -> Some (Int64.neg x) | _ -> Some x)
+          | Instr.Trunc -> (
+            match to_ty with
+            | Types.I1 -> Some (Int64.logand x 1L)
+            | Types.I8 -> Some (S.sext8 x)
+            | Types.I16 -> Some (S.sext16 x)
+            | Types.I32 -> Some (S.sext32 x)
+            | Types.I64 | Types.Ptr -> Some x
+            | Types.F64 -> None)
+        in
+        (match r with
+        | Some r ->
+          Subst.set subst dst (Instr.Imm r);
+          None
+        | None -> Some i)
+      | None -> Some i)
+    | Instr.Gep { dst; base; index; scale; offset } -> (
+      match (lit base, lit index) with
+      | Some b, Some ix ->
+        Subst.set subst dst
+          (Instr.Imm (Int64.add b (Int64.of_int ((Int64.to_int ix * scale) + offset))));
+        None
+      | _ -> Some i)
+    | Instr.Fbinop { op; dst; a; b } -> (
+      match (lit a, lit b) with
+      | Some x, Some y ->
+        let fx = Int64.float_of_bits x and fy = Int64.float_of_bits y in
+        let r =
+          match op with
+          | Instr.FAdd -> fx +. fy
+          | FSub -> fx -. fy
+          | FMul -> fx *. fy
+          | FDiv -> fx /. fy
+        in
+        Subst.set subst dst (Instr.Fimm r);
+        None
+      | _ -> Some i)
+    | Instr.Fcmp { op; dst; a; b } -> (
+      match (lit a, lit b) with
+      | Some x, Some y ->
+        let fx = Int64.float_of_bits x and fy = Int64.float_of_bits y in
+        let r =
+          match op with
+          | Instr.FEq -> fx = fy
+          | FNe -> fx <> fy
+          | FLt -> fx < fy
+          | FLe -> fx <= fy
+          | FGt -> fx > fy
+          | FGe -> fx >= fy
+        in
+        Subst.set subst dst (Instr.Imm (S.bool_i64 r));
+        None
+      | _ -> Some i)
+    | Instr.OvfFlag _ | Instr.Load _ | Instr.Store _ | Instr.Call _ -> Some i
+  in
+  Array.iter
+    (fun (b : Block.t) ->
+      let kept =
+        Array.to_list b.Block.instrs
+        |> List.filter_map (fun i ->
+               (* resolve operands through pending substitutions first so
+                  chains fold in one round *)
+               let i = Instr.with_operands i (List.map (Subst.resolve subst) (Instr.operands i)) in
+               match fold_instr i with
+               | Some i -> Some i
+               | None ->
+                 changed := true;
+                 None)
+      in
+      b.Block.instrs <- Array.of_list kept)
+    f.Func.blocks;
+  Subst.apply subst f;
+  (* φ nodes whose incomings are all the same operand collapse. *)
+  let phi_subst = Subst.create f in
+  Array.iter
+    (fun (b : Block.t) ->
+      let kept =
+        Array.to_list b.Block.phis
+        |> List.filter_map (fun (p : Instr.phi) ->
+               match Array.to_list p.incoming with
+               | (_, v0) :: rest
+                 when List.for_all (fun (_, v) -> Instr.value_equal v v0) rest
+                      && not
+                           (List.exists
+                              (fun (_, v) -> Instr.value_equal v (Instr.Vreg p.dst))
+                              ((0, v0) :: rest))
+                      && not (Instr.value_equal v0 (Instr.Vreg p.dst)) ->
+                 Subst.set phi_subst p.dst v0;
+                 changed := true;
+                 None
+               | _ -> Some p)
+      in
+      b.Block.phis <- Array.of_list kept)
+    f.Func.blocks;
+  Subst.apply phi_subst f;
+  !changed

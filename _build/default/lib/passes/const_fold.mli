@@ -1,0 +1,11 @@
+(** Constant folding and algebraic simplification.
+
+    Folds pure instructions whose operands are all literals, plus a
+    handful of safe identities (x+0, x*1, x*0, x&0, x|0, select of
+    equal arms, casts of literals). Never folds operations that could
+    trap at runtime (division by a zero literal, checked arithmetic) —
+    those keep their runtime behaviour.
+
+    Returns [true] if anything changed. *)
+
+val run : Func.t -> bool

@@ -1,0 +1,54 @@
+(* Structural keys: the instruction with its destination masked to 0,
+   commutative operands normalised. Instructions are pure data, so
+   polymorphic hashing/equality is exact. *)
+let key_of (i : Instr.t) : Instr.t option =
+  match i with
+  | Instr.Load _ | Instr.Store _ | Instr.Call _ -> None
+  | Instr.Binop ({ op; a; b; _ } as r) ->
+    let a, b =
+      match op with
+      | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor ->
+        if compare a b <= 0 then (a, b) else (b, a)
+      | Instr.Sub | Instr.Div | Instr.Rem | Instr.Shl | Instr.LShr | Instr.AShr -> (a, b)
+    in
+    Some (Instr.Binop { r with dst = 0; a; b })
+  | Instr.OvfFlag _ | Instr.Fbinop _ | Instr.Icmp _ | Instr.Fcmp _ | Instr.Select _
+  | Instr.Cast _ | Instr.Gep _ ->
+    Some (Instr.with_dst i 0)
+
+let run (f : Func.t) =
+  let dom = Dom.compute f in
+  let subst = Subst.create f in
+  let table : (Instr.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let changed = ref false in
+  (* DFS over the dominator tree; entries added in a block are removed
+     when backtracking (scoped table). *)
+  let rec visit blk_id =
+    let b = Func.block f blk_id in
+    let added = ref [] in
+    let kept =
+      Array.to_list b.Block.instrs
+      |> List.filter_map (fun i ->
+             let i =
+               Instr.with_operands i (List.map (Subst.resolve subst) (Instr.operands i))
+             in
+             match (key_of i, Instr.dst_of i) with
+             | Some k, Some d -> (
+               match Hashtbl.find_opt table k with
+               | Some prior ->
+                 Subst.set subst d (Instr.Vreg prior);
+                 changed := true;
+                 None
+               | None ->
+                 Hashtbl.add table k d;
+                 added := k :: !added;
+                 Some i)
+             | _ -> Some i)
+    in
+    b.Block.instrs <- Array.of_list kept;
+    List.iter visit (Dom.children dom blk_id);
+    List.iter (Hashtbl.remove table) !added
+  in
+  visit 0;
+  Subst.apply subst f;
+  !changed

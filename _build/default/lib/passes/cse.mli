@@ -1,0 +1,11 @@
+(** Dominator-scoped common-subexpression elimination.
+
+    Walks the dominator tree with a scoped hash table keyed on
+    (opcode, type, operands); a pure instruction whose key was already
+    defined in a dominating position is replaced by the earlier value.
+    Loads, stores and calls are never touched (no memory dependence
+    analysis); overflow flags and GEPs are pure and participate.
+
+    Returns [true] if anything changed. *)
+
+val run : Func.t -> bool

@@ -1,0 +1,48 @@
+let run (f : Func.t) =
+  let changed = ref false in
+  let round () =
+    let uses = Array.make f.Func.n_values 0 in
+    let count = function
+      | Instr.Vreg v -> uses.(v) <- uses.(v) + 1
+      | Instr.Imm _ | Instr.Fimm _ -> ()
+    in
+    Array.iter
+      (fun (b : Block.t) ->
+        Array.iter
+          (fun (p : Instr.phi) -> Array.iter (fun (_, v) -> count v) p.incoming)
+          b.Block.phis;
+        Array.iter (fun i -> List.iter count (Instr.operands i)) b.Block.instrs;
+        match b.Block.term with
+        | Instr.CondBr { cond; _ } -> count cond
+        | Instr.Ret (Some v) -> count v
+        | Instr.Br _ | Instr.Ret None | Instr.Abort _ -> ())
+      f.Func.blocks;
+    let removed = ref false in
+    Array.iter
+      (fun (b : Block.t) ->
+        let keep_instr i =
+          Instr.has_side_effect i
+          || match Instr.dst_of i with Some d -> uses.(d) > 0 | None -> true
+        in
+        let n0 = Array.length b.Block.instrs in
+        b.Block.instrs <- Array.of_list (List.filter keep_instr (Array.to_list b.Block.instrs));
+        if Array.length b.Block.instrs <> n0 then removed := true;
+        (* a φ used only by itself is dead too *)
+        let keep_phi (p : Instr.phi) =
+          let self_uses =
+            Array.to_list p.incoming
+            |> List.filter (fun (_, v) -> Instr.value_equal v (Instr.Vreg p.dst))
+            |> List.length
+          in
+          uses.(p.dst) > self_uses
+        in
+        let p0 = Array.length b.Block.phis in
+        b.Block.phis <- Array.of_list (List.filter keep_phi (Array.to_list b.Block.phis));
+        if Array.length b.Block.phis <> p0 then removed := true)
+      f.Func.blocks;
+    !removed
+  in
+  while round () do
+    changed := true
+  done;
+  !changed

@@ -1,0 +1,7 @@
+(** Dead-code elimination: removes pure instructions and φ nodes whose
+    results are never used, iterating until a fixpoint so chains of
+    dead values disappear. Stores, calls and terminators are roots.
+
+    Returns [true] if anything was removed. *)
+
+val run : Func.t -> bool

@@ -1,0 +1,34 @@
+type level = O0 | O2
+
+let max_rounds = 4
+
+let optimize ?(check = false) level (f : Func.t) =
+  match level with
+  | O0 -> ()
+  | O2 ->
+    let verify_after name =
+      if check then
+        match Verify.check f with
+        | Ok () -> ()
+        | Error m -> invalid_arg (Printf.sprintf "pass %s broke %s: %s" name f.Func.name m)
+    in
+    let rec rounds n =
+      if n > 0 then begin
+        let c1 = Const_fold.run f in
+        verify_after "const_fold";
+        let c2 = Cse.run f in
+        verify_after "cse";
+        let c3 = Simplify_cfg.run f in
+        (* simplify_cfg can orphan blocks; re-establish the layout
+           invariants before anything recomputes dominators *)
+        Layout.normalize f;
+        verify_after "simplify_cfg";
+        let c4 = Dce.run f in
+        verify_after "dce";
+        if c1 || c2 || c3 || c4 then rounds (n - 1)
+      end
+    in
+    rounds max_rounds;
+    ignore (Sched.run f);
+    Layout.normalize f;
+    verify_after "sched"

@@ -1,0 +1,16 @@
+(** Optimization pipeline driver, mirroring the paper's two compiler
+    configurations: unoptimized compilation runs no IR passes at all
+    (LLVM fast-isel style), optimized compilation runs the hand-picked
+    pass list HyPer uses — "peephole optimizations, reassociate
+    expressions, common subexpression elimination, control flow graph
+    simplification, aggressive dead code elimination" — here:
+    constant folding + identities, dominator-scoped CSE, CFG
+    simplification and DCE iterated to a fixpoint, followed by the
+    (quadratic) block scheduler. *)
+
+type level = O0 | O2
+
+val optimize : ?check:bool -> level -> Func.t -> unit
+(** Run the pipeline in place. The function is re-laid-out
+    ({!Layout.normalize}) afterwards. [check] (default false) verifies
+    well-formedness after every pass — used in tests. *)

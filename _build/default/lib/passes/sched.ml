@@ -1,0 +1,82 @@
+(* Instructions that must keep their relative order: memory accesses,
+   calls, and operations that can trap (a division moved across a
+   store would change which effects precede the trap). *)
+let is_ordered = function
+  | Instr.Load _ | Instr.Store _ | Instr.Call _ -> true
+  | Instr.Binop { op = Instr.Div | Instr.Rem; _ } -> true
+  | _ -> false
+
+let run (f : Func.t) =
+  let changed = ref false in
+  Array.iter
+    (fun (b : Block.t) ->
+      let instrs = b.Block.instrs in
+      let n = Array.length instrs in
+      if n > 1 then begin
+        (* def position within the block *)
+        let def_at = Hashtbl.create (2 * n) in
+        Array.iteri
+          (fun i ins ->
+            match Instr.dst_of ins with Some d -> Hashtbl.replace def_at d i | None -> ())
+          instrs;
+        (* deps.(j) = indices that must precede j *)
+        let deps = Array.make n [] in
+        let last_mem = ref (-1) in
+        for j = 0 to n - 1 do
+          List.iter
+            (fun v ->
+              match v with
+              | Instr.Vreg r -> (
+                match Hashtbl.find_opt def_at r with
+                | Some i when i < j -> deps.(j) <- i :: deps.(j)
+                | _ -> ())
+              | Instr.Imm _ | Instr.Fimm _ -> ())
+            (Instr.operands instrs.(j));
+          if is_ordered instrs.(j) then begin
+            if !last_mem >= 0 then deps.(j) <- !last_mem :: deps.(j);
+            last_mem := j
+          end
+        done;
+        (* critical-path height *)
+        let height = Array.make n 1 in
+        let succs = Array.make n [] in
+        for j = 0 to n - 1 do
+          List.iter (fun i -> succs.(i) <- j :: succs.(i)) deps.(j)
+        done;
+        for j = n - 1 downto 0 do
+          List.iter (fun s -> if height.(s) + 1 > height.(j) then height.(j) <- height.(s) + 1) succs.(j)
+        done;
+        (* O(n^2) list scheduling: prefer a ready consumer of the
+           value just defined (keeps producer/consumer pairs adjacent,
+           which both helps register pressure and preserves the
+           bytecode translator's fusion opportunities), else the
+           greatest critical-path height (ties: original order). *)
+        let indeg = Array.map List.length deps in
+        let scheduled = Array.make n false in
+        let order = Array.make n 0 in
+        let last = ref (-1) in
+        for slot = 0 to n - 1 do
+          let best = ref (-1) in
+          let chained = ref (-1) in
+          for j = 0 to n - 1 do
+            if (not scheduled.(j)) && indeg.(j) = 0 then begin
+              if !best < 0 || height.(j) > height.(!best) then best := j;
+              if !last >= 0 && !chained < 0 && List.mem !last deps.(j) then chained := j
+            end
+          done;
+          let pick = if !chained >= 0 then !chained else !best in
+          assert (pick >= 0);
+          scheduled.(pick) <- true;
+          order.(slot) <- pick;
+          last := pick;
+          List.iter (fun s -> indeg.(s) <- indeg.(s) - 1) succs.(pick)
+        done;
+        let any_moved = ref false in
+        Array.iteri (fun slot j -> if slot <> j then any_moved := true) order;
+        if !any_moved then begin
+          b.Block.instrs <- Array.map (fun j -> instrs.(j)) order;
+          changed := true
+        end
+      end)
+    f.Func.blocks;
+  !changed

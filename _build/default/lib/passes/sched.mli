@@ -1,0 +1,14 @@
+(** Within-block list scheduler.
+
+    Reorders each block's instructions by critical-path height over
+    the local dependence graph (def-use edges; memory operations and
+    calls keep their relative order via chain edges). Semantics are
+    preserved exactly; the point in this reproduction is fidelity of
+    the *compile-time* profile: list scheduling's ready-list scan is
+    O(n²) in block size, the super-linear behaviour that makes
+    optimized compilation of machine-generated mega-queries explode
+    (paper Fig. 15) while bytecode translation stays linear.
+
+    Returns [true] if any instruction moved. *)
+
+val run : Func.t -> bool

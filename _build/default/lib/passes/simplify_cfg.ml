@@ -1,0 +1,66 @@
+(* Drop the φ incoming edge from [pred] in block [target]. *)
+let drop_phi_edge (f : Func.t) ~target ~pred =
+  let b = Func.block f target in
+  b.Block.phis <-
+    Array.map
+      (fun (p : Instr.phi) ->
+        {
+          p with
+          Instr.incoming = Array.of_list (Array.to_list p.incoming |> List.filter (fun (q, _) -> q <> pred));
+        })
+      b.Block.phis
+
+let run (f : Func.t) =
+  let changed = ref false in
+  (* 1. constant conditions *)
+  Array.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with
+      | Instr.CondBr { cond = Instr.Imm c; if_true; if_false } ->
+        let taken, dropped = if Int64.equal c 0L then (if_false, if_true) else (if_true, if_false) in
+        if dropped <> taken then drop_phi_edge f ~target:dropped ~pred:b.Block.id;
+        b.Block.term <- Instr.Br taken;
+        changed := true
+      | Instr.CondBr { cond = _; if_true; if_false } when if_true = if_false ->
+        let has_phis = Array.length (Func.block f if_true).Block.phis > 0 in
+        if not has_phis then begin
+          b.Block.term <- Instr.Br if_true;
+          changed := true
+        end
+      | _ -> ())
+    f.Func.blocks;
+  (* 2. merge straight-line pairs *)
+  let preds = Cfg.predecessors f in
+  Array.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with
+      | Instr.Br t
+        when t <> b.Block.id
+             && (match preds.(t) with [ p ] -> p = b.Block.id | _ -> false)
+             && Array.length (Func.block f t).Block.phis = 0 ->
+        let tb = Func.block f t in
+        b.Block.instrs <- Array.append b.Block.instrs tb.Block.instrs;
+        b.Block.term <- tb.Block.term;
+        (* successor φs referring to [t] must now refer to [b] *)
+        List.iter
+          (fun s ->
+            let sb = Func.block f s in
+            sb.Block.phis <-
+              Array.map
+                (fun (p : Instr.phi) ->
+                  {
+                    p with
+                    Instr.incoming =
+                      Array.map
+                        (fun (q, v) -> ((if q = t then b.Block.id else q), v))
+                        p.incoming;
+                  })
+                sb.Block.phis)
+          (Block.successors tb);
+        (* orphan [t] so layout prunes it *)
+        tb.Block.instrs <- [||];
+        tb.Block.term <- Instr.Ret None;
+        changed := true
+      | _ -> ())
+    f.Func.blocks;
+  !changed

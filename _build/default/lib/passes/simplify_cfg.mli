@@ -1,0 +1,11 @@
+(** Control-flow simplification:
+    - conditional branches on literal conditions become plain branches;
+    - conditional branches with identical targets become plain branches
+      (only when the target has no φs, which would need edge identity);
+    - a block with a single successor that has a single predecessor and
+      no φs is merged with it.
+
+    Unreachable blocks left behind are pruned by the caller's
+    {!Layout.normalize}. Returns [true] if anything changed. *)
+
+val run : Func.t -> bool

@@ -1,0 +1,35 @@
+type t = { map : Instr.value option array; mutable count : int }
+
+let create (f : Func.t) = { map = Array.make f.Func.n_values None; count = 0 }
+
+let set t v repl =
+  t.map.(v) <- Some repl;
+  t.count <- t.count + 1
+
+let is_empty t = t.count = 0
+
+let rec resolve t = function
+  | Instr.Vreg v as orig -> (
+    match t.map.(v) with Some r when r <> orig -> resolve t r | _ -> orig)
+  | other -> other
+
+let apply t (f : Func.t) =
+  if not (is_empty t) then
+    Array.iter
+      (fun (b : Block.t) ->
+        b.Block.phis <-
+          Array.map
+            (fun (p : Instr.phi) ->
+              { p with Instr.incoming = Array.map (fun (pred, v) -> (pred, resolve t v)) p.incoming })
+            b.Block.phis;
+        b.Block.instrs <-
+          Array.map
+            (fun i -> Instr.with_operands i (List.map (resolve t) (Instr.operands i)))
+            b.Block.instrs;
+        b.Block.term <-
+          (match b.Block.term with
+          | Instr.CondBr { cond; if_true; if_false } ->
+            Instr.CondBr { cond = resolve t cond; if_true; if_false }
+          | Instr.Ret (Some v) -> Instr.Ret (Some (resolve t v))
+          | (Instr.Br _ | Instr.Ret None | Instr.Abort _) as term -> term))
+      f.Func.blocks

@@ -1,0 +1,21 @@
+(** Value substitution support shared by the rewriting passes.
+
+    A pass records replacements (value id → replacement operand);
+    [apply] rewrites every operand in the function through the map,
+    following chains. *)
+
+type t
+
+val create : Func.t -> t
+
+val set : t -> int -> Instr.value -> unit
+(** [set t v repl] replaces every use of [Vreg v] by [repl]. *)
+
+val is_empty : t -> bool
+
+val resolve : t -> Instr.value -> Instr.value
+(** Follow replacement chains to a fixpoint. *)
+
+val apply : t -> Func.t -> unit
+(** Rewrite all operands (instructions, φs, terminators). Does not
+    delete the now-dead defining instructions — run DCE after. *)

@@ -1,0 +1,1 @@
+lib/plan/explain.ml: Aeq_storage Array Buffer List Physical Printf Scalar String

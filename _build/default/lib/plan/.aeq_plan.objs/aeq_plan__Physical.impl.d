@@ -1,0 +1,1 @@
+lib/plan/physical.ml: Aeq_rt Aeq_storage Array List Scalar

@@ -1,0 +1,1 @@
+lib/plan/physical.mli: Aeq_rt Aeq_storage Scalar

@@ -1,0 +1,1 @@
+lib/plan/planner.ml: Aeq_rt Aeq_sql Aeq_storage Array Format Hashtbl Int64 List Option Physical Printf Scalar String

@@ -1,0 +1,1 @@
+lib/plan/planner.mli: Aeq_sql Aeq_storage Physical

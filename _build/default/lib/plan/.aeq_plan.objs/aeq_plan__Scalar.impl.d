@@ -1,0 +1,1 @@
+lib/plan/scalar.ml: Aeq_sql Aeq_storage Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/plan/scalar.mli: Aeq_sql Aeq_storage

@@ -1,0 +1,1 @@
+lib/plan/scalar_eval.ml: Aeq_ir Aeq_rt Aeq_sql Aeq_storage Int64 Scalar

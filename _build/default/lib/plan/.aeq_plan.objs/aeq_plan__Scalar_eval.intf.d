@@ -1,0 +1,1 @@
+lib/plan/scalar_eval.mli: Scalar

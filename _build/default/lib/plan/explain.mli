@@ -1,0 +1,3 @@
+(** Human-readable plan printer (EXPLAIN). *)
+
+val to_string : Physical.t -> string

@@ -1,0 +1,43 @@
+module Dtype = Aeq_storage.Dtype
+
+type t =
+  | Col of { tref : int; col : int; dtype : Dtype.t }
+  | Acol of { idx : int; dtype : Dtype.t }
+  | Const of int64 * Dtype.t
+  | Bin of Aeq_sql.Ast.binop * t * t * Dtype.t
+  | Year of t
+  | Dict_match of int * t
+  | Not of t
+  | Case of (t * t) list * t * Dtype.t
+
+let dtype = function
+  | Col { dtype; _ } | Acol { dtype; _ } | Const (_, dtype) -> dtype
+  | Bin (_, _, _, dtype) -> dtype
+  | Year _ -> Dtype.Int
+  | Dict_match _ | Not _ -> Dtype.Bool
+  | Case (_, _, dtype) -> dtype
+
+let rec collect acc = function
+  | Col { tref; _ } -> tref :: acc
+  | Acol _ | Const _ -> acc
+  | Bin (_, a, b, _) -> collect (collect acc a) b
+  | Year e | Dict_match (_, e) | Not e -> collect acc e
+  | Case (whens, els, _) ->
+    List.fold_left (fun acc (c, v) -> collect (collect acc c) v) (collect acc els) whens
+
+let trefs_used t = List.sort_uniq compare (collect [] t)
+
+let rec to_string = function
+  | Col { tref; col; _ } -> Printf.sprintf "t%d.c%d" tref col
+  | Acol { idx; _ } -> Printf.sprintf "a%d" idx
+  | Const (n, Dtype.Decimal) -> Printf.sprintf "%Ld.%02Ld" (Int64.div n 100L) (Int64.rem (Int64.abs n) 100L)
+  | Const (n, _) -> Int64.to_string n
+  | Bin (op, a, b, _) ->
+    Printf.sprintf "(%s %s %s)" (to_string a) (Aeq_sql.Ast.binop_name op) (to_string b)
+  | Year e -> Printf.sprintf "year(%s)" (to_string e)
+  | Dict_match (i, e) -> Printf.sprintf "dict%d(%s)" i (to_string e)
+  | Not e -> "not " ^ to_string e
+  | Case (whens, els, _) ->
+    String.concat " "
+      (List.map (fun (c, v) -> Printf.sprintf "when %s then %s" (to_string c) (to_string v)) whens)
+    ^ " else " ^ to_string els

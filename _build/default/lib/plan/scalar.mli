@@ -1,0 +1,29 @@
+(** Typed, fully-resolved scalar expressions — the output of semantic
+    analysis and the input of code generation.
+
+    Decimals are fixed-point (× {!Aeq_storage.Dtype.scale}); the
+    arithmetic rules that keep the scale consistent (rescaling on
+    mixed int/decimal operations, dividing after decimal×decimal) are
+    applied by the binder, so codegen can treat every [Bin] node as
+    plain (checked) integer arithmetic. *)
+
+type t =
+  | Col of { tref : int; col : int; dtype : Aeq_storage.Dtype.t }
+      (** column of a joined table instance *)
+  | Acol of { idx : int; dtype : Aeq_storage.Dtype.t }
+      (** column of the materialised aggregate table *)
+  | Const of int64 * Aeq_storage.Dtype.t
+  | Bin of Aeq_sql.Ast.binop * t * t * Aeq_storage.Dtype.t
+  | Year of t  (** EXTRACT(YEAR FROM date) *)
+  | Dict_match of int * t
+      (** plan-time-evaluated string predicate (LIKE / IN): bitmap id,
+          code expression *)
+  | Not of t
+  | Case of (t * t) list * t * Aeq_storage.Dtype.t
+
+val dtype : t -> Aeq_storage.Dtype.t
+
+val trefs_used : t -> int list
+(** Distinct table instances referenced (sorted). *)
+
+val to_string : t -> string

@@ -1,0 +1,54 @@
+module S = Aeq_ir.Semantics
+module Dtype = Aeq_storage.Dtype
+module Ast = Aeq_sql.Ast
+
+let scale = Int64.of_int Dtype.scale
+
+let rec eval ~col ~acol ~pred (s : Scalar.t) : int64 =
+  match s with
+  | Scalar.Col { tref; col = c; _ } -> col ~tref ~col:c
+  | Scalar.Acol { idx; _ } -> acol idx
+  | Scalar.Const (n, _) -> n
+  | Scalar.Year e -> Aeq_rt.Symbols.year_of_days (eval ~col ~acol ~pred e)
+  | Scalar.Dict_match (id, e) ->
+    if pred id (eval ~col ~acol ~pred e) then 1L else 0L
+  | Scalar.Not e -> if Int64.equal (eval ~col ~acol ~pred e) 0L then 1L else 0L
+  | Scalar.Case (whens, els, _) ->
+    let rec go = function
+      | [] -> eval ~col ~acol ~pred els
+      | (c, v) :: rest ->
+        if not (Int64.equal (eval ~col ~acol ~pred c) 0L) then eval ~col ~acol ~pred v
+        else go rest
+    in
+    go whens
+  | Scalar.Bin (op, a, b, _) -> (
+    let da = Scalar.dtype a and db = Scalar.dtype b in
+    let va = eval ~col ~acol ~pred a in
+    (* AND/OR evaluate both operands (no short-circuit), matching the
+       generated code, which computes boolean values bitwise *)
+    match op with
+    | Ast.And -> Int64.logand va (eval ~col ~acol ~pred b)
+    | Ast.Or -> Int64.logor va (eval ~col ~acol ~pred b)
+    | _ -> (
+      let vb = eval ~col ~acol ~pred b in
+      match op with
+      | Ast.Add -> S.add_chk ~width:64 va vb
+      | Ast.Sub -> S.sub_chk ~width:64 va vb
+      | Ast.Mul ->
+        let m = S.mul_chk ~width:64 va vb in
+        if Dtype.equal da Dtype.Decimal && Dtype.equal db Dtype.Decimal then Int64.div m scale
+        else m
+      | Ast.Div ->
+        if Int64.equal vb 0L then Aeq_ir.Trap.division_by_zero ()
+        else if Dtype.equal db Dtype.Decimal then
+          Int64.div (S.mul_chk ~width:64 va scale) vb
+        else Int64.div va vb
+      | Ast.Eq -> S.bool_i64 (Int64.equal va vb)
+      | Ast.Ne -> S.bool_i64 (not (Int64.equal va vb))
+      | Ast.Lt -> S.bool_i64 (Int64.compare va vb < 0)
+      | Ast.Le -> S.bool_i64 (Int64.compare va vb <= 0)
+      | Ast.Gt -> S.bool_i64 (Int64.compare va vb > 0)
+      | Ast.Ge -> S.bool_i64 (Int64.compare va vb >= 0)
+      | Ast.And | Ast.Or -> assert false))
+
+let eval_bool ~col ~acol ~pred s = not (Int64.equal (eval ~col ~acol ~pred s) 0L)

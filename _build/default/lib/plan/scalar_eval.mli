@@ -1,0 +1,23 @@
+(** Reference interpreter for {!Scalar} expressions.
+
+    Defines the semantics (fixed-point decimal rules, overflow-checked
+    arithmetic raising {!Aeq_ir.Trap.Error}) that the code generator
+    must reproduce; the Volcano and vectorized baseline engines
+    evaluate expressions through this module, which makes result
+    comparison across engines a genuine differential test. *)
+
+val eval :
+  col:(tref:int -> col:int -> int64) ->
+  acol:(int -> int64) ->
+  pred:(int -> int64 -> bool) ->
+  Scalar.t ->
+  int64
+(** Booleans are 0/1. [pred id code] consults dictionary bitmap [id].
+    @raise Aeq_ir.Trap.Error on overflow / division by zero. *)
+
+val eval_bool :
+  col:(tref:int -> col:int -> int64) ->
+  acol:(int -> int64) ->
+  pred:(int -> int64 -> bool) ->
+  Scalar.t ->
+  bool

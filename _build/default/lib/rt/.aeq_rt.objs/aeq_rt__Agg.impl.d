@@ -1,0 +1,1 @@
+lib/rt/agg.ml: Aeq_mem Array Hashtbl Int64 Stdlib

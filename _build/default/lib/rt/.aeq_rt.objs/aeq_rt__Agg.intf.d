@@ -1,0 +1,1 @@
+lib/rt/agg.mli: Aeq_mem

@@ -1,0 +1,1 @@
+lib/rt/context.ml: Aeq_mem Agg Array Bitmap Dict Hash_table Output Stdlib

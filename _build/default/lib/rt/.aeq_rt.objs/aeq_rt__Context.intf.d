@@ -1,0 +1,1 @@
+lib/rt/context.mli: Aeq_mem Agg Bitmap Dict Hash_table Output

@@ -1,0 +1,1 @@
+lib/rt/dict.ml: Array Bitmap Hashtbl Int64

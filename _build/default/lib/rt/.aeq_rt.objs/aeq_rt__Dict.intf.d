@@ -1,0 +1,1 @@
+lib/rt/dict.mli: Bitmap

@@ -1,0 +1,1 @@
+lib/rt/hash_table.ml: Aeq_mem Array Atomic Int64 Mutex Stdlib

@@ -1,0 +1,1 @@
+lib/rt/hash_table.mli: Aeq_mem

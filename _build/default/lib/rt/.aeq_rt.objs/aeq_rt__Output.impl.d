@@ -1,0 +1,1 @@
+lib/rt/output.ml: Aeq_mem Array List Stdlib

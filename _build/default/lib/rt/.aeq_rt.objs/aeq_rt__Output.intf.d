@@ -1,0 +1,1 @@
+lib/rt/output.mli: Aeq_mem

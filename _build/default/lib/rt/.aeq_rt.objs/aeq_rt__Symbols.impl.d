@@ -1,0 +1,1 @@
+lib/rt/symbols.ml: Aeq_mem Aeq_vm Agg Array Bitmap Context Hash_table Int64 Output

@@ -1,0 +1,1 @@
+lib/rt/symbols.mli: Aeq_vm Context

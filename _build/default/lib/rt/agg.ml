@@ -1,0 +1,89 @@
+module A = Aeq_mem.Arena
+
+type acc_kind = Sum | Count | Min | Max
+
+type t = {
+  arena : A.t;
+  key_arity : int;
+  accs : acc_kind array;
+  row_bytes : int;
+  tables : (Int64.t * Int64.t, A.ptr) Hashtbl.t array; (* per thread *)
+}
+
+let init_value = function
+  | Sum | Count -> 0L
+  | Min -> Int64.max_int
+  | Max -> Int64.min_int
+
+let create arena ~n_threads ~key_arity ~accs =
+  let accs = Array.of_list accs in
+  {
+    arena;
+    key_arity;
+    accs;
+    row_bytes = 8 * Array.length accs;
+    tables = Array.init (Stdlib.max 1 n_threads) (fun _ -> Hashtbl.create 64);
+  }
+
+let new_row t ~allocator =
+  let row = A.alloc allocator t.row_bytes in
+  Array.iteri (fun i k -> A.set_i64 t.arena (row + (8 * i)) (init_value k)) t.accs;
+  row
+
+let get_group t ~tid ~allocator ~k1 ~k2 =
+  let tbl = t.tables.(tid) in
+  match Hashtbl.find_opt tbl (k1, k2) with
+  | Some row -> row
+  | None ->
+    let row = new_row t ~allocator in
+    Hashtbl.replace tbl (k1, k2) row;
+    row
+
+let combine t ~into ~from =
+  Array.iteri
+    (fun i kind ->
+      let o = 8 * i in
+      let a = A.get_i64 t.arena (into + o) and b = A.get_i64 t.arena (from + o) in
+      let r =
+        match kind with
+        | Sum | Count -> Int64.add a b
+        | Min -> if Int64.compare b a < 0 then b else a
+        | Max -> if Int64.compare b a > 0 then b else a
+      in
+      A.set_i64 t.arena (into + o) r)
+    t.accs
+
+let merge t =
+  let main = t.tables.(0) in
+  for tid = 1 to Array.length t.tables - 1 do
+    Hashtbl.iter
+      (fun key row ->
+        match Hashtbl.find_opt main key with
+        | Some existing -> combine t ~into:existing ~from:row
+        | None -> Hashtbl.replace main key row)
+      t.tables.(tid);
+    Hashtbl.reset t.tables.(tid)
+  done
+
+let n_groups t = Hashtbl.length t.tables.(0)
+
+let materialize t ~allocator =
+  let main = t.tables.(0) in
+  let n = Hashtbl.length main in
+  let n_cols = t.key_arity + Array.length t.accs in
+  let cols = Array.init n_cols (fun _ -> A.alloc allocator (8 * Stdlib.max 1 n)) in
+  let idx = ref 0 in
+  Hashtbl.iter
+    (fun (k1, k2) row ->
+      let i = !idx in
+      incr idx;
+      if t.key_arity >= 1 then A.set_i64 t.arena (cols.(0) + (8 * i)) k1;
+      if t.key_arity >= 2 then A.set_i64 t.arena (cols.(1) + (8 * i)) k2;
+      Array.iteri
+        (fun j _ ->
+          A.set_i64 t.arena
+            (cols.(t.key_arity + j) + (8 * i))
+            (A.get_i64 t.arena (row + (8 * j))))
+        t.accs)
+    main;
+  (n, cols)

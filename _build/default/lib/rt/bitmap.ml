@@ -1,0 +1,19 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n = { bits = Bytes.make ((n / 8) + 1) '\000'; n }
+
+let set t i =
+  if i >= 0 && i < t.n then begin
+    let b = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))))
+  end
+
+let get t i =
+  i >= 0 && i < t.n && Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let cardinality t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if get t i then incr c
+  done;
+  !c

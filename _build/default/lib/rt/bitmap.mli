@@ -1,0 +1,12 @@
+(** Dense bitmaps over dictionary codes, used for plan-time-evaluated
+    string predicates (LIKE, IN over strings). *)
+
+type t
+
+val create : int -> t
+
+val set : t -> int -> unit
+
+val get : t -> int -> bool
+
+val cardinality : t -> int

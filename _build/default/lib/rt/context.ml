@@ -1,0 +1,42 @@
+type t = {
+  arena : Aeq_mem.Arena.t;
+  dict : Dict.t;
+  n_threads : int;
+  allocators : Aeq_mem.Arena.allocator array;
+  mutable hts : Hash_table.t array;
+  mutable aggs : Agg.t array;
+  mutable outs : Output.t array;
+  mutable preds : Bitmap.t array;
+}
+
+let create ~arena ~dict ~n_threads =
+  {
+    arena;
+    dict;
+    n_threads;
+    allocators = Array.init (Stdlib.max 1 n_threads) (fun _ -> Aeq_mem.Arena.allocator arena);
+    hts = [||];
+    aggs = [||];
+    outs = [||];
+    preds = [||];
+  }
+
+let append arr x = Array.append arr [| x |]
+
+let register_ht t ht =
+  t.hts <- append t.hts ht;
+  Array.length t.hts - 1
+
+let register_agg t a =
+  t.aggs <- append t.aggs a;
+  Array.length t.aggs - 1
+
+let register_out t o =
+  t.outs <- append t.outs o;
+  Array.length t.outs - 1
+
+let register_pred t p =
+  t.preds <- append t.preds p;
+  Array.length t.preds - 1
+
+let allocator t ~tid = t.allocators.(tid)

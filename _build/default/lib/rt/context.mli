@@ -1,0 +1,28 @@
+(** Per-query runtime context: the arena, one allocator per worker
+    thread, and registries of runtime objects (join tables,
+    aggregation tables, output buffers, dictionary-predicate bitmaps).
+    Generated code refers to objects by small integer ids; the
+    {!Symbols} resolver closes over the context to dispatch them. *)
+
+type t = {
+  arena : Aeq_mem.Arena.t;
+  dict : Dict.t;
+  n_threads : int;
+  allocators : Aeq_mem.Arena.allocator array;
+  mutable hts : Hash_table.t array;
+  mutable aggs : Agg.t array;
+  mutable outs : Output.t array;
+  mutable preds : Bitmap.t array;
+}
+
+val create : arena:Aeq_mem.Arena.t -> dict:Dict.t -> n_threads:int -> t
+
+val register_ht : t -> Hash_table.t -> int
+
+val register_agg : t -> Agg.t -> int
+
+val register_out : t -> Output.t -> int
+
+val register_pred : t -> Bitmap.t -> int
+
+val allocator : t -> tid:int -> Aeq_mem.Arena.allocator

@@ -1,0 +1,39 @@
+type t = {
+  by_string : (string, int64) Hashtbl.t;
+  mutable by_code : string array;
+  mutable n : int;
+}
+
+let create () = { by_string = Hashtbl.create 1024; by_code = Array.make 1024 ""; n = 0 }
+
+let encode t s =
+  match Hashtbl.find_opt t.by_string s with
+  | Some c -> c
+  | None ->
+    let c = t.n in
+    if c >= Array.length t.by_code then begin
+      let bigger = Array.make (2 * Array.length t.by_code) "" in
+      Array.blit t.by_code 0 bigger 0 t.n;
+      t.by_code <- bigger
+    end;
+    t.by_code.(c) <- s;
+    t.n <- c + 1;
+    let code = Int64.of_int c in
+    Hashtbl.replace t.by_string s code;
+    code
+
+let decode t c =
+  let i = Int64.to_int c in
+  if i < 0 || i >= t.n then invalid_arg "Dict.decode: unknown code";
+  t.by_code.(i)
+
+let find t s = Hashtbl.find_opt t.by_string s
+
+let size t = t.n
+
+let codes_matching t pred =
+  let bm = Bitmap.create t.n in
+  for c = 0 to t.n - 1 do
+    if pred t.by_code.(c) then Bitmap.set bm c
+  done;
+  bm

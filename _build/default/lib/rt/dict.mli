@@ -1,0 +1,25 @@
+(** Global string dictionary.
+
+    Strings are dictionary-encoded at load time: each distinct string
+    gets a dense int64 code, and string-typed columns store codes.
+    Equality on strings becomes integer equality in generated code;
+    LIKE and other string predicates are evaluated once over the
+    dictionary at plan time, yielding a code bitmap the generated code
+    consults through the [dict_match] runtime helper. *)
+
+type t
+
+val create : unit -> t
+
+val encode : t -> string -> int64
+(** Intern; stable across calls. *)
+
+val decode : t -> int64 -> string
+
+val find : t -> string -> int64 option
+(** Code for an existing string; [None] if never interned. *)
+
+val size : t -> int
+
+val codes_matching : t -> (string -> bool) -> Bitmap.t
+(** Evaluate a predicate over every interned string (plan-time). *)

@@ -1,0 +1,67 @@
+module A = Aeq_mem.Arena
+
+type t = {
+  arena : A.t;
+  buckets : int array;
+  mask : int;
+  locks : Mutex.t array;
+  payload_bytes : int;
+  count : int Atomic.t;
+}
+
+let payload_offset = 16
+
+let n_stripes = 64
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create arena ~expected_entries ~payload_bytes =
+  let n = next_pow2 (Stdlib.max 16 (2 * expected_entries)) in
+  {
+    arena;
+    buckets = Array.make n A.null;
+    mask = n - 1;
+    locks = Array.init n_stripes (fun _ -> Mutex.create ());
+    payload_bytes;
+    count = Atomic.make 0;
+  }
+
+(* splitmix-style finalizer *)
+let hash key =
+  let h = Int64.mul (Int64.logxor key (Int64.shift_right_logical key 33)) 0xFF51AFD7ED558CCDL in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.to_int (Int64.logxor h (Int64.shift_right_logical h 33)) land max_int
+
+let insert t ~allocator ~key =
+  let entry = A.alloc allocator (payload_offset + t.payload_bytes) in
+  A.set_i64 t.arena (entry + 8) key;
+  let b = hash key land t.mask in
+  let stripe = t.locks.(b land (n_stripes - 1)) in
+  Mutex.lock stripe;
+  A.set_i64 t.arena entry (Int64.of_int t.buckets.(b));
+  t.buckets.(b) <- entry;
+  Mutex.unlock stripe;
+  Atomic.incr t.count;
+  entry + payload_offset
+
+let lookup t ~key =
+  let b = hash key land t.mask in
+  let rec walk e =
+    if e = A.null then A.null
+    else if Int64.equal (A.get_i64 t.arena (e + 8)) key then e
+    else walk (Int64.to_int (A.get_i64 t.arena e))
+  in
+  walk t.buckets.(b)
+
+let next_match t ~entry =
+  let key = A.get_i64 t.arena (entry + 8) in
+  let rec walk e =
+    if e = A.null then A.null
+    else if Int64.equal (A.get_i64 t.arena (e + 8)) key then e
+    else walk (Int64.to_int (A.get_i64 t.arena e))
+  in
+  walk (Int64.to_int (A.get_i64 t.arena entry))
+
+let size t = Atomic.get t.count

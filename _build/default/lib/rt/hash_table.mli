@@ -1,0 +1,30 @@
+(** Chaining hash-join table over arena memory.
+
+    Entries live in the arena ([next][key][payload...]), so generated
+    code in any execution mode reads them with plain loads; bucket
+    heads and stripe locks live on the OCaml side. Inserts during the
+    build pipeline are thread-safe (striped locks); probes happen
+    after the pipeline barrier and are lock-free. *)
+
+type t
+
+val create :
+  Aeq_mem.Arena.t -> expected_entries:int -> payload_bytes:int -> t
+
+val payload_offset : int
+(** Byte offset of the payload within an entry (16). *)
+
+val insert : t -> allocator:Aeq_mem.Arena.allocator -> key:int64 -> Aeq_mem.Arena.ptr
+(** Reserve an entry for [key] and return a pointer to its payload
+    region (zeroed). The caller fills the payload with stores; nothing
+    reads it until the build pipeline completes. *)
+
+val lookup : t -> key:int64 -> Aeq_mem.Arena.ptr
+(** First entry whose key equals [key], or [Arena.null]. The result
+    points at the entry; payload at [+ payload_offset]. *)
+
+val next_match : t -> entry:Aeq_mem.Arena.ptr -> Aeq_mem.Arena.ptr
+(** Next entry in the same bucket with the same key, or null. *)
+
+val size : t -> int
+(** Number of entries inserted. *)

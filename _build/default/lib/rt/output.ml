@@ -1,0 +1,36 @@
+module A = Aeq_mem.Arena
+
+type per_thread = { mutable rev_rows : A.ptr list; mutable n : int }
+
+type t = { row_bytes : int; threads : per_thread array }
+
+let create _arena ~n_threads ~row_bytes =
+  {
+    row_bytes;
+    threads = Array.init (Stdlib.max 1 n_threads) (fun _ -> { rev_rows = []; n = 0 });
+  }
+
+let row t ~tid ~allocator =
+  let p = A.alloc allocator t.row_bytes in
+  let pt = t.threads.(tid) in
+  pt.rev_rows <- p :: pt.rev_rows;
+  pt.n <- pt.n + 1;
+  p
+
+let rows t =
+  let total = Array.fold_left (fun acc pt -> acc + pt.n) 0 t.threads in
+  let out = Array.make total A.null in
+  let i = ref 0 in
+  Array.iter
+    (fun pt ->
+      List.iter
+        (fun p ->
+          out.(!i) <- p;
+          incr i)
+        (List.rev pt.rev_rows))
+    t.threads;
+  out
+
+let count t = Array.fold_left (fun acc pt -> acc + pt.n) 0 t.threads
+
+let row_bytes t = t.row_bytes

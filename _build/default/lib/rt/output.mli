@@ -1,0 +1,20 @@
+(** Per-thread output row buffers.
+
+    A pipeline that produces query results reserves one fixed-width
+    row per result tuple ([row] helper) and fills it with stores. Rows
+    live in the arena; the driver collects them after the pipeline
+    completes, then sorts / limits / decodes on the OCaml side. *)
+
+type t
+
+val create : Aeq_mem.Arena.t -> n_threads:int -> row_bytes:int -> t
+
+val row : t -> tid:int -> allocator:Aeq_mem.Arena.allocator -> Aeq_mem.Arena.ptr
+(** Reserve one zeroed row. *)
+
+val rows : t -> Aeq_mem.Arena.ptr array
+(** All reserved rows (across threads, unordered). *)
+
+val count : t -> int
+
+val row_bytes : t -> int

@@ -1,0 +1,61 @@
+module A = Aeq_mem.Arena
+
+(* Civil-date conversion (Howard Hinnant's algorithm), days since
+   1970-01-01 -> year. *)
+let year_of_days days =
+  let z = Int64.to_int days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  Int64.of_int (if m <= 2 then y + 1 else y)
+
+let resolver (ctx : Context.t) : Aeq_vm.Rt_fn.resolver =
+ fun sym ->
+  match sym with
+  | "ht_insert" ->
+    Some
+      (Aeq_vm.Rt_fn.F3
+         (fun ht tid key ->
+           let t = ctx.Context.hts.(Int64.to_int ht) in
+           let allocator = ctx.Context.allocators.(Int64.to_int tid) in
+           Int64.of_int (Hash_table.insert t ~allocator ~key)))
+  | "ht_lookup" ->
+    Some
+      (Aeq_vm.Rt_fn.F2
+         (fun ht key ->
+           let t = ctx.Context.hts.(Int64.to_int ht) in
+           Int64.of_int (Hash_table.lookup t ~key)))
+  | "ht_next" ->
+    Some
+      (Aeq_vm.Rt_fn.F2
+         (fun ht entry ->
+           let t = ctx.Context.hts.(Int64.to_int ht) in
+           Int64.of_int (Hash_table.next_match t ~entry:(Int64.to_int entry))))
+  | "agg_get" ->
+    Some
+      (Aeq_vm.Rt_fn.F4
+         (fun agg tid k1 k2 ->
+           let t = ctx.Context.aggs.(Int64.to_int agg) in
+           let tid = Int64.to_int tid in
+           let allocator = ctx.Context.allocators.(tid) in
+           Int64.of_int (Agg.get_group t ~tid ~allocator ~k1 ~k2)))
+  | "out_row" ->
+    Some
+      (Aeq_vm.Rt_fn.F2
+         (fun out tid ->
+           let t = ctx.Context.outs.(Int64.to_int out) in
+           let tid = Int64.to_int tid in
+           let allocator = ctx.Context.allocators.(tid) in
+           Int64.of_int (Output.row t ~tid ~allocator)))
+  | "dict_match" ->
+    Some
+      (Aeq_vm.Rt_fn.F2
+         (fun pred code ->
+           let bm = ctx.Context.preds.(Int64.to_int pred) in
+           if Bitmap.get bm (Int64.to_int code) then 1L else 0L))
+  | "year_of" -> Some (Aeq_vm.Rt_fn.F1 year_of_days)
+  | _ -> None

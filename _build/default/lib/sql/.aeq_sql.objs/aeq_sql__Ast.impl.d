@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Aeq_storage Buffer Int64 List Printf String

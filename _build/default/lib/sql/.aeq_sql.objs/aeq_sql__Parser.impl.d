@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Format Int64 Lexer List String

@@ -1,0 +1,80 @@
+type binop = Add | Sub | Mul | Div | Eq | Ne | Lt | Le | Gt | Ge | And | Or
+
+type agg_fn = Sum | Min | Max | Count | Avg
+
+type expr =
+  | Col of string option * string
+  | Lit_int of int64
+  | Lit_dec of int64
+  | Lit_str of string
+  | Lit_date of int
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Between of expr * expr * expr
+  | In_list of expr * expr list
+  | Like of expr * string
+  | Extract_year of expr
+  | Case of (expr * expr) list * expr option
+  | Agg of agg_fn * expr option
+
+type select_item = { expr : expr; alias : string option }
+
+type order_item = { key : expr; desc : bool }
+
+type query = {
+  select : select_item list;
+  from : (string * string option) list;
+  join_on : expr list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_item list;
+  limit : int option;
+}
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let agg_name = function Sum -> "sum" | Min -> "min" | Max -> "max" | Count -> "count" | Avg -> "avg"
+
+let rec expr_to_string = function
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Lit_int n -> Int64.to_string n
+  | Lit_dec n -> Printf.sprintf "%Ld.%02Ld" (Int64.div n 100L) (Int64.rem (Int64.abs n) 100L)
+  | Lit_str s -> "'" ^ s ^ "'"
+  | Lit_date d -> Printf.sprintf "date(%d)" d
+  | Bin (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op) (expr_to_string b)
+  | Neg e -> "-" ^ expr_to_string e
+  | Not e -> "not " ^ expr_to_string e
+  | Between (e, lo, hi) ->
+    Printf.sprintf "(%s between %s and %s)" (expr_to_string e) (expr_to_string lo)
+      (expr_to_string hi)
+  | In_list (e, xs) ->
+    Printf.sprintf "(%s in (%s))" (expr_to_string e)
+      (String.concat ", " (List.map expr_to_string xs))
+  | Like (e, p) -> Printf.sprintf "(%s like '%s')" (expr_to_string e) p
+  | Extract_year e -> Printf.sprintf "extract(year from %s)" (expr_to_string e)
+  | Case (whens, els) ->
+    let w =
+      List.map
+        (fun (c, v) -> Printf.sprintf "when %s then %s" (expr_to_string c) (expr_to_string v))
+        whens
+    in
+    let e = match els with Some e -> " else " ^ expr_to_string e | None -> "" in
+    "case " ^ String.concat " " w ^ e ^ " end"
+  | Agg (fn, Some e) -> Printf.sprintf "%s(%s)" (agg_name fn) (expr_to_string e)
+  | Agg (fn, None) -> agg_name fn ^ "(*)"

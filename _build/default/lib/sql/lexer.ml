@@ -1,0 +1,101 @@
+type token =
+  | Ident of string
+  | Int_tok of int64
+  | Dec_tok of int64
+  | Str_tok of string
+  | Sym of string
+  | Eof
+
+exception Lex_error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Ident (String.lowercase_ascii (String.sub src start (!i - start))))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        let int_part = Int64.of_string (String.sub src start (!i - start)) in
+        incr i;
+        let fstart = !i in
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        let frac = String.sub src fstart (!i - fstart) in
+        let scale = Aeq_storage.Dtype.scale in
+        (* keep the first two fractional digits (fixed-point scale 100) *)
+        let frac2 =
+          if String.length frac >= 2 then String.sub frac 0 2
+          else frac ^ String.make (2 - String.length frac) '0'
+        in
+        push
+          (Dec_tok
+             (Int64.add
+                (Int64.mul int_part (Int64.of_int scale))
+                (Int64.of_string frac2)))
+      end
+      else push (Int_tok (Int64.of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Lex_error "unterminated string literal")
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            incr i;
+            fin := true
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      push (Str_tok (Buffer.contents buf))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" ->
+        push (Sym (if two = "!=" then "<>" else two));
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | ',' | '+' | '-' | '*' | '/' | '=' | '<' | '>' | '.' | ';' ->
+          push (Sym (String.make 1 c));
+          incr i
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c at %d" c !i)))
+    end
+  done;
+  List.rev (Eof :: !toks)

@@ -1,0 +1,13 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | Ident of string  (** lower-cased *)
+  | Int_tok of int64
+  | Dec_tok of int64  (** scaled fixed-point *)
+  | Str_tok of string
+  | Sym of string  (** punctuation / operators *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list

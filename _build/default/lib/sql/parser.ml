@@ -1,0 +1,372 @@
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_sym st s =
+  match peek st with
+  | Lexer.Sym x when String.equal x s -> advance st
+  | t ->
+    fail "expected '%s', found %s" s
+      (match t with
+      | Lexer.Ident i -> i
+      | Lexer.Sym x -> x
+      | Lexer.Int_tok n -> Int64.to_string n
+      | Lexer.Dec_tok _ -> "<decimal>"
+      | Lexer.Str_tok s -> "'" ^ s ^ "'"
+      | Lexer.Eof -> "<eof>")
+
+let accept_sym st s =
+  match peek st with
+  | Lexer.Sym x when String.equal x s ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek st with
+  | Lexer.Ident i when String.equal i kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_kw st kw = if not (accept_kw st kw) then fail "expected keyword %s" kw
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident i ->
+    advance st;
+    i
+  | _ -> fail "expected identifier"
+
+let parse_date_literal s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+    try
+      let y = int_of_string y and m = int_of_string m and d = int_of_string d in
+      (* days-from-civil (Hinnant) *)
+      let y' = if m <= 2 then y - 1 else y in
+      let era = (if y' >= 0 then y' else y' - 399) / 400 in
+      let yoe = y' - (era * 400) in
+      let mp = if m > 2 then m - 3 else m + 9 in
+      let doy = (((153 * mp) + 2) / 5) + d - 1 in
+      let doe = (365 * yoe) + (yoe / 4) - (yoe / 100) + doy in
+      (era * 146097) + doe - 719468
+    with _ -> fail "malformed date literal '%s'" s)
+  | _ -> fail "malformed date literal '%s'" s
+
+let is_agg = function
+  | "sum" | "min" | "max" | "count" | "avg" -> true
+  | _ -> false
+
+let agg_of = function
+  | "sum" -> Ast.Sum
+  | "min" -> Ast.Min
+  | "max" -> Ast.Max
+  | "count" -> Ast.Count
+  | "avg" -> Ast.Avg
+  | a -> fail "unknown aggregate %s" a
+
+(* expression precedence:
+   or < and < not < comparison/between/in/like < additive < multiplicative < unary *)
+let rec parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "or" then Ast.Bin (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "and" then Ast.Bin (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st = if accept_kw st "not" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Lexer.Sym "=" ->
+    advance st;
+    Ast.Bin (Ast.Eq, lhs, parse_add st)
+  | Lexer.Sym "<>" ->
+    advance st;
+    Ast.Bin (Ast.Ne, lhs, parse_add st)
+  | Lexer.Sym "<" ->
+    advance st;
+    Ast.Bin (Ast.Lt, lhs, parse_add st)
+  | Lexer.Sym "<=" ->
+    advance st;
+    Ast.Bin (Ast.Le, lhs, parse_add st)
+  | Lexer.Sym ">" ->
+    advance st;
+    Ast.Bin (Ast.Gt, lhs, parse_add st)
+  | Lexer.Sym ">=" ->
+    advance st;
+    Ast.Bin (Ast.Ge, lhs, parse_add st)
+  | Lexer.Ident "between" ->
+    advance st;
+    let lo = parse_add st in
+    expect_kw st "and";
+    let hi = parse_add st in
+    Ast.Between (lhs, lo, hi)
+  | Lexer.Ident "in" ->
+    advance st;
+    expect_sym st "(";
+    let rec items acc =
+      let e = parse_or st in
+      if accept_sym st "," then items (e :: acc) else List.rev (e :: acc)
+    in
+    let xs = items [] in
+    expect_sym st ")";
+    Ast.In_list (lhs, xs)
+  | Lexer.Ident "like" -> (
+    advance st;
+    match peek st with
+    | Lexer.Str_tok p ->
+      advance st;
+      Ast.Like (lhs, p)
+    | _ -> fail "LIKE expects a string literal")
+  | Lexer.Ident "not" -> (
+    advance st;
+    match peek st with
+    | Lexer.Ident "like" -> (
+      advance st;
+      match peek st with
+      | Lexer.Str_tok p ->
+        advance st;
+        Ast.Not (Ast.Like (lhs, p))
+      | _ -> fail "LIKE expects a string literal")
+    | Lexer.Ident "in" ->
+      advance st;
+      expect_sym st "(";
+      let rec items acc =
+        let e = parse_or st in
+        if accept_sym st "," then items (e :: acc) else List.rev (e :: acc)
+      in
+      let xs = items [] in
+      expect_sym st ")";
+      Ast.Not (Ast.In_list (lhs, xs))
+    | Lexer.Ident "between" ->
+      advance st;
+      let lo = parse_add st in
+      expect_kw st "and";
+      let hi = parse_add st in
+      Ast.Not (Ast.Between (lhs, lo, hi))
+    | _ -> fail "expected LIKE/IN/BETWEEN after NOT"
+  )
+  | _ -> lhs
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.Sym "+" ->
+      advance st;
+      go (Ast.Bin (Ast.Add, lhs, parse_mul st))
+    | Lexer.Sym "-" ->
+      advance st;
+      go (Ast.Bin (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.Sym "*" ->
+      advance st;
+      go (Ast.Bin (Ast.Mul, lhs, parse_unary st))
+    | Lexer.Sym "/" ->
+      advance st;
+      go (Ast.Bin (Ast.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept_sym st "-" then Ast.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_tok n ->
+    advance st;
+    Ast.Lit_int n
+  | Lexer.Dec_tok n ->
+    advance st;
+    Ast.Lit_dec n
+  | Lexer.Str_tok s ->
+    advance st;
+    Ast.Lit_str s
+  | Lexer.Sym "(" ->
+    advance st;
+    let e = parse_or st in
+    expect_sym st ")";
+    e
+  | Lexer.Ident "date" -> (
+    advance st;
+    match peek st with
+    | Lexer.Str_tok s ->
+      advance st;
+      Ast.Lit_date (parse_date_literal s)
+    | _ -> fail "DATE expects a string literal")
+  | Lexer.Ident "extract" ->
+    advance st;
+    expect_sym st "(";
+    expect_kw st "year";
+    expect_kw st "from";
+    let e = parse_or st in
+    expect_sym st ")";
+    Ast.Extract_year e
+  | Lexer.Ident "case" ->
+    advance st;
+    let rec whens acc =
+      if accept_kw st "when" then begin
+        let c = parse_or st in
+        expect_kw st "then";
+        let v = parse_or st in
+        whens ((c, v) :: acc)
+      end
+      else List.rev acc
+    in
+    let ws = whens [] in
+    if ws = [] then fail "CASE requires at least one WHEN";
+    let els = if accept_kw st "else" then Some (parse_or st) else None in
+    expect_kw st "end";
+    Ast.Case (ws, els)
+  | Lexer.Ident name when is_agg name && (match st.toks with _ :: Lexer.Sym "(" :: _ -> true | _ -> false)
+    ->
+    advance st;
+    expect_sym st "(";
+    let arg =
+      if accept_sym st "*" then None
+      else begin
+        ignore (accept_kw st "distinct");
+        Some (parse_or st)
+      end
+    in
+    expect_sym st ")";
+    Ast.Agg (agg_of name, arg)
+  | Lexer.Ident name -> (
+    advance st;
+    if accept_sym st "." then begin
+      let col = expect_ident st in
+      Ast.Col (Some name, col)
+    end
+    else Ast.Col (None, name))
+  | t ->
+    fail "unexpected token in expression: %s"
+      (match t with Lexer.Sym s -> s | Lexer.Eof -> "<eof>" | _ -> "<token>")
+
+let parse_select_item st =
+  let e = parse_or st in
+  let alias =
+    if accept_kw st "as" then Some (expect_ident st)
+    else
+      match peek st with
+      | Lexer.Ident i
+        when not
+               (List.mem i
+                  [ "from"; "where"; "group"; "having"; "order"; "limit"; "join"; "on" ]) ->
+        advance st;
+        Some i
+      | _ -> None
+  in
+  { Ast.expr = e; alias }
+
+let parse_table_ref st =
+  let name = expect_ident st in
+  let alias =
+    match peek st with
+    | Lexer.Ident i
+      when not
+             (List.mem i
+                [ "where"; "group"; "having"; "order"; "limit"; "join"; "inner"; "on"; "left" ])
+      ->
+      advance st;
+      Some i
+    | _ -> (if accept_kw st "as" then Some (expect_ident st) else None)
+  in
+  (name, alias)
+
+let parse_query st =
+  expect_kw st "select";
+  let rec items acc =
+    let it = parse_select_item st in
+    if accept_sym st "," then items (it :: acc) else List.rev (it :: acc)
+  in
+  let select = items [] in
+  expect_kw st "from";
+  let from = ref [ parse_table_ref st ] in
+  let join_on = ref [] in
+  let rec more () =
+    if accept_sym st "," then begin
+      from := parse_table_ref st :: !from;
+      more ()
+    end
+    else if accept_kw st "join" || (accept_kw st "inner" && accept_kw st "join") then begin
+      from := parse_table_ref st :: !from;
+      expect_kw st "on";
+      join_on := parse_or st :: !join_on;
+      more ()
+    end
+  in
+  more ();
+  let where = if accept_kw st "where" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      let rec keys acc =
+        let e = parse_or st in
+        if accept_sym st "," then keys (e :: acc) else List.rev (e :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let having = if accept_kw st "having" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      let rec keys acc =
+        let e = parse_or st in
+        let desc = if accept_kw st "desc" then true else (ignore (accept_kw st "asc"); false) in
+        if accept_sym st "," then keys ({ Ast.key = e; desc } :: acc)
+        else List.rev ({ Ast.key = e; desc } :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then begin
+      match peek st with
+      | Lexer.Int_tok n ->
+        advance st;
+        Some (Int64.to_int n)
+      | _ -> fail "LIMIT expects an integer"
+    end
+    else None
+  in
+  ignore (accept_sym st ";");
+  (match peek st with Lexer.Eof -> () | _ -> fail "trailing tokens after query");
+  {
+    Ast.select;
+    from = List.rev !from;
+    join_on = List.rev !join_on;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+  }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_query st
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_or st in
+  (match peek st with Lexer.Eof -> () | _ -> fail "trailing tokens after expression");
+  e

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error / Lexer.Lex_error on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (tests). *)

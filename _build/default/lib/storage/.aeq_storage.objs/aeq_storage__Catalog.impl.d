@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Aeq_mem Aeq_rt Hashtbl String Table

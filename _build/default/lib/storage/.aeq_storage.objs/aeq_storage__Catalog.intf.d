@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Aeq_mem Aeq_rt Table

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Aeq_mem Array Dtype List Stdlib String

@@ -1,0 +1,12 @@
+type t = Int | Decimal | Date | Str | Bool
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int -> "int"
+  | Decimal -> "decimal"
+  | Date -> "date"
+  | Str -> "str"
+  | Bool -> "bool"
+
+let scale = 100

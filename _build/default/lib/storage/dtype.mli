@@ -1,0 +1,19 @@
+(** Column data types.
+
+    Every cell is physically an 8-byte integer in the arena:
+    - [Int]: i64;
+    - [Decimal]: fixed-point with two fractional digits (value × 100),
+      the HyPer-style representation that makes decimal arithmetic
+      overflow-checked integer arithmetic;
+    - [Date]: days since 1970-01-01;
+    - [Str]: dictionary code (see {!Aeq_rt.Dict});
+    - [Bool]: 0/1. *)
+
+type t = Int | Decimal | Date | Str | Bool
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val scale : int
+(** Decimal fixed-point scale (100). *)

@@ -1,0 +1,41 @@
+module A = Aeq_mem.Arena
+
+type column = { name : string; dtype : Dtype.t; data : A.ptr }
+
+type t = { name : string; n_rows : int; columns : column array }
+
+let create _arena allocator ~name ~rows ~schema =
+  let columns =
+    List.map
+      (fun (cname, dtype) ->
+        { name = cname; dtype; data = A.alloc allocator (8 * Stdlib.max 1 rows) })
+      schema
+    |> Array.of_list
+  in
+  { name; n_rows = rows; columns }
+
+let column t cname =
+  match Array.find_opt (fun (c : column) -> String.equal c.name cname) t.columns with
+  | Some c -> c
+  | None -> raise Not_found
+
+let column_index t cname =
+  let rec go i =
+    if i >= Array.length t.columns then raise Not_found
+    else if String.equal t.columns.(i).name cname then i
+    else go (i + 1)
+  in
+  go 0
+
+let set arena t ~col ~row v = A.set_i64 arena (t.columns.(col).data + (8 * row)) v
+
+let get arena t ~col ~row = A.get_i64 arena (t.columns.(col).data + (8 * row))
+
+let of_columns ~name ~n_rows cols =
+  {
+    name;
+    n_rows;
+    columns =
+      List.map (fun (cname, dtype, data) -> { name = cname; dtype; data }) cols
+      |> Array.of_list;
+  }

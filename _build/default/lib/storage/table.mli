@@ -1,0 +1,34 @@
+(** In-memory columnar tables over the arena.
+
+    Columns are dense i64 arrays; pointers into them are handed to
+    generated code through the query-state area. *)
+
+type column = { name : string; dtype : Dtype.t; data : Aeq_mem.Arena.ptr }
+
+type t = {
+  name : string;
+  n_rows : int;
+  columns : column array;
+}
+
+val create :
+  Aeq_mem.Arena.t ->
+  Aeq_mem.Arena.allocator ->
+  name:string ->
+  rows:int ->
+  schema:(string * Dtype.t) list ->
+  t
+
+val column : t -> string -> column
+(** @raise Not_found *)
+
+val column_index : t -> string -> int
+
+val set : Aeq_mem.Arena.t -> t -> col:int -> row:int -> int64 -> unit
+
+val get : Aeq_mem.Arena.t -> t -> col:int -> row:int -> int64
+
+val of_columns :
+  name:string -> n_rows:int -> (string * Dtype.t * Aeq_mem.Arena.ptr) list -> t
+(** Wrap already-materialised arena columns (aggregate results) as a
+    scannable table. *)

@@ -1,0 +1,22 @@
+let now () = Unix.gettimeofday ()
+
+let time_it f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let ms s = s *. 1000.0
+
+let busy_wait s =
+  if s > 0.0 then begin
+    let deadline = now () +. s in
+    while now () < deadline do
+      (* A short computation batch between clock reads keeps the spin
+         from hammering the VDSO call. *)
+      let acc = ref 0 in
+      for i = 1 to 500 do
+        acc := !acc + i
+      done;
+      ignore (Sys.opaque_identity !acc)
+    done
+  end

@@ -1,0 +1,17 @@
+(** Wall-clock timing helpers used by the progress tracker, the
+    adaptive controller and all benchmarks. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary epoch, monotonic enough for interval
+    measurement. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f] and returns its result together with the
+    elapsed wall time in seconds. *)
+
+val ms : float -> float
+(** Convert seconds to milliseconds. *)
+
+val busy_wait : float -> unit
+(** [busy_wait s] spins for [s] seconds. Used by the compile-latency
+    cost model to emulate LLVM backend costs (see DESIGN.md). *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All data generation in the repository goes through this module so
+    that workloads are reproducible across runs and platforms. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing
+    [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] draws from a Zipf distribution over
+    [\[0, n)] with skew [theta] (0 = uniform). Uses the standard
+    rejection-free approximation; adequate for workload skew. *)

@@ -1,0 +1,50 @@
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let n = List.length xs in
+    let sum = List.fold_left (fun acc x -> acc +. log (Stdlib.max x 1e-12)) 0.0 xs in
+    exp (sum /. float_of_int n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let n = List.length s in
+    let arr = Array.of_list s in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let min_max = function
+  | [] -> (0.0, 0.0)
+  | x :: xs -> List.fold_left (fun (lo, hi) v -> (Stdlib.min lo v, Stdlib.max hi v)) (x, x) xs
+
+let linear_fit pts =
+  let n = float_of_int (List.length pts) in
+  if n < 2.0 then (0.0, 0.0)
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then (sy /. n, 0.0)
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      (intercept, slope)
+    end
+  end
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+    let arr = Array.of_list s in
+    let n = Array.length arr in
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    arr.(Stdlib.max 0 (Stdlib.min (n - 1) idx))

@@ -1,0 +1,18 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val mean : float list -> float
+
+val median : float list -> float
+
+val min_max : float list -> float * float
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] returns [(intercept, slope)] of the least-squares
+    line through [pts]. Used to calibrate the compile-time model
+    against measured translation times (paper Fig. 6). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]]. *)

@@ -1,0 +1,1 @@
+lib/vm/bytecode.ml: Int64 Opcode Rt_fn

@@ -1,0 +1,1 @@
+lib/vm/bytecode.mli: Opcode Rt_fn

@@ -1,0 +1,1 @@
+lib/vm/disasm.ml: Array Buffer Bytecode Opcode Printf

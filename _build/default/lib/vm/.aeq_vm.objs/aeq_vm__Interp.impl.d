@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Aeq_mem Array Bytecode Bytes Int64 Opcode Rt_fn Semantics Stdlib Trap

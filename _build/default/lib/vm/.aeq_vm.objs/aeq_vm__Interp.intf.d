@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Aeq_mem Bytecode Bytes

@@ -1,0 +1,1 @@
+lib/vm/ir_interp.ml: Aeq_mem Array Block Func Hashtbl Instr Int64 Printf Rt_fn Semantics Trap Types

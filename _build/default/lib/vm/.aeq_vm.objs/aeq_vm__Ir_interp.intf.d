@@ -1,0 +1,1 @@
+lib/vm/ir_interp.mli: Aeq_mem Func Rt_fn

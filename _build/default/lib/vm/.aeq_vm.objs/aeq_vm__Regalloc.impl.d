@@ -1,0 +1,1 @@
+lib/vm/regalloc.ml: Array Block Func Instr List Loops

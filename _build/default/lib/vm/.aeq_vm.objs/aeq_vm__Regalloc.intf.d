@@ -1,0 +1,1 @@
+lib/vm/regalloc.mli: Func Loops

@@ -1,0 +1,1 @@
+lib/vm/rt_fn.mli:

@@ -1,0 +1,1 @@
+lib/vm/translate.ml: Array Block Bytecode Dom Format Func Hashtbl Instr Int64 List Loops Opcode Regalloc Types

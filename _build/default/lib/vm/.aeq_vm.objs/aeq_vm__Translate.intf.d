@@ -1,0 +1,1 @@
+lib/vm/translate.mli: Bytecode Func Regalloc Rt_fn

@@ -1,0 +1,7 @@
+(** Bytecode disassembler, producing the textual form shown in the
+    paper's Fig. 5 ([0x00 load_i64 40 8 0] ...). For debugging and
+    golden tests. *)
+
+val insn : Bytecode.insn -> string
+
+val program : Bytecode.t -> string

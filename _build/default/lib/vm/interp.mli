@@ -1,0 +1,17 @@
+(** The bytecode interpreter — a single dispatch loop over the
+    fixed-length instruction array (paper Fig. 8).
+
+    The register file is a byte buffer; callers running many morsels
+    reuse one scratch buffer per worker thread to mimic the paper's
+    stack allocation. *)
+
+val run :
+  Bytecode.t -> Aeq_mem.Arena.t -> ?regs:Bytes.t -> args:int64 array -> unit -> int64
+(** Execute the program; returns the [ret] value ([0L] for void
+    functions). [regs], if given, must be at least [n_reg_bytes]
+    long.
+
+    @raise Trap.Error on overflow / division by zero / abort. *)
+
+val scratch : Bytecode.t -> Bytes.t
+(** A register file large enough for the program. *)

@@ -1,0 +1,18 @@
+(** Direct interpretation of the IR — the analogue of LLVM's built-in
+    interpreter in the paper's Fig. 2 ("LLVM IR" point).
+
+    It walks the pointer-heavy IR structure block by block, resolving
+    every operand through boxed environments and re-dispatching on the
+    instruction type at every step. Deliberately naive: it is both the
+    slow baseline the paper measures against and the semantic
+    reference the bytecode/closure backends are property-tested
+    against. *)
+
+val run :
+  Func.t ->
+  Aeq_mem.Arena.t ->
+  symbols:Rt_fn.resolver ->
+  args:int64 array ->
+  int64
+(** @raise Trap.Error on overflow / division by zero / abort.
+    @raise Invalid_argument on unresolved symbols. *)

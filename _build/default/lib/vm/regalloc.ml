@@ -1,0 +1,174 @@
+type strategy = Loop_aware | Window of int | No_reuse
+
+type result = { slot_offset : int array; n_reg_bytes : int; n_dynamic_slots : int }
+
+(* Instruction positions: block b spans [bstart.(b), bend.(b)]; φs sit
+   at bstart, instructions follow, the terminator is at bend. *)
+let positions (f : Func.t) =
+  let n = Func.n_blocks f in
+  let bstart = Array.make n 0 and bend = Array.make n 0 in
+  let p = ref 0 in
+  for b = 0 to n - 1 do
+    let blk = Func.block f b in
+    bstart.(b) <- !p;
+    p := !p + 1 + Array.length blk.Block.instrs;
+    bend.(b) <- !p;
+    incr p
+  done;
+  (bstart, bend, !p)
+
+(* Enumerate every definition/use mention of every non-parameter value
+   as (value, block, position). φ semantics per the paper: arguments
+   are read at the end of the incoming block; the φ destination is
+   written there as well and read in its own block. *)
+let iter_mentions (f : Func.t) ~bstart ~bend ~(emit : int -> int -> int -> unit) =
+  let n_params = Array.length f.Func.params in
+  let mention v b p = if v >= n_params then emit v b p in
+  let operand b p = function Instr.Vreg v -> mention v b p | Instr.Imm _ | Instr.Fimm _ -> () in
+  Array.iter
+    (fun (blk : Block.t) ->
+      let b = blk.Block.id in
+      Array.iter
+        (fun (phi : Instr.phi) ->
+          mention phi.dst b bstart.(b);
+          Array.iter
+            (fun (pred, v) ->
+              mention phi.dst pred bend.(pred);
+              operand pred bend.(pred) v)
+            phi.incoming)
+        blk.Block.phis;
+      Array.iteri
+        (fun i instr ->
+          let p = bstart.(b) + 1 + i in
+          (match Instr.dst_of instr with Some d -> mention d b p | None -> ());
+          List.iter (operand b p) (Instr.operands instr))
+        blk.Block.instrs;
+      (match blk.Block.term with
+      | Instr.CondBr { cond; _ } -> operand b bend.(b) cond
+      | Instr.Ret (Some v) -> operand b bend.(b) v
+      | Instr.Br _ | Instr.Ret None | Instr.Abort _ -> ()))
+    f.Func.blocks
+
+type iv = {
+  mutable lo_block : int;
+  mutable hi_block : int;
+  mutable lo_pos : int;
+  mutable hi_pos : int;
+  mutable cv : int; (* innermost loop containing all mentions (C_v) *)
+  mutable seen : bool;
+}
+
+let fresh_iv () =
+  { lo_block = max_int; hi_block = -1; lo_pos = max_int; hi_pos = -1; cv = -1; seen = false }
+
+(* The two-phase computation of Fig. 11: first find C_v (the least
+   common loop of all mention blocks), then lift each mention to the
+   outermost loop below C_v that contains it. *)
+let compute_intervals (f : Func.t) (loops : Loops.t) ~bstart ~bend =
+  let nv = f.Func.n_values in
+  let ivs = Array.init nv (fun _ -> fresh_iv ()) in
+  iter_mentions f ~bstart ~bend ~emit:(fun v b p ->
+      let iv = ivs.(v) in
+      if b < iv.lo_block then iv.lo_block <- b;
+      if b > iv.hi_block then iv.hi_block <- b;
+      if p < iv.lo_pos then iv.lo_pos <- p;
+      if p > iv.hi_pos then iv.hi_pos <- p;
+      let l = Loops.innermost loops b in
+      iv.cv <- (if iv.seen then Loops.lca loops iv.cv l else l);
+      iv.seen <- true);
+  (* Second pass: loop extension. *)
+  iter_mentions f ~bstart ~bend ~emit:(fun v b _ ->
+      let iv = ivs.(v) in
+      let inner = Loops.innermost loops b in
+      if inner <> iv.cv then begin
+        let lifted = Loops.outermost_below loops ~ancestor:iv.cv inner in
+        let lp = Loops.loop loops lifted in
+        if lp.Loops.first < iv.lo_block then iv.lo_block <- lp.Loops.first;
+        if lp.Loops.last > iv.hi_block then iv.hi_block <- lp.Loops.last
+      end);
+  ivs
+
+let block_intervals f loops =
+  let bstart, bend, _ = positions f in
+  let ivs = compute_intervals f loops ~bstart ~bend in
+  Array.map
+    (fun iv -> if iv.seen then (iv.lo_block, iv.hi_block) else (0, Func.n_blocks f - 1))
+    ivs
+
+let allocate strategy (f : Func.t) (loops : Loops.t) ~base_offset ~param_offsets =
+  let nv = f.Func.n_values in
+  let n_params = Array.length f.Func.params in
+  let slot_offset = Array.make nv (-1) in
+  Array.iteri (fun i off -> slot_offset.(i) <- off) param_offsets;
+  let bstart, bend, n_pos = positions f in
+  let n_blocks = Func.n_blocks f in
+  match strategy with
+  | No_reuse ->
+    let next = ref 0 in
+    let ivs = compute_intervals f loops ~bstart ~bend in
+    for v = n_params to nv - 1 do
+      if ivs.(v).seen then begin
+        slot_offset.(v) <- base_offset + (8 * !next);
+        incr next
+      end
+    done;
+    { slot_offset; n_reg_bytes = base_offset + (8 * !next); n_dynamic_slots = !next }
+  | Loop_aware | Window _ ->
+    let ivs = compute_intervals f loops ~bstart ~bend in
+    (* Final position ranges: a single-block value keeps its exact
+       positions (on-demand allocation / release-at-last-use); a
+       multi-block one is live from the start of its first block to
+       the end of its last. *)
+    let lo = Array.make nv 0 and hi = Array.make nv 0 in
+    for v = n_params to nv - 1 do
+      let iv = ivs.(v) in
+      if iv.seen then begin
+        (match strategy with
+        | Window k when iv.hi_block - iv.lo_block >= k ->
+          iv.lo_block <- 0;
+          iv.hi_block <- n_blocks - 1
+        | _ -> ());
+        if iv.lo_block = iv.hi_block then begin
+          lo.(v) <- iv.lo_pos;
+          hi.(v) <- iv.hi_pos
+        end
+        else begin
+          lo.(v) <- bstart.(iv.lo_block);
+          hi.(v) <- bend.(iv.hi_block)
+        end
+      end
+    done;
+    (* Bucketed linear sweep. Allocation happens before release at the
+       same position, so boundary-sharing values never alias — this is
+       what makes the sequential φ copies safe. *)
+    let starts = Array.make (n_pos + 1) [] and ends = Array.make (n_pos + 1) [] in
+    for v = n_params to nv - 1 do
+      if ivs.(v).seen then begin
+        starts.(lo.(v)) <- v :: starts.(lo.(v));
+        ends.(hi.(v)) <- v :: ends.(hi.(v))
+      end
+    done;
+    let free = ref [] in
+    let next = ref 0 in
+    let slot_of = Array.make nv (-1) in
+    for p = 0 to n_pos do
+      List.iter
+        (fun v ->
+          let s =
+            match !free with
+            | s :: rest ->
+              free := rest;
+              s
+            | [] ->
+              let s = !next in
+              incr next;
+              s
+          in
+          slot_of.(v) <- s)
+        starts.(p);
+      List.iter (fun v -> free := slot_of.(v) :: !free) ends.(p)
+    done;
+    for v = n_params to nv - 1 do
+      if slot_of.(v) >= 0 then slot_offset.(v) <- base_offset + (8 * slot_of.(v))
+    done;
+    { slot_offset; n_reg_bytes = base_offset + (8 * !next); n_dynamic_slots = !next }

@@ -1,0 +1,55 @@
+(** Register allocation for the bytecode VM — the paper's linear-time
+    liveness algorithm (Section IV-C/D, Figs. 9–12).
+
+    The VM uses virtual registers (byte slots in a register file), so
+    allocation only has to (1) give every SSA value a slot, (2) share
+    slots only between values whose lifetimes cannot overlap, and
+    (3) keep the register file small enough to stay L1-resident —
+    in linear time even for functions with thousands of blocks.
+
+    Lifetimes are computed as a single [first_block, last_block]
+    interval in reverse-postorder block numbering, extended to
+    enclosing-loop boundaries exactly as Fig. 10/11 prescribe: a value
+    used inside a loop that does not contain its definition must stay
+    live for the whole loop (the loop may branch back before the
+    definition is re-executed). φ arguments are read at the end of the
+    incoming block, and the φ result is also written there — this
+    makes all φ sources and destinations of an edge mutually
+    overlapping, so the sequential copies the translator emits can
+    never clobber each other (no parallel-copy "swap problem").
+
+    Three strategies are provided for the paper's Section IV-C
+    ablation. All three are sound; they differ only in how tight the
+    computed lifetime is:
+    - {!Loop_aware}: the paper's algorithm;
+    - {!Window}: values whose lifetime spans [>= k] blocks are treated
+      as live for the whole function (the "fixed window of basic
+      blocks" strategy of some JITs);
+    - {!No_reuse}: every value gets its own slot. *)
+
+type strategy = Loop_aware | Window of int | No_reuse
+
+type result = {
+  slot_offset : int array;
+      (** value id -> byte offset into the register file; [-1] for
+          values that are never mentioned *)
+  n_reg_bytes : int;  (** total register-file size in bytes *)
+  n_dynamic_slots : int;  (** slots used beyond constants/params *)
+}
+
+val block_intervals : Func.t -> Loops.t -> (int * int) array
+(** Per-value [ (first_block, last_block) ] lifetime after loop
+    extension, for tests and the Section IV-C report. Parameters get
+    the whole function. *)
+
+val allocate :
+  strategy ->
+  Func.t ->
+  Loops.t ->
+  base_offset:int ->
+  param_offsets:int array ->
+  result
+(** [allocate strategy f loops ~base_offset ~param_offsets] assigns
+    dynamic slots starting at byte [base_offset]. Parameters are
+    pinned to the supplied offsets (they live in the register-file
+    prefix next to the constant pool). Requires [f] RPO-ordered. *)

@@ -1,0 +1,11 @@
+type t =
+  | F0 of (unit -> int64)
+  | F1 of (int64 -> int64)
+  | F2 of (int64 -> int64 -> int64)
+  | F3 of (int64 -> int64 -> int64 -> int64)
+  | F4 of (int64 -> int64 -> int64 -> int64 -> int64)
+  | F5 of (int64 -> int64 -> int64 -> int64 -> int64 -> int64)
+
+let arity = function F0 _ -> 0 | F1 _ -> 1 | F2 _ -> 2 | F3 _ -> 3 | F4 _ -> 4 | F5 _ -> 5
+
+type resolver = string -> t option

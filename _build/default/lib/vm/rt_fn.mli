@@ -1,0 +1,22 @@
+(** Runtime helper functions callable from generated code.
+
+    The paper's generated code calls into precompiled C++ (hash-table
+    insertion, output buffers, ...). Here helpers are OCaml closures
+    over the query's runtime context, taking and returning [int64]
+    (floats pass as IEEE bits, pointers as arena offsets). Arities are
+    closed — "as we know all exported functions, we can identify
+    missing opcodes at compile time" — so the translator rejects a
+    call whose arity has no opcode. *)
+
+type t =
+  | F0 of (unit -> int64)
+  | F1 of (int64 -> int64)
+  | F2 of (int64 -> int64 -> int64)
+  | F3 of (int64 -> int64 -> int64 -> int64)
+  | F4 of (int64 -> int64 -> int64 -> int64 -> int64)
+  | F5 of (int64 -> int64 -> int64 -> int64 -> int64 -> int64)
+
+val arity : t -> int
+
+type resolver = string -> t option
+(** Symbol table handed to the translator / compiler. *)

@@ -1,0 +1,34 @@
+(** IR → bytecode translation (paper Fig. 9).
+
+    Computes liveness, allocates registers, interns constants into the
+    register-file prefix (slots 0 and 1 always hold 0 and 1), then
+    walks the blocks in reverse postorder emitting opcodes. φ values
+    are propagated by copies at the end of each predecessor block —
+    safe without parallel-copy resolution because the allocator makes
+    all φ sources and destinations of an edge mutually disjoint.
+
+    Macro-op fusion (Section IV-F) recognises and collapses:
+    - overflow-checked arithmetic: [op] + [op.ovf] + branch-to-abort
+      becomes one trapping [*Chk] opcode;
+    - [gep] immediately feeding a load/store becomes [LoadIdx]/
+      [StoreIdx];
+    - a comparison immediately feeding the block's conditional branch
+      becomes a fused compare-and-jump.
+
+    Fusion requires the intermediate value to have exactly one use.
+
+    @raise Unsupported for constructs the VM has no opcode for
+    (checked arithmetic on widths other than 32/64, calls whose arity
+    exceeds the call opcodes, unresolved symbols). *)
+
+exception Unsupported of string
+
+val translate :
+  ?strategy:Regalloc.strategy ->
+  ?fuse:bool ->
+  symbols:Rt_fn.resolver ->
+  Func.t ->
+  Bytecode.t
+(** Requires the function to be RPO-ordered ({!Cfg.reorder_rpo}) and
+    well-formed ({!Verify.run}). [fuse] defaults to [true]; disabling
+    it is used by the fusion ablation benchmark. *)

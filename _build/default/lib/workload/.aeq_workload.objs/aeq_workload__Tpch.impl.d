@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Aeq_mem Aeq_rt Aeq_storage Aeq_util Array Int64 Printf Stdlib

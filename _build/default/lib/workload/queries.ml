@@ -1,0 +1,317 @@
+let q1 =
+  {|select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+     from lineitem
+     where l_shipdate <= date '1998-09-02'
+     group by l_returnflag, l_linestatus
+     order by l_returnflag, l_linestatus|}
+
+let q2 =
+  {|select n_name, min(ps_supplycost) as min_cost
+     from partsupp
+     join supplier on s_suppkey = ps_suppkey
+     join nation on n_nationkey = s_nationkey
+     join region on r_regionkey = n_regionkey
+     join part on p_partkey = ps_partkey
+     where p_size = 15 and p_type like '%BRASS' and r_name = 'EUROPE'
+     group by n_name
+     order by min_cost, n_name|}
+
+let q3 =
+  {|select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue
+     from customer
+     join orders on c_custkey = o_custkey
+     join lineitem on l_orderkey = o_orderkey
+     where c_mktsegment = 'BUILDING'
+       and o_orderdate < date '1995-03-15'
+       and l_shipdate > date '1995-03-15'
+     group by l_orderkey
+     order by revenue desc, l_orderkey
+     limit 10|}
+
+let q4 =
+  {|select o_orderpriority, count(*) as order_count
+     from orders
+     join lineitem on l_orderkey = o_orderkey
+     where o_orderdate >= date '1993-07-01'
+       and o_orderdate < date '1993-10-01'
+       and l_commitdate < l_receiptdate
+     group by o_orderpriority
+     order by o_orderpriority|}
+
+let q5 =
+  {|select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+     from customer
+     join orders on c_custkey = o_custkey
+     join lineitem on l_orderkey = o_orderkey
+     join supplier on l_suppkey = s_suppkey
+     join nation on s_nationkey = n_nationkey
+     join region on n_regionkey = r_regionkey
+     where c_nationkey = s_nationkey
+       and r_name = 'ASIA'
+       and o_orderdate >= date '1994-01-01'
+       and o_orderdate < date '1995-01-01'
+     group by n_name
+     order by revenue desc|}
+
+let q6 =
+  {|select sum(l_extendedprice * l_discount) as revenue
+     from lineitem
+     where l_shipdate >= date '1994-01-01'
+       and l_shipdate < date '1995-01-01'
+       and l_discount between 0.05 and 0.07
+       and l_quantity < 24|}
+
+let q7 =
+  {|select n1.n_name as supp_nation, n2.n_name as cust_nation,
+       sum(l_extendedprice * (1 - l_discount)) as revenue
+     from supplier
+     join lineitem on s_suppkey = l_suppkey
+     join orders on o_orderkey = l_orderkey
+     join customer on c_custkey = o_custkey
+     join nation n1 on s_nationkey = n1.n_nationkey
+     join nation n2 on c_nationkey = n2.n_nationkey
+     where l_shipdate between date '1995-01-01' and date '1996-12-31'
+       and n1.n_name in ('FRANCE', 'GERMANY')
+       and n2.n_name in ('FRANCE', 'GERMANY')
+     group by n1.n_name, n2.n_name
+     order by supp_nation, cust_nation|}
+
+let q8 =
+  {|select extract(year from o_orderdate) as o_year,
+       sum(l_extendedprice * (1 - l_discount)) as volume
+     from part
+     join lineitem on p_partkey = l_partkey
+     join orders on o_orderkey = l_orderkey
+     join customer on c_custkey = o_custkey
+     join nation on c_nationkey = n_nationkey
+     join region on n_regionkey = r_regionkey
+     where r_name = 'AMERICA'
+       and o_orderdate between date '1995-01-01' and date '1996-12-31'
+       and p_type = 'ECONOMY ANODIZED STEEL'
+     group by extract(year from o_orderdate)
+     order by o_year|}
+
+let q9 =
+  {|select n_name as nation, extract(year from o_orderdate) as o_year
+     , sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) as profit
+     from lineitem
+     join part on p_partkey = l_partkey
+     join supplier on s_suppkey = l_suppkey
+     join partsupp on ps_partkey = l_partkey
+     join orders on o_orderkey = l_orderkey
+     join nation on s_nationkey = n_nationkey
+     where ps_suppkey = l_suppkey and p_name like '%green%'
+     group by n_name, extract(year from o_orderdate)
+     order by nation, o_year desc|}
+
+let q10 =
+  {|select c_custkey, sum(l_extendedprice * (1 - l_discount)) as revenue
+     from customer
+     join orders on c_custkey = o_custkey
+     join lineitem on l_orderkey = o_orderkey
+     where o_orderdate >= date '1993-10-01'
+       and o_orderdate < date '1994-01-01'
+       and l_returnflag = 'R'
+     group by c_custkey
+     order by revenue desc, c_custkey
+     limit 20|}
+
+let q11 =
+  {|select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+     from partsupp
+     join supplier on ps_suppkey = s_suppkey
+     join nation on s_nationkey = n_nationkey
+     where n_name = 'GERMANY'
+     group by ps_partkey
+     having sum(ps_supplycost * ps_availqty) > 7000000.00
+     order by value desc, ps_partkey
+     limit 100|}
+
+let q12 =
+  {|select l_shipmode,
+       sum(case when o_orderpriority in ('1-URGENT', '2-HIGH') then 1 else 0 end) as high_line_count,
+       sum(case when o_orderpriority in ('3-MEDIUM', '4-NOT SPECIFIED', '5-LOW') then 1 else 0 end) as low_line_count
+     from orders
+     join lineitem on o_orderkey = l_orderkey
+     where l_shipmode in ('MAIL', 'SHIP')
+       and l_commitdate < l_receiptdate
+       and l_shipdate < l_commitdate
+       and l_receiptdate >= date '1994-01-01'
+       and l_receiptdate < date '1995-01-01'
+     group by l_shipmode
+     order by l_shipmode|}
+
+let q13 =
+  {|select c_custkey, count(*) as c_count
+     from customer
+     join orders on o_custkey = c_custkey
+     where o_orderpriority <> '1-URGENT'
+     group by c_custkey
+     order by c_count desc, c_custkey
+     limit 50|}
+
+let q14 =
+  {|select 100.00 * sum(case when p_type like 'PROMO%'
+                             then l_extendedprice * (1 - l_discount)
+                             else 0.00 end)
+            / sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+     from lineitem
+     join part on l_partkey = p_partkey
+     where l_shipdate >= date '1995-09-01'
+       and l_shipdate < date '1995-10-01'|}
+
+let q15 =
+  {|select s_suppkey, sum(l_extendedprice * (1 - l_discount)) as total_revenue
+     from lineitem
+     join supplier on s_suppkey = l_suppkey
+     where l_shipdate >= date '1996-01-01'
+       and l_shipdate < date '1996-04-01'
+     group by s_suppkey
+     order by total_revenue desc, s_suppkey
+     limit 1|}
+
+let q16 =
+  {|select p_brand, count(*) as supplier_cnt
+     from partsupp
+     join part on p_partkey = ps_partkey
+     where p_brand <> 'Brand#45'
+       and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+     group by p_brand
+     order by supplier_cnt desc, p_brand|}
+
+let q17 =
+  {|select sum(l_extendedprice) / 7.00 as avg_yearly
+     from lineitem
+     join part on p_partkey = l_partkey
+     where p_brand = 'Brand#23'
+       and p_container = 'MED BOX'
+       and l_quantity < 3|}
+
+let q18 =
+  {|select o_orderkey, sum(l_quantity) as total_qty
+     from orders
+     join lineitem on o_orderkey = l_orderkey
+     group by o_orderkey
+     having sum(l_quantity) > 300
+     order by total_qty desc, o_orderkey
+     limit 100|}
+
+let q19 =
+  {|select sum(l_extendedprice * (1 - l_discount)) as revenue
+     from lineitem
+     join part on p_partkey = l_partkey
+     where (p_brand = 'Brand#12'
+            and p_container in ('SM CASE', 'SM BOX')
+            and l_quantity >= 1 and l_quantity <= 11
+            and p_size between 1 and 5
+            and l_shipmode in ('AIR', 'REG AIR')
+            and l_shipinstruct = 'DELIVER IN PERSON')
+        or (p_brand = 'Brand#23'
+            and p_container in ('MED BAG', 'MED BOX')
+            and l_quantity >= 10 and l_quantity <= 20
+            and p_size between 1 and 10
+            and l_shipmode in ('AIR', 'REG AIR')
+            and l_shipinstruct = 'DELIVER IN PERSON')|}
+
+let q20 =
+  {|select s_name, count(*) as part_count
+     from partsupp
+     join supplier on s_suppkey = ps_suppkey
+     join nation on n_nationkey = s_nationkey
+     join part on p_partkey = ps_partkey
+     where p_name like 'forest%' and n_name = 'CANADA'
+     group by s_name
+     order by s_name|}
+
+let q21 =
+  {|select s_name, count(*) as numwait
+     from lineitem
+     join supplier on s_suppkey = l_suppkey
+     join orders on o_orderkey = l_orderkey
+     join nation on n_nationkey = s_nationkey
+     where o_orderstatus = 'F'
+       and l_receiptdate > l_commitdate
+       and n_name = 'SAUDI ARABIA'
+     group by s_name
+     order by numwait desc, s_name
+     limit 100|}
+
+let q22 =
+  {|select c_nationkey, count(*) as numcust, sum(c_acctbal) as totacctbal
+     from customer
+     where c_acctbal > 0.00
+       and c_nationkey in (13, 31, 23, 29, 30, 18, 17)
+     group by c_nationkey
+     order by c_nationkey|}
+
+let tpch =
+  [
+    ("q1", q1); ("q2", q2); ("q3", q3); ("q4", q4); ("q5", q5); ("q6", q6); ("q7", q7);
+    ("q8", q8); ("q9", q9); ("q10", q10); ("q11", q11); ("q12", q12); ("q13", q13);
+    ("q14", q14); ("q15", q15); ("q16", q16); ("q17", q17); ("q18", q18); ("q19", q19);
+    ("q20", q20); ("q21", q21); ("q22", q22);
+  ]
+
+let tpch_q n =
+  if n < 1 || n > 22 then invalid_arg "Queries.tpch_q: 1..22";
+  snd (List.nth tpch (n - 1))
+
+(* pgAdmin-style metadata queries: joins over tiny catalog-like tables *)
+let metadata =
+  [
+    ( "meta1",
+      {|select n_name, r_name from nation
+         join region on n_regionkey = r_regionkey
+         where n_nationkey = 7 order by n_name|} );
+    ( "meta2",
+      {|select r_name, count(*) as nations from nation
+         join region on n_regionkey = r_regionkey
+         group by r_name order by r_name|} );
+    ( "meta3",
+      {|select n_name, count(*) as suppliers from supplier
+         join nation on s_nationkey = n_nationkey
+         where s_suppkey < 50
+         group by n_name order by suppliers desc, n_name|} );
+    ( "meta4",
+      {|select s_name, n_name, r_name from supplier
+         join nation on s_nationkey = n_nationkey
+         join region on n_regionkey = r_regionkey
+         where s_suppkey = 42|} );
+    ( "meta5",
+      {|select n_name, min(s_acctbal) as lo, max(s_acctbal) as hi from supplier
+         join nation on s_nationkey = n_nationkey
+         join region on n_regionkey = r_regionkey
+         where r_name = 'EUROPE' and s_suppkey < 100
+         group by n_name order by n_name|} );
+    ( "meta6",
+      {|select r_name, count(*) as cnt from region
+         join nation on n_regionkey = r_regionkey
+         join supplier on s_nationkey = n_nationkey
+         where s_suppkey < 25
+         group by r_name order by cnt desc, r_name|} );
+  ]
+
+(* Section V-E: machine-generated query with n aggregate expressions *)
+let large_query n =
+  let b = Buffer.create (n * 64) in
+  Buffer.add_string b "select ";
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string b ", ";
+    (* distinct arithmetic per aggregate so nothing folds away *)
+    Buffer.add_string b
+      (Printf.sprintf
+         "sum(l_quantity * %d + l_extendedprice - l_discount * %d + %d) as agg_%d"
+         ((i mod 17) + 1)
+         ((i mod 7) + 1)
+         (i + 1) i)
+  done;
+  Buffer.add_string b " from lineitem where l_quantity < 100";
+  Buffer.contents b

@@ -1,0 +1,24 @@
+(** The query workloads of the evaluation.
+
+    [tpch] is the 22-query TPC-H suite adapted to the engine's SQL
+    subset (no correlated subqueries; at most two GROUP BY keys;
+    scalar subqueries replaced by constants). Each adaptation keeps
+    the original's *pipeline shape* — the property the experiments
+    measure. [metadata] mimics the pgAdmin catalog queries of the
+    introduction: multi-join queries over tiny tables where
+    compilation time would dominate. [large_query n] generates the
+    machine-generated mega-query of Section V-E: one table scan with
+    [n] aggregate expressions. *)
+
+val tpch : (string * string) list
+(** (name, SQL) for q1..q22. *)
+
+val tpch_q : int -> string
+(** SQL of query [1..22]. *)
+
+val metadata : (string * string) list
+(** Small catalog-style queries (the pgAdmin scenario). *)
+
+val large_query : int -> string
+(** [large_query n]: SELECT with [n] distinct aggregate expressions
+    over lineitem. *)

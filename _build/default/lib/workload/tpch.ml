@@ -1,0 +1,258 @@
+module A = Aeq_mem.Arena
+module P = Aeq_util.Prng
+module Dtype = Aeq_storage.Dtype
+module Table = Aeq_storage.Table
+module Catalog = Aeq_storage.Catalog
+
+let table_names =
+  [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp"; "orders"; "lineitem" ]
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE"; "GERMANY";
+    "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA"; "MOROCCO";
+    "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA"; "VIETNAM"; "RUSSIA";
+    "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+let nation_region = [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2; 3; 3; 1 |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let ship_instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let containers =
+  [| "SM CASE"; "SM BOX"; "MED BAG"; "MED BOX"; "LG CASE"; "LG BOX"; "JUMBO PACK"; "WRAP JAR" |]
+
+let type_syllables_1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+
+let type_syllables_2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+
+let type_syllables_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let name_words =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black"; "blanched";
+    "blue"; "blush"; "brown"; "burlywood"; "chartreuse"; "chiffon"; "chocolate"; "coral";
+    "cornflower"; "cream"; "cyan"; "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick";
+    "floral"; "forest"; "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey";
+    "honeydew"; "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn"; "lemon";
+    "light"; "lime"; "linen"; "magenta"; "maroon"; "medium"; "metallic"; "midnight";
+    "mint"; "misty"; "moccasin"; "navajo"; "navy"; "olive"; "orange"; "orchid"; "pale";
+    "papaya"; "peach"; "peru"; "pink"; "plum"; "powder"; "puff"; "purple"; "red"; "rose";
+    "rosy"; "royal"; "saddle"; "salmon"; "sandy"; "seashell"; "sienna"; "sky"; "slate";
+    "smoke"; "snow"; "spring"; "steel"; "tan"; "thistle"; "tomato"; "turquoise"; "violet";
+    "wheat"; "white"; "yellow";
+  |]
+
+(* date range 1992-01-01 .. 1998-12-31 as days since 1970-01-01 *)
+let date_lo = 8035
+
+let date_hi = 10591
+
+let load ?(seed = 20180416L) ~scale_factor catalog =
+  let arena = Catalog.arena catalog in
+  let alloc = Catalog.allocator catalog in
+  let dict = Catalog.dict catalog in
+  let rng = P.create seed in
+  let enc s = Aeq_rt.Dict.encode dict s in
+  let sf x = Stdlib.max 1 (int_of_float (float_of_int x *. scale_factor)) in
+  let mk name rows schema = Table.create arena alloc ~name ~rows ~schema in
+  let set tbl col row v = Table.set arena tbl ~col ~row v in
+  let seti tbl col row v = set tbl col row (Int64.of_int v) in
+  (* region --------------------------------------------------------- *)
+  let region = mk "region" 5 [ ("r_regionkey", Dtype.Int); ("r_name", Dtype.Str) ] in
+  for i = 0 to 4 do
+    seti region 0 i i;
+    set region 1 i (enc region_names.(i))
+  done;
+  Catalog.add_table catalog region;
+  (* nation --------------------------------------------------------- *)
+  let nation =
+    mk "nation" 25
+      [ ("n_nationkey", Dtype.Int); ("n_name", Dtype.Str); ("n_regionkey", Dtype.Int) ]
+  in
+  for i = 0 to 24 do
+    seti nation 0 i i;
+    set nation 1 i (enc nation_names.(i));
+    seti nation 2 i nation_region.(i)
+  done;
+  Catalog.add_table catalog nation;
+  (* supplier -------------------------------------------------------- *)
+  let n_supp = sf 10_000 in
+  let supplier =
+    mk "supplier" n_supp
+      [
+        ("s_suppkey", Dtype.Int);
+        ("s_name", Dtype.Str);
+        ("s_nationkey", Dtype.Int);
+        ("s_acctbal", Dtype.Decimal);
+      ]
+  in
+  for i = 0 to n_supp - 1 do
+    seti supplier 0 i i;
+    set supplier 1 i (enc (Printf.sprintf "Supplier#%09d" i));
+    seti supplier 2 i (P.int rng 25);
+    seti supplier 3 i (P.int_in rng (-99999) 999999)
+  done;
+  Catalog.add_table catalog supplier;
+  (* customer -------------------------------------------------------- *)
+  let n_cust = sf 150_000 in
+  let customer =
+    mk "customer" n_cust
+      [
+        ("c_custkey", Dtype.Int);
+        ("c_name", Dtype.Str);
+        ("c_nationkey", Dtype.Int);
+        ("c_mktsegment", Dtype.Str);
+        ("c_acctbal", Dtype.Decimal);
+      ]
+  in
+  (* pre-encode customer names sparsely: names are unique per key but
+     the dictionary should not explode, so reuse a word pool *)
+  for i = 0 to n_cust - 1 do
+    seti customer 0 i i;
+    set customer 1 i
+      (enc (Printf.sprintf "Customer#%s-%d" (P.pick rng name_words) (i mod 1000)));
+    seti customer 2 i (P.int rng 25);
+    set customer 3 i (enc (P.pick rng segments));
+    seti customer 4 i (P.int_in rng (-99999) 999999)
+  done;
+  Catalog.add_table catalog customer;
+  (* part ------------------------------------------------------------ *)
+  let n_part = sf 200_000 in
+  let part =
+    mk "part" n_part
+      [
+        ("p_partkey", Dtype.Int);
+        ("p_name", Dtype.Str);
+        ("p_brand", Dtype.Str);
+        ("p_type", Dtype.Str);
+        ("p_size", Dtype.Int);
+        ("p_container", Dtype.Str);
+        ("p_retailprice", Dtype.Decimal);
+      ]
+  in
+  for i = 0 to n_part - 1 do
+    seti part 0 i i;
+    set part 1 i (enc (P.pick rng name_words ^ " " ^ P.pick rng name_words));
+    set part 2 i (enc (Printf.sprintf "Brand#%d%d" (1 + P.int rng 5) (1 + P.int rng 5)));
+    set part 3 i
+      (enc
+         (P.pick rng type_syllables_1 ^ " " ^ P.pick rng type_syllables_2 ^ " "
+        ^ P.pick rng type_syllables_3));
+    seti part 4 i (1 + P.int rng 50);
+    set part 5 i (enc (P.pick rng containers));
+    seti part 6 i (90_000 + P.int rng 10_000 + (i mod 1000))
+  done;
+  Catalog.add_table catalog part;
+  (* partsupp --------------------------------------------------------- *)
+  let n_ps = n_part * 4 in
+  let partsupp =
+    mk "partsupp" n_ps
+      [
+        ("ps_partkey", Dtype.Int);
+        ("ps_suppkey", Dtype.Int);
+        ("ps_availqty", Dtype.Int);
+        ("ps_supplycost", Dtype.Decimal);
+      ]
+  in
+  for i = 0 to n_ps - 1 do
+    seti partsupp 0 i (i / 4);
+    seti partsupp 1 i ((i + (i / 4)) mod n_supp);
+    seti partsupp 2 i (1 + P.int rng 9999);
+    seti partsupp 3 i (100 + P.int rng 99_900)
+  done;
+  Catalog.add_table catalog partsupp;
+  (* orders ----------------------------------------------------------- *)
+  let n_orders = sf 1_500_000 in
+  let orders =
+    mk "orders" n_orders
+      [
+        ("o_orderkey", Dtype.Int);
+        ("o_custkey", Dtype.Int);
+        ("o_orderstatus", Dtype.Str);
+        ("o_totalprice", Dtype.Decimal);
+        ("o_orderdate", Dtype.Date);
+        ("o_orderpriority", Dtype.Str);
+        ("o_shippriority", Dtype.Int);
+      ]
+  in
+  let status_codes = [| enc "F"; enc "O"; enc "P" |] in
+  let priority_codes = Array.map enc priorities in
+  for i = 0 to n_orders - 1 do
+    seti orders 0 i i;
+    seti orders 1 i (P.int rng n_cust);
+    set orders 2 i status_codes.(P.int rng 3);
+    seti orders 3 i (1_000_00 + P.int rng 45_000_000);
+    seti orders 4 i (P.int_in rng date_lo date_hi);
+    set orders 5 i priority_codes.(P.int rng 5);
+    seti orders 6 i 0
+  done;
+  Catalog.add_table catalog orders;
+  (* lineitem ---------------------------------------------------------- *)
+  (* pass 1: count lines per order (1..7) *)
+  let lines_rng = P.split rng in
+  let line_counts = Array.init n_orders (fun _ -> 1 + P.int lines_rng 7) in
+  let n_lines = Array.fold_left ( + ) 0 line_counts in
+  let lineitem =
+    mk "lineitem" n_lines
+      [
+        ("l_orderkey", Dtype.Int);
+        ("l_partkey", Dtype.Int);
+        ("l_suppkey", Dtype.Int);
+        ("l_linenumber", Dtype.Int);
+        ("l_quantity", Dtype.Decimal);
+        ("l_extendedprice", Dtype.Decimal);
+        ("l_discount", Dtype.Decimal);
+        ("l_tax", Dtype.Decimal);
+        ("l_returnflag", Dtype.Str);
+        ("l_linestatus", Dtype.Str);
+        ("l_shipdate", Dtype.Date);
+        ("l_commitdate", Dtype.Date);
+        ("l_receiptdate", Dtype.Date);
+        ("l_shipinstruct", Dtype.Str);
+        ("l_shipmode", Dtype.Str);
+      ]
+  in
+  let flag_r = enc "R" and flag_a = enc "A" and flag_n = enc "N" in
+  let status_o = enc "O" and status_f = enc "F" in
+  let mode_codes = Array.map enc ship_modes in
+  let instruct_codes = Array.map enc ship_instructs in
+  let row = ref 0 in
+  for o = 0 to n_orders - 1 do
+    let odate = Int64.to_int (Table.get arena orders ~col:4 ~row:o) in
+    for ln = 0 to line_counts.(o) - 1 do
+      let i = !row in
+      incr row;
+      let partkey = P.int rng n_part in
+      seti lineitem 0 i o;
+      seti lineitem 1 i partkey;
+      seti lineitem 2 i ((partkey + (ln * 13)) mod n_supp);
+      seti lineitem 3 i (ln + 1);
+      let qty = 1 + P.int rng 50 in
+      seti lineitem 4 i (qty * 100);
+      let price = Int64.to_int (Table.get arena part ~col:6 ~row:partkey) in
+      seti lineitem 5 i (qty * price);
+      seti lineitem 6 i (P.int rng 11);
+      seti lineitem 7 i (P.int rng 9);
+      let shipdate = Stdlib.min date_hi (odate + 1 + P.int rng 120) in
+      (* return flag: R/A for old shipments, N for recent — the skew
+         Q1's groups rely on *)
+      set lineitem 8 i
+        (if shipdate > date_hi - 700 then flag_n else if P.bool rng then flag_r else flag_a);
+      set lineitem 9 i (if shipdate > date_hi - 700 then status_o else status_f);
+      seti lineitem 10 i shipdate;
+      seti lineitem 11 i (Stdlib.min date_hi (shipdate + P.int_in rng (-30) 30));
+      seti lineitem 12 i (Stdlib.min date_hi (shipdate + 1 + P.int rng 30));
+      set lineitem 13 i instruct_codes.(P.int rng (Array.length instruct_codes));
+      set lineitem 14 i mode_codes.(P.int rng (Array.length mode_codes))
+    done
+  done;
+  Catalog.add_table catalog lineitem

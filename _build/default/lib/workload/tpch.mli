@@ -1,0 +1,14 @@
+(** Deterministic TPC-H-style data generator.
+
+    Builds the eight TPC-H tables at classic cardinalities scaled by
+    the scale factor (lineitem ≈ 6M × SF rows), with value
+    distributions that preserve what the evaluation depends on:
+    realistic join fan-outs, selective date/segment/brand filters,
+    decimal columns exercising overflow-checked arithmetic, and skew
+    on return flags. Strings are dictionary-encoded at generation
+    time. The same seed always yields the same database. *)
+
+val load : ?seed:int64 -> scale_factor:float -> Aeq_storage.Catalog.t -> unit
+(** Create and register all eight tables. *)
+
+val table_names : string list

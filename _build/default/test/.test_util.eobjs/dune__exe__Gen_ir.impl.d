@@ -1,0 +1,1 @@
+test/gen_ir.ml: Aeq_util Array Builder Instr Int64 Layout List Printf Types Verify

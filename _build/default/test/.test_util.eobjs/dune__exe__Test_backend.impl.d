@@ -1,0 +1,1 @@
+test/test_backend.ml: Aeq_backend Aeq_mem Aeq_vm Alcotest Array Builder Func Gen_ir Instr Int64 Layout List QCheck QCheck_alcotest Trap Types

@@ -1,0 +1,1 @@
+test/test_engine.ml: Aeq Aeq_backend Aeq_baseline Aeq_exec Aeq_plan Aeq_storage Aeq_workload Alcotest Array Int64 Lazy List String Trap

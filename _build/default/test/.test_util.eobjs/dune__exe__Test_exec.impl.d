@@ -1,0 +1,1 @@
+test/test_exec.ml: Aeq Aeq_backend Aeq_exec Aeq_storage Alcotest Array Atomic Int64 List String

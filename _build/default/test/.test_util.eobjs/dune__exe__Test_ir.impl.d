@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Block Builder Cfg Dom Func Gen_ir Instr Layout List Loops Pp QCheck QCheck_alcotest String Types Verify

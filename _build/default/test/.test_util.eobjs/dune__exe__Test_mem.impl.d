@@ -1,0 +1,1 @@
+test/test_mem.ml: Aeq_mem Alcotest Array Domain Int64 List QCheck QCheck_alcotest

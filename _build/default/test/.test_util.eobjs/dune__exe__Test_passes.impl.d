@@ -1,0 +1,1 @@
+test/test_passes.ml: Aeq_mem Aeq_passes Aeq_vm Alcotest Analysis Array Block Builder Func Gen_ir Instr Int64 Layout List QCheck QCheck_alcotest Trap Types Verify

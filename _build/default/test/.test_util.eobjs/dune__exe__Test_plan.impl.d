@@ -1,0 +1,1 @@
+test/test_plan.ml: Aeq_plan Aeq_rt Aeq_sql Aeq_storage Aeq_workload Alcotest Array Lazy List String

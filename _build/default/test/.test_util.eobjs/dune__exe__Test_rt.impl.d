@@ -1,0 +1,1 @@
+test/test_rt.ml: Aeq_mem Aeq_rt Alcotest Array Domain Int64 List String

@@ -1,0 +1,1 @@
+test/test_sql.ml: Aeq_sql Aeq_workload Alcotest List Printexc

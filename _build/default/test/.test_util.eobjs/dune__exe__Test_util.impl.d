@@ -1,0 +1,1 @@
+test/test_util.ml: Aeq_util Alcotest Array Fun Int64

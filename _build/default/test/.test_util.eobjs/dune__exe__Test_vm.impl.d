@@ -1,0 +1,1 @@
+test/test_vm.ml: Aeq_mem Aeq_vm Alcotest Array Block Builder Dom Func Gen_ir Instr Int64 Layout List Loops QCheck QCheck_alcotest Semantics String Trap Types Verify

@@ -1,0 +1,1 @@
+test/test_workload.ml: Aeq_rt Aeq_storage Aeq_workload Alcotest Array Hashtbl Int64 Lazy List Option Stdlib

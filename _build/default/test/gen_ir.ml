@@ -1,0 +1,196 @@
+(* Random structured IR program generator for differential testing.
+
+   Programs take three i64 parameters plus a pointer to a 64-word
+   scratch buffer. Control flow is structured (diamonds and counted
+   loops), so every generated program terminates. Division operands
+   are masked to be non-zero, and checked arithmetic usually operates
+   on masked (small) operands so traps stay rare but possible. *)
+
+module P = Aeq_util.Prng
+
+let n_mem_words = 64
+
+let mask_small b v =
+  (* v & 0xFFFF — keeps checked arithmetic below any overflow bound *)
+  Builder.binop b Instr.And Types.I64 v (Instr.Imm 0xFFFFL)
+
+let safe_divisor b v =
+  (* (v & 7) + 1: non-zero, small *)
+  let m = Builder.binop b Instr.And Types.I64 v (Instr.Imm 7L) in
+  Builder.binop b Instr.Add Types.I64 m (Instr.Imm 1L)
+
+let mem_addr b ~membase idx_v =
+  (* membase + (idx & 63) * 8 *)
+  let idx = Builder.binop b Instr.And Types.I64 idx_v (Instr.Imm 63L) in
+  Builder.gep b ~base:membase ~index:idx ~scale:8 ~offset:0
+
+type ctx = {
+  b : Builder.t;
+  rng : P.t;
+  mutable pool : Instr.value list; (* i64 values in scope *)
+  mutable fpool : Instr.value list; (* f64 values in scope *)
+  membase : Instr.value;
+}
+
+let pick ctx = P.pick ctx.rng (Array.of_list ctx.pool)
+
+let push ctx v = ctx.pool <- v :: ctx.pool
+
+let arith_ops =
+  [| Instr.Add; Instr.Sub; Instr.Mul; Instr.And; Instr.Or; Instr.Xor |]
+
+let cmp_ops = [| Instr.Eq; Instr.Ne; Instr.Slt; Instr.Sle; Instr.Sgt; Instr.Sge; Instr.Ult; Instr.Ule; Instr.Ugt; Instr.Uge |]
+
+let emit_arith ctx =
+  let a = pick ctx and b = pick ctx in
+  match P.int ctx.rng 6 with
+  | 0 | 1 -> push ctx (Builder.binop ctx.b (P.pick ctx.rng arith_ops) Types.I64 a b)
+  | 2 ->
+    let d = safe_divisor ctx.b b in
+    push ctx (Builder.binop ctx.b (if P.bool ctx.rng then Instr.Div else Instr.Rem) Types.I64 a d)
+  | 3 ->
+    let sh = Builder.binop ctx.b Instr.And Types.I64 b (Instr.Imm 31L) in
+    let op = P.pick ctx.rng [| Instr.Shl; Instr.LShr; Instr.AShr |] in
+    push ctx (Builder.binop ctx.b op Types.I64 a sh)
+  | 4 ->
+    (* narrow-width arithmetic through casts *)
+    let ty = P.pick ctx.rng [| Types.I8; Types.I16; Types.I32 |] in
+    let na = Builder.cast ctx.b Instr.Trunc ~from_ty:Types.I64 ~to_ty:ty a in
+    let nb = Builder.cast ctx.b Instr.Trunc ~from_ty:Types.I64 ~to_ty:ty b in
+    let r = Builder.binop ctx.b (P.pick ctx.rng arith_ops) ty na nb in
+    let wide =
+      if P.bool ctx.rng then Builder.cast ctx.b Instr.Sext ~from_ty:ty ~to_ty:Types.I64 r
+      else Builder.cast ctx.b Instr.Zext ~from_ty:ty ~to_ty:Types.I64 r
+    in
+    push ctx wide
+  | _ ->
+    let cond = Builder.icmp ctx.b (P.pick ctx.rng cmp_ops) Types.I64 a b in
+    push ctx (Builder.select ctx.b Types.I64 cond a b)
+
+let emit_checked ctx =
+  let a = pick ctx and b = pick ctx in
+  let a = mask_small ctx.b a and b = mask_small ctx.b b in
+  let op = P.pick ctx.rng [| Instr.OAdd; Instr.OSub; Instr.OMul |] in
+  push ctx (Builder.checked ctx.b op Types.I64 a b)
+
+let emit_float ctx =
+  let take_f () =
+    match ctx.fpool with
+    | [] -> Builder.cast ctx.b Instr.SiToFp ~from_ty:Types.I64 ~to_ty:Types.F64 (pick ctx)
+    | l -> P.pick ctx.rng (Array.of_list l)
+  in
+  let x = take_f () and y = take_f () in
+  let op = P.pick ctx.rng [| Instr.FAdd; Instr.FSub; Instr.FMul |] in
+  let r = Builder.fbinop ctx.b op x y in
+  ctx.fpool <- r :: ctx.fpool;
+  if P.bool ctx.rng then begin
+    let c =
+      Builder.fcmp ctx.b
+        (P.pick ctx.rng [| Instr.FEq; Instr.FNe; Instr.FLt; Instr.FLe; Instr.FGt; Instr.FGe |])
+        r y
+    in
+    push ctx (Builder.cast ctx.b Instr.Zext ~from_ty:Types.I1 ~to_ty:Types.I64 c)
+  end
+
+let emit_mem ctx =
+  let addr = mem_addr ctx.b ~membase:ctx.membase (pick ctx) in
+  if P.bool ctx.rng then Builder.store ctx.b Types.I64 ~addr (pick ctx)
+  else push ctx (Builder.load ctx.b Types.I64 addr)
+
+let rec emit_if ctx depth =
+  let cond = Builder.icmp ctx.b (P.pick ctx.rng cmp_ops) Types.I64 (pick ctx) (pick ctx) in
+  let then_b = Builder.new_block ctx.b in
+  let else_b = Builder.new_block ctx.b in
+  let join_b = Builder.new_block ctx.b in
+  Builder.condbr ctx.b cond ~if_true:then_b ~if_false:else_b;
+  let saved_pool = ctx.pool in
+  let saved_fpool = ctx.fpool in
+  Builder.switch_to ctx.b then_b;
+  emit_stmts ctx (depth - 1) (1 + P.int ctx.rng 3);
+  let then_v = pick ctx in
+  let then_end = Builder.current_block ctx.b in
+  Builder.br ctx.b join_b;
+  ctx.pool <- saved_pool;
+  ctx.fpool <- saved_fpool;
+  Builder.switch_to ctx.b else_b;
+  emit_stmts ctx (depth - 1) (1 + P.int ctx.rng 3);
+  let else_v = pick ctx in
+  let else_end = Builder.current_block ctx.b in
+  Builder.br ctx.b join_b;
+  ctx.pool <- saved_pool;
+  ctx.fpool <- saved_fpool;
+  Builder.switch_to ctx.b join_b;
+  push ctx (Builder.phi ctx.b Types.I64 [ (then_end, then_v); (else_end, else_v) ])
+
+and emit_loop ctx depth =
+  let trip = Int64.of_int (1 + P.int ctx.rng 8) in
+  let init = pick ctx in
+  let pre = Builder.current_block ctx.b in
+  let head = Builder.new_block ctx.b in
+  let body = Builder.new_block ctx.b in
+  let exit = Builder.new_block ctx.b in
+  Builder.br ctx.b head;
+  Builder.switch_to ctx.b head;
+  let i = Builder.phi ctx.b Types.I64 [ (pre, Instr.Imm 0L) ] in
+  let acc = Builder.phi ctx.b Types.I64 [ (pre, init) ] in
+  let cont = Builder.icmp ctx.b Instr.Slt Types.I64 i (Instr.Imm trip) in
+  Builder.condbr ctx.b cont ~if_true:body ~if_false:exit;
+  Builder.switch_to ctx.b body;
+  let saved_pool = ctx.pool in
+  let saved_fpool = ctx.fpool in
+  push ctx acc;
+  push ctx i;
+  emit_stmts ctx (depth - 1) (1 + P.int ctx.rng 3);
+  let acc' = Builder.binop ctx.b Instr.Add Types.I64 (pick ctx) acc in
+  let i' = Builder.binop ctx.b Instr.Add Types.I64 i (Instr.Imm 1L) in
+  let body_end = Builder.current_block ctx.b in
+  Builder.br ctx.b head;
+  Builder.add_phi_incoming ctx.b ~block:head ~dst:i ~pred:body_end i';
+  Builder.add_phi_incoming ctx.b ~block:head ~dst:acc ~pred:body_end acc';
+  ctx.pool <- saved_pool;
+  ctx.fpool <- saved_fpool;
+  Builder.switch_to ctx.b exit;
+  push ctx acc
+
+and emit_stmt ctx depth =
+  match P.int ctx.rng (if depth > 0 then 8 else 6) with
+  | 0 | 1 -> emit_arith ctx
+  | 2 -> emit_checked ctx
+  | 3 -> emit_float ctx
+  | 4 | 5 -> emit_mem ctx
+  | 6 -> emit_if ctx depth
+  | _ -> emit_loop ctx depth
+
+and emit_stmts ctx depth n =
+  for _ = 1 to n do
+    emit_stmt ctx depth
+  done
+
+let generate ?(complexity = 12) seed =
+  let rng = P.create (Int64.of_int seed) in
+  let b = Builder.create ~name:(Printf.sprintf "rand_%d" seed)
+      ~params:[ Types.I64; Types.I64; Types.I64; Types.Ptr ]
+  in
+  let ctx =
+    {
+      b;
+      rng;
+      pool = [ Builder.param b 0; Builder.param b 1; Builder.param b 2; Instr.Imm 5L; Instr.Imm (-3L) ];
+      fpool = [];
+      membase = Builder.param b 3;
+    }
+  in
+  emit_stmts ctx 2 complexity;
+  (* Fold a sample of the pool into the result so most computed values
+     are live at the end. *)
+  let result =
+    List.fold_left
+      (fun acc v -> Builder.binop ctx.b Instr.Xor Types.I64 acc v)
+      (pick ctx)
+      (List.filteri (fun i _ -> i mod 3 = 0) ctx.pool)
+  in
+  Builder.ret ctx.b result;
+  let f = Builder.finish b in
+  Layout.normalize f;
+  Verify.run f;
+  f

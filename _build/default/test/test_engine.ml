@@ -1,0 +1,173 @@
+(* End-to-end tests: the full engine on the TPC-H workload, all
+   execution modes differentially against each other and against the
+   Volcano / vectorized baselines, plus adaptive-specific behaviour. *)
+
+module Driver = Aeq_exec.Driver
+
+(* One small shared engine for the whole binary (loading data is the
+   expensive part). *)
+let engine =
+  lazy
+    (let e = Aeq.Engine.create ~n_threads:4 ~cost_model:Aeq_backend.Cost_model.off () in
+     Aeq.Engine.load_tpch e ~scale_factor:0.002;
+     e)
+
+let norm_rows (r : Driver.result) =
+  List.sort compare (List.map Array.to_list r.Driver.rows)
+
+let test_modes_agree () =
+  let e = Lazy.force engine in
+  List.iter
+    (fun (name, sql) ->
+      let reference = norm_rows (Aeq.Engine.query e ~mode:Driver.Bytecode sql) in
+      List.iter
+        (fun mode ->
+          let got = norm_rows (Aeq.Engine.query e ~mode sql) in
+          if got <> reference then Alcotest.failf "%s: %s differs from bytecode" name (Driver.mode_name mode))
+        [ Driver.Unopt; Driver.Opt; Driver.Adaptive ])
+    (Aeq_workload.Queries.tpch @ Aeq_workload.Queries.metadata)
+
+let test_baselines_agree () =
+  let e = Lazy.force engine in
+  let catalog = Aeq.Engine.catalog e in
+  List.iter
+    (fun (name, sql) ->
+      let plan = Aeq.Engine.plan e sql in
+      let reference = norm_rows (Aeq.Engine.query e ~mode:Driver.Adaptive sql) in
+      let volcano =
+        List.sort compare (List.map Array.to_list (Aeq_baseline.Volcano.execute catalog plan))
+      in
+      let vector =
+        List.sort compare
+          (List.map Array.to_list (Aeq_baseline.Vectorized.execute catalog plan))
+      in
+      if volcano <> reference then Alcotest.failf "%s: volcano mismatch" name;
+      if vector <> reference then Alcotest.failf "%s: vectorized mismatch" name)
+    (Aeq_workload.Queries.tpch @ Aeq_workload.Queries.metadata)
+
+let test_q1_shape () =
+  let e = Lazy.force engine in
+  let r = Aeq.Engine.query e ~mode:Driver.Adaptive (Aeq_workload.Queries.tpch_q 1) in
+  Alcotest.(check int) "three groups" 3 (List.length r.Driver.rows);
+  Alcotest.(check int) "ten columns" 10 (List.length r.Driver.names);
+  (* groups sorted by returnflag/linestatus; counts positive *)
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "count positive" true (Int64.compare row.(9) 0L > 0))
+    r.Driver.rows
+
+let test_count_star () =
+  let e = Lazy.force engine in
+  let r = Aeq.Engine.query e "select count(*) as n from lineitem" in
+  match r.Driver.rows with
+  | [ [| n |] ] ->
+    let tbl = Aeq_storage.Catalog.table (Aeq.Engine.catalog e) "lineitem" in
+    Alcotest.(check int64) "count(*)" (Int64.of_int tbl.Aeq_storage.Table.n_rows) n
+  | _ -> Alcotest.fail "expected one row"
+
+let test_order_and_limit () =
+  let e = Lazy.force engine in
+  let r =
+    Aeq.Engine.query e "select o_orderkey, o_totalprice from orders order by o_totalprice desc limit 5"
+  in
+  Alcotest.(check int) "limit" 5 (List.length r.Driver.rows);
+  let prices = List.map (fun row -> row.(1)) r.Driver.rows in
+  let sorted_desc = List.sort (fun a b -> Int64.compare b a) prices in
+  Alcotest.(check bool) "descending" true (prices = sorted_desc)
+
+let test_overflow_propagates () =
+  let e = Lazy.force engine in
+  (* o_totalprice * o_totalprice * huge constant overflows int64 *)
+  match
+    Aeq.Engine.query e
+      "select sum(o_totalprice * o_totalprice * 99999999999.0) from orders"
+  with
+  | _ -> Alcotest.fail "expected overflow trap"
+  | exception Trap.Error _ -> ()
+
+let test_adaptive_compiles_large_pipeline () =
+  (* with the paper cost model, a long scan should trigger compilation *)
+  let e = Aeq.Engine.create ~n_threads:4 ~cost_model:Aeq_backend.Cost_model.off () in
+  Aeq.Engine.load_tpch e ~scale_factor:0.02;
+  let r =
+    Aeq.Engine.query e ~mode:Driver.Adaptive ~collect_trace:true
+      "select sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) from lineitem"
+  in
+  (* driver pipeline is the second of three; it should have upgraded *)
+  Alcotest.(check bool) "some pipeline compiled" true
+    (List.exists (fun m -> m <> "bytecode") r.Driver.stats.Driver.final_modes);
+  (match r.Driver.trace with
+  | Some tr ->
+    let evs = Aeq_exec.Trace.events tr in
+    Alcotest.(check bool) "compile event recorded" true
+      (List.exists
+         (fun ev -> match ev.Aeq_exec.Trace.kind with
+           | Aeq_exec.Trace.Ev_compile _ -> true
+           | _ -> false)
+         evs)
+  | None -> Alcotest.fail "trace missing");
+  Aeq.Engine.close e
+
+let test_adaptive_stays_interpreted_when_tiny () =
+  let e = Lazy.force engine in
+  let r =
+    Aeq.Engine.query e ~mode:Driver.Adaptive
+      "select n_name, r_name from nation join region on n_regionkey = r_regionkey order by n_name"
+  in
+  Alcotest.(check int) "25 rows" 25 (List.length r.Driver.rows);
+  List.iter
+    (fun m -> Alcotest.(check string) "stays bytecode" "bytecode" m)
+    r.Driver.stats.Driver.final_modes
+
+let test_explain () =
+  let e = Lazy.force engine in
+  let text = Aeq.Engine.explain e (Aeq_workload.Queries.tpch_q 5) in
+  Alcotest.(check bool) "mentions pipelines" true
+    (String.length text > 100 && String.split_on_char '\n' text |> List.length > 5)
+
+let test_plan_errors () =
+  let e = Lazy.force engine in
+  let fails sql =
+    match Aeq.Engine.plan e sql with
+    | _ -> Alcotest.failf "expected plan error for %s" sql
+    | exception Aeq_plan.Planner.Plan_error _ -> ()
+  in
+  fails "select nope from lineitem";
+  fails "select l_quantity from lineitem, orders";
+  (* cross product *)
+  fails "select a, b, c from lineitem group by l_orderkey, l_partkey, l_suppkey"
+
+let test_large_query_runs () =
+  let e = Lazy.force engine in
+  let sql = Aeq_workload.Queries.large_query 30 in
+  let r = Aeq.Engine.query e ~mode:Driver.Bytecode sql in
+  Alcotest.(check int) "one row" 1 (List.length r.Driver.rows);
+  Alcotest.(check int) "30 aggregates" 30 (List.length r.Driver.names)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all modes agree (28 queries)" `Slow test_modes_agree;
+          Alcotest.test_case "baselines agree (28 queries)" `Slow test_baselines_agree;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "q1 shape" `Quick test_q1_shape;
+          Alcotest.test_case "count(*)" `Quick test_count_star;
+          Alcotest.test_case "order/limit" `Quick test_order_and_limit;
+          Alcotest.test_case "overflow traps" `Quick test_overflow_propagates;
+          Alcotest.test_case "large generated query" `Quick test_large_query_runs;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "compiles hot pipeline" `Quick test_adaptive_compiles_large_pipeline;
+          Alcotest.test_case "tiny stays interpreted" `Quick test_adaptive_stays_interpreted_when_tiny;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "plan errors" `Quick test_plan_errors;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Tests for the execution framework: worker pool, progress tracking,
+   the Fig. 7 extrapolation model, morsel accounting across mode
+   switches ("no work lost"), and the plan-cache mode memory. *)
+
+module CM = Aeq_backend.Cost_model
+module Driver = Aeq_exec.Driver
+
+(* ---- pool --------------------------------------------------------- *)
+
+let test_pool_runs_all_tids () =
+  let pool = Aeq_exec.Pool.create ~n_threads:4 in
+  let seen = Array.make 4 0 in
+  Aeq_exec.Pool.run pool (fun ~tid -> seen.(tid) <- seen.(tid) + 1);
+  Aeq_exec.Pool.run pool (fun ~tid -> seen.(tid) <- seen.(tid) + 1);
+  Alcotest.(check (array int)) "each tid ran twice" [| 2; 2; 2; 2 |] seen;
+  Aeq_exec.Pool.shutdown pool
+
+let test_pool_propagates_exceptions () =
+  let pool = Aeq_exec.Pool.create ~n_threads:3 in
+  (match Aeq_exec.Pool.run pool (fun ~tid -> if tid = 2 then failwith "boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* pool remains usable afterwards *)
+  let count = Atomic.make 0 in
+  Aeq_exec.Pool.run pool (fun ~tid -> ignore tid; Atomic.incr count);
+  Alcotest.(check int) "usable after error" 3 (Atomic.get count);
+  Aeq_exec.Pool.shutdown pool
+
+let test_pool_single_thread_inline () =
+  let pool = Aeq_exec.Pool.create ~n_threads:1 in
+  let ran = ref false in
+  Aeq_exec.Pool.run pool (fun ~tid ->
+      Alcotest.(check int) "tid 0" 0 tid;
+      ran := true);
+  Alcotest.(check bool) "ran" true !ran;
+  Aeq_exec.Pool.shutdown pool
+
+(* ---- progress ------------------------------------------------------ *)
+
+let test_progress_rates () =
+  let p = Aeq_exec.Progress.create ~total_rows:1000 ~n_threads:2 in
+  Alcotest.(check int) "remaining" 1000 (Aeq_exec.Progress.remaining p);
+  Aeq_exec.Progress.note_morsel p ~tid:0 ~rows:100 ~seconds:0.01;
+  Aeq_exec.Progress.note_morsel p ~tid:1 ~rows:300 ~seconds:0.01;
+  Alcotest.(check int) "processed" 400 (Aeq_exec.Progress.processed p);
+  Alcotest.(check int) "remaining" 600 (Aeq_exec.Progress.remaining p);
+  (* rates: 10k/s and 30k/s -> avg 20k/s *)
+  Alcotest.(check (float 1.0)) "avg rate" 20000.0 (Aeq_exec.Progress.avg_rate p);
+  Aeq_exec.Progress.reset_rates p;
+  Alcotest.(check (float 0.0)) "rates reset" 0.0 (Aeq_exec.Progress.avg_rate p)
+
+(* ---- the Fig. 7 decision model -------------------------------------- *)
+
+let extrapolate = Aeq_exec.Adaptive.extrapolate ~model:CM.default ~n_instrs:1000
+
+let test_decide_nothing_when_tiny () =
+  (* 1000 remaining tuples at 1M/s: 1 ms of work left; compiling costs
+     several ms -> keep interpreting *)
+  match
+    extrapolate ~current_mode:CM.Bytecode ~remaining:1_000 ~rate:1e6 ~n_threads:4
+  with
+  | Aeq_exec.Adaptive.Do_nothing -> ()
+  | Aeq_exec.Adaptive.Compile _ -> Alcotest.fail "should not compile a tiny remainder"
+
+let test_decide_compile_when_huge () =
+  (* 100M remaining tuples at 1M/s: 100 s of work -> optimized pays *)
+  match
+    extrapolate ~current_mode:CM.Bytecode ~remaining:100_000_000 ~rate:1e6 ~n_threads:4
+  with
+  | Aeq_exec.Adaptive.Compile CM.Opt -> ()
+  | Aeq_exec.Adaptive.Compile (CM.Unopt | CM.Bytecode) ->
+    Alcotest.fail "expected optimized for huge work"
+  | Aeq_exec.Adaptive.Do_nothing -> Alcotest.fail "must compile 100s of work"
+
+let test_decide_unopt_in_between () =
+  (* medium-sized remainder: unoptimized should win over both *)
+  let d = extrapolate ~current_mode:CM.Bytecode ~remaining:400_000 ~rate:1e6 ~n_threads:4 in
+  match d with
+  | Aeq_exec.Adaptive.Compile CM.Unopt -> ()
+  | Aeq_exec.Adaptive.Compile (CM.Opt | CM.Bytecode) ->
+    Alcotest.fail "opt too aggressive here"
+  | Aeq_exec.Adaptive.Do_nothing -> Alcotest.fail "should compile medium remainder"
+
+let test_decide_never_downgrades () =
+  (match extrapolate ~current_mode:CM.Opt ~remaining:100_000_000 ~rate:1e6 ~n_threads:4 with
+  | Aeq_exec.Adaptive.Do_nothing -> ()
+  | _ -> Alcotest.fail "already optimal");
+  match extrapolate ~current_mode:CM.Unopt ~remaining:1_000 ~rate:1e6 ~n_threads:4 with
+  | Aeq_exec.Adaptive.Do_nothing -> ()
+  | _ -> Alcotest.fail "no upgrade for tiny remainder"
+
+let test_decide_no_rate_no_decision () =
+  match extrapolate ~current_mode:CM.Bytecode ~remaining:1_000_000 ~rate:0.0 ~n_threads:4 with
+  | Aeq_exec.Adaptive.Do_nothing -> ()
+  | _ -> Alcotest.fail "cannot extrapolate without a rate"
+
+let test_monotone_in_remaining () =
+  (* once compilation pays off, it keeps paying off for more work *)
+  let compiled_at = ref None in
+  List.iter
+    (fun remaining ->
+      match
+        (extrapolate ~current_mode:CM.Bytecode ~remaining ~rate:1e6 ~n_threads:4,
+         !compiled_at)
+      with
+      | Aeq_exec.Adaptive.Compile _, None -> compiled_at := Some remaining
+      | Aeq_exec.Adaptive.Do_nothing, Some at ->
+        Alcotest.failf "compiled at %d but not at %d" at remaining
+      | _ -> ())
+    [ 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 ];
+  Alcotest.(check bool) "compiles eventually" true (!compiled_at <> None)
+
+(* ---- no lost work across mode switches ------------------------------ *)
+
+let test_no_lost_work () =
+  (* Count every processed row through a runtime-visible aggregate and
+     force mode switches mid-pipeline via a cost model with absurdly
+     fast compilation, so the controller upgrades eagerly. *)
+  let eager =
+    {
+      CM.default with
+      CM.simulate = false;
+      unopt_base = 0.0;
+      unopt_per_instr = 0.0;
+      opt_base = 0.0;
+      opt_per_instr = 0.0;
+      opt_quad = 0.0;
+      speedup_unopt = 10.0;
+      speedup_opt = 20.0;
+    }
+  in
+  let engine = Aeq.Engine.create ~n_threads:4 ~cost_model:eager () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.01;
+  let tbl = Aeq_storage.Catalog.table (Aeq.Engine.catalog engine) "lineitem" in
+  let r =
+    Aeq.Engine.query engine ~mode:Driver.Adaptive "select count(*) as n from lineitem"
+  in
+  (match r.Driver.rows with
+  | [ [| n |] ] ->
+    Alcotest.(check int64) "every row counted exactly once"
+      (Int64.of_int tbl.Aeq_storage.Table.n_rows)
+      n
+  | _ -> Alcotest.fail "one row expected");
+  (* the eager model must actually have switched modes *)
+  Alcotest.(check bool) "a switch happened" true
+    (List.exists (fun m -> m <> "bytecode") r.Driver.stats.Driver.final_modes);
+  Aeq.Engine.close engine
+
+(* ---- plan cache mode memory ----------------------------------------- *)
+
+let test_plan_cache_promotion () =
+  let eager =
+    {
+      CM.default with
+      CM.simulate = false;
+      unopt_base = 0.0;
+      unopt_per_instr = 0.0;
+      opt_base = 0.0;
+      opt_per_instr = 0.0;
+      opt_quad = 0.0;
+      speedup_unopt = 10.0;
+      speedup_opt = 20.0;
+    }
+  in
+  let engine = Aeq.Engine.create ~n_threads:2 ~cost_model:eager () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.01;
+  let sql = "select sum(l_quantity) from lineitem" in
+  let r1 = Aeq.Engine.query engine sql in
+  Alcotest.(check int) "first execution" 1 (Aeq.Engine.cached_executions engine sql);
+  let r2 = Aeq.Engine.query engine sql in
+  Alcotest.(check int) "second execution" 2 (Aeq.Engine.cached_executions engine sql);
+  Alcotest.(check bool) "same result" true (r1.Driver.rows = r2.Driver.rows);
+  (* second run starts at least as compiled as the first ended *)
+  let rank = function "bytecode" -> 0 | "unoptimized" -> 1 | _ -> 2 in
+  List.iter2
+    (fun m1 m2 ->
+      Alcotest.(check bool) "mode memory kept" true (rank m2 >= rank m1))
+    r1.Driver.stats.Driver.final_modes r2.Driver.stats.Driver.final_modes;
+  Aeq.Engine.close engine
+
+let test_trace_render () =
+  let tr = Aeq_exec.Trace.create () in
+  let t0 = Aeq_exec.Trace.epoch tr in
+  Aeq_exec.Trace.record tr ~pipeline:0 ~tid:0 ~t0 ~t1:(t0 +. 0.01) (Aeq_exec.Trace.Ev_morsel CM.Bytecode);
+  Aeq_exec.Trace.record tr ~pipeline:0 ~tid:1 ~t0:(t0 +. 0.002) ~t1:(t0 +. 0.008)
+    (Aeq_exec.Trace.Ev_compile CM.Opt);
+  let s = Aeq_exec.Trace.render tr ~n_threads:2 in
+  Alcotest.(check bool) "has morsel lane" true (String.contains s 'b');
+  Alcotest.(check bool) "has compile burst" true (String.contains s 'C');
+  Alcotest.(check int) "two events" 2 (List.length (Aeq_exec.Trace.events tr))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "all tids" `Quick test_pool_runs_all_tids;
+          Alcotest.test_case "exceptions" `Quick test_pool_propagates_exceptions;
+          Alcotest.test_case "single thread" `Quick test_pool_single_thread_inline;
+        ] );
+      ("progress", [ Alcotest.test_case "rates" `Quick test_progress_rates ]);
+      ( "fig7 model",
+        [
+          Alcotest.test_case "tiny -> nothing" `Quick test_decide_nothing_when_tiny;
+          Alcotest.test_case "huge -> optimized" `Quick test_decide_compile_when_huge;
+          Alcotest.test_case "medium -> unoptimized" `Quick test_decide_unopt_in_between;
+          Alcotest.test_case "never downgrades" `Quick test_decide_never_downgrades;
+          Alcotest.test_case "no rate, no decision" `Quick test_decide_no_rate_no_decision;
+          Alcotest.test_case "monotone in remaining" `Quick test_monotone_in_remaining;
+        ] );
+      ( "switching",
+        [
+          Alcotest.test_case "no lost work" `Quick test_no_lost_work;
+          Alcotest.test_case "plan-cache mode memory" `Quick test_plan_cache_promotion;
+        ] );
+      ("trace", [ Alcotest.test_case "render" `Quick test_trace_render ]);
+    ]

@@ -1,0 +1,126 @@
+(* Unit and property tests for the chunked arena. *)
+
+module A = Aeq_mem.Arena
+
+let test_roundtrip () =
+  let arena = A.create () in
+  let alloc = A.allocator arena in
+  let p = A.alloc alloc 64 in
+  A.set_i64 arena p 0x1122334455667788L;
+  Alcotest.(check int64) "i64" 0x1122334455667788L (A.get_i64 arena p);
+  A.set_i32 arena (p + 8) 0xDEADBEEFl;
+  Alcotest.(check int32) "i32" 0xDEADBEEFl (A.get_i32 arena (p + 8));
+  A.set_i16 arena (p + 12) 0xCAFE;
+  Alcotest.(check int) "i16" 0xCAFE (A.get_i16 arena (p + 12));
+  A.set_i8 arena (p + 14) 0xAB;
+  Alcotest.(check int) "i8" 0xAB (A.get_i8 arena (p + 14));
+  A.set_f64 arena (p + 16) 3.25;
+  Alcotest.(check (float 0.0)) "f64" 3.25 (A.get_f64 arena (p + 16))
+
+let test_zeroed_and_aligned () =
+  let arena = A.create () in
+  let alloc = A.allocator arena in
+  for i = 1 to 100 do
+    let p = A.alloc alloc ~align:8 (i * 3) in
+    Alcotest.(check bool) "aligned" true ((p land 7) = 0);
+    Alcotest.(check int64) "zeroed" 0L (A.get_i64 arena p)
+  done
+
+let test_null_never_allocated () =
+  let arena = A.create () in
+  let alloc = A.allocator arena in
+  for _ = 1 to 1000 do
+    let p = A.alloc alloc 16 in
+    Alcotest.(check bool) "non-null" true (p <> A.null)
+  done
+
+let test_large_allocation_dedicated_chunk () =
+  let arena = A.create ~chunk_size:1024 () in
+  let alloc = A.allocator arena in
+  let big = A.alloc alloc (10 * 1024) in
+  (* Write across the whole allocation; must stay within one chunk. *)
+  for i = 0 to (10 * 1024 / 8) - 1 do
+    A.set_i64 arena (big + (8 * i)) (Int64.of_int i)
+  done;
+  for i = 0 to (10 * 1024 / 8) - 1 do
+    Alcotest.(check int64) "big roundtrip" (Int64.of_int i) (A.get_i64 arena (big + (8 * i)))
+  done
+
+let test_pointers_stable_across_growth () =
+  let arena = A.create ~chunk_size:256 () in
+  let alloc = A.allocator arena in
+  let first = A.alloc alloc 64 in
+  A.set_i64 arena first 99L;
+  (* Force many new chunks. *)
+  for _ = 1 to 100 do
+    ignore (A.alloc alloc 200)
+  done;
+  Alcotest.(check int64) "old pointer still valid" 99L (A.get_i64 arena first)
+
+let test_blit_and_fill () =
+  let arena = A.create () in
+  let alloc = A.allocator arena in
+  let src = A.alloc alloc 32 and dst = A.alloc alloc 32 in
+  A.set_i64 arena src 7L;
+  A.set_i64 arena (src + 8) 8L;
+  A.blit arena ~src ~dst ~len:16;
+  Alcotest.(check int64) "blit word0" 7L (A.get_i64 arena dst);
+  Alcotest.(check int64) "blit word1" 8L (A.get_i64 arena (dst + 8));
+  A.fill_zero arena dst 16;
+  Alcotest.(check int64) "filled" 0L (A.get_i64 arena dst)
+
+let test_concurrent_allocators () =
+  (* Several domains allocating concurrently; all pointers must stay
+     distinct and usable — the invariant pipeline workers rely on. *)
+  let arena = A.create ~chunk_size:4096 () in
+  let n_domains = 4 and per = 500 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let alloc = A.allocator arena in
+            let ptrs = Array.init per (fun i ->
+                let p = A.alloc alloc 16 in
+                A.set_i64 arena p (Int64.of_int ((d * 1_000_000) + i));
+                p)
+            in
+            ptrs))
+  in
+  let all = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  let sorted = List.sort_uniq compare all in
+  Alcotest.(check int) "all pointers distinct" (n_domains * per) (List.length sorted);
+  (* Values written by each domain survived everyone else's growth. *)
+  List.iteri
+    (fun _ p ->
+      let v = A.get_i64 arena p in
+      Alcotest.(check bool) "tag intact" true (Int64.compare v 0L >= 0))
+    all
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"arena i64 roundtrip (random offsets)" ~count:200
+    QCheck.(list int64)
+    (fun xs ->
+      let arena = A.create () in
+      let alloc = A.allocator arena in
+      let cells = List.map (fun v ->
+          let p = A.alloc alloc 8 in
+          A.set_i64 arena p v;
+          (p, v))
+          xs
+      in
+      List.for_all (fun (p, v) -> Int64.equal (A.get_i64 arena p) v) cells)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "zeroed+aligned" `Quick test_zeroed_and_aligned;
+          Alcotest.test_case "null" `Quick test_null_never_allocated;
+          Alcotest.test_case "large alloc" `Quick test_large_allocation_dedicated_chunk;
+          Alcotest.test_case "stable pointers" `Quick test_pointers_stable_across_growth;
+          Alcotest.test_case "blit/fill" `Quick test_blit_and_fill;
+          Alcotest.test_case "concurrent allocators" `Quick test_concurrent_allocators;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Tests for the SQL frontend: lexer, parser, and date handling. *)
+
+module Ast = Aeq_sql.Ast
+module Lexer = Aeq_sql.Lexer
+module Parser = Aeq_sql.Parser
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "select a, b from t where x >= 1.50 and y <> 'it''s'" in
+  let n_idents =
+    List.length (List.filter (function Lexer.Ident _ -> true | _ -> false) toks)
+  in
+  Alcotest.(check int) "idents" 9 n_idents;
+  Alcotest.(check bool) "decimal scaled" true
+    (List.exists (function Lexer.Dec_tok 150L -> true | _ -> false) toks);
+  Alcotest.(check bool) "escaped quote" true
+    (List.exists (function Lexer.Str_tok "it's" -> true | _ -> false) toks)
+
+let test_lexer_comment () =
+  let toks = Lexer.tokenize "select -- a comment\n 1" in
+  Alcotest.(check bool) "comment skipped" true
+    (List.exists (function Lexer.Int_tok 1L -> true | _ -> false) toks)
+
+let test_parse_simple () =
+  let q = Parser.parse "select a as x, sum(b) from t where c > 3 group by a order by x limit 5" in
+  Alcotest.(check int) "select items" 2 (List.length q.Ast.select);
+  Alcotest.(check int) "group keys" 1 (List.length q.Ast.group_by);
+  Alcotest.(check int) "order keys" 1 (List.length q.Ast.order_by);
+  Alcotest.(check (option int)) "limit" (Some 5) q.Ast.limit;
+  match (List.hd q.Ast.select).Ast.alias with
+  | Some "x" -> ()
+  | _ -> Alcotest.fail "alias lost"
+
+let test_parse_joins () =
+  let q =
+    Parser.parse
+      "select a from t1 join t2 on t1.k = t2.k join t3 on t2.j = t3.j where t1.x < 9"
+  in
+  Alcotest.(check int) "three tables" 3 (List.length q.Ast.from);
+  Alcotest.(check int) "two on-conditions" 2 (List.length q.Ast.join_on)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3 = 7 and not 1 > 2" in
+  (* structure: ((1 + (2*3)) = 7) and (not (1 > 2)) *)
+  match e with
+  | Ast.Bin (Ast.And, Ast.Bin (Ast.Eq, Ast.Bin (Ast.Add, _, Ast.Bin (Ast.Mul, _, _)), _), Ast.Not _)
+    ->
+    ()
+  | _ -> Alcotest.failf "unexpected tree: %s" (Ast.expr_to_string e)
+
+let test_parse_between_in_like () =
+  let e = Parser.parse_expr "a between 1 and 5" in
+  (match e with Ast.Between _ -> () | _ -> Alcotest.fail "between");
+  let e = Parser.parse_expr "a in (1, 2, 3)" in
+  (match e with Ast.In_list (_, [ _; _; _ ]) -> () | _ -> Alcotest.fail "in");
+  let e = Parser.parse_expr "a not like 'x%'" in
+  (match e with Ast.Not (Ast.Like (_, "x%")) -> () | _ -> Alcotest.fail "not like");
+  let e = Parser.parse_expr "extract(year from d)" in
+  match e with Ast.Extract_year _ -> () | _ -> Alcotest.fail "extract"
+
+let test_parse_case () =
+  let e = Parser.parse_expr "case when a > 1 then 2 when a > 0 then 1 else 0 end" in
+  match e with
+  | Ast.Case ([ _; _ ], Some (Ast.Lit_int 0L)) -> ()
+  | _ -> Alcotest.fail "case structure"
+
+let test_date_literal () =
+  (match Parser.parse_expr "date '1970-01-01'" with
+  | Ast.Lit_date 0 -> ()
+  | Ast.Lit_date d -> Alcotest.failf "epoch = %d" d
+  | _ -> Alcotest.fail "not a date");
+  (match Parser.parse_expr "date '1992-01-01'" with
+  | Ast.Lit_date 8035 -> ()
+  | Ast.Lit_date d -> Alcotest.failf "1992-01-01 = %d" d
+  | _ -> Alcotest.fail "not a date");
+  match Parser.parse_expr "date '1998-12-31'" with
+  | Ast.Lit_date 10591 -> ()
+  | Ast.Lit_date d -> Alcotest.failf "1998-12-31 = %d" d
+  | _ -> Alcotest.fail "not a date"
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse s with
+    | _ -> Alcotest.failf "expected parse error for %s" s
+    | exception (Parser.Parse_error _ | Lexer.Lex_error _) -> ()
+  in
+  fails "select";
+  fails "select a from";
+  fails "select a from t where";
+  fails "select a from t limit x";
+  (* 'trailing' would be a table alias; actual trailing tokens fail *)
+  fails "select a from t where 1 = 1 1"
+
+let test_all_tpch_parse () =
+  List.iter
+    (fun (name, sql) ->
+      match Aeq_sql.Parser.parse sql with
+      | _ -> ()
+      | exception e -> Alcotest.failf "%s does not parse: %s" name (Printexc.to_string e))
+    (Aeq_workload.Queries.tpch @ Aeq_workload.Queries.metadata)
+
+let test_large_query_parses () =
+  let sql = Aeq_workload.Queries.large_query 50 in
+  let q = Aeq_sql.Parser.parse sql in
+  Alcotest.(check int) "50 aggregates" 50 (List.length q.Ast.select)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "comments" `Quick test_lexer_comment;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "joins" `Quick test_parse_joins;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "between/in/like" `Quick test_parse_between_in_like;
+          Alcotest.test_case "case" `Quick test_parse_case;
+          Alcotest.test_case "dates" `Quick test_date_literal;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "tpch suite parses" `Quick test_all_tpch_parse;
+          Alcotest.test_case "large query parses" `Quick test_large_query_parses;
+        ] );
+    ]

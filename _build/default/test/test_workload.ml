@@ -1,0 +1,125 @@
+(* Sanity tests for the TPC-H-style generator: cardinality scaling,
+   referential integrity, value domains, determinism. *)
+
+module Table = Aeq_storage.Table
+
+let make sf =
+  let c = Aeq_storage.Catalog.create () in
+  Aeq_workload.Tpch.load ~scale_factor:sf c;
+  c
+
+let catalog = lazy (make 0.005)
+
+let tbl name = Aeq_storage.Catalog.table (Lazy.force catalog) name
+
+let rows name = (tbl name).Table.n_rows
+
+let test_cardinalities_scale () =
+  Alcotest.(check int) "region" 5 (rows "region");
+  Alcotest.(check int) "nation" 25 (rows "nation");
+  Alcotest.(check int) "supplier" 50 (rows "supplier");
+  Alcotest.(check int) "customer" 750 (rows "customer");
+  Alcotest.(check int) "orders" 7500 (rows "orders");
+  Alcotest.(check int) "partsupp = 4x part" (4 * rows "part") (rows "partsupp");
+  (* lineitem has 1-7 lines per order *)
+  Alcotest.(check bool) "lineitem fanout" true
+    (rows "lineitem" >= rows "orders" && rows "lineitem" <= 7 * rows "orders")
+
+let arena () = Aeq_storage.Catalog.arena (Lazy.force catalog)
+
+let test_referential_integrity () =
+  let a = arena () in
+  let li = tbl "lineitem" and orders = tbl "orders" and part = tbl "part" in
+  let ok = ref true in
+  for r = 0 to li.Table.n_rows - 1 do
+    let okey = Int64.to_int (Table.get a li ~col:0 ~row:r) in
+    let pkey = Int64.to_int (Table.get a li ~col:1 ~row:r) in
+    if okey < 0 || okey >= orders.Table.n_rows then ok := false;
+    if pkey < 0 || pkey >= part.Table.n_rows then ok := false
+  done;
+  Alcotest.(check bool) "lineitem FKs in range" true !ok;
+  let cust = tbl "customer" in
+  let ok = ref true in
+  for r = 0 to orders.Table.n_rows - 1 do
+    let ckey = Int64.to_int (Table.get a orders ~col:1 ~row:r) in
+    if ckey < 0 || ckey >= cust.Table.n_rows then ok := false
+  done;
+  Alcotest.(check bool) "orders FKs in range" true !ok
+
+let test_value_domains () =
+  let a = arena () in
+  let li = tbl "lineitem" in
+  let qty_col = Table.column_index li "l_quantity" in
+  let disc_col = Table.column_index li "l_discount" in
+  let ship_col = Table.column_index li "l_shipdate" in
+  let ok = ref true in
+  for r = 0 to li.Table.n_rows - 1 do
+    let q = Table.get a li ~col:qty_col ~row:r in
+    let d = Table.get a li ~col:disc_col ~row:r in
+    let s = Int64.to_int (Table.get a li ~col:ship_col ~row:r) in
+    (* quantity in [1, 50] (scaled), discount in [0, 0.10] *)
+    if Int64.compare q 100L < 0 || Int64.compare q 5000L > 0 then ok := false;
+    if Int64.compare d 0L < 0 || Int64.compare d 10L > 0 then ok := false;
+    (* ship dates within 1992-01-01 .. 1998-12-31 *)
+    if s < 8035 || s > 10591 then ok := false
+  done;
+  Alcotest.(check bool) "domains" true !ok
+
+let test_returnflag_skew () =
+  (* Q1 depends on A/F, N/O, R/F groups existing *)
+  let a = arena () in
+  let li = tbl "lineitem" in
+  let dict = Aeq_storage.Catalog.dict (Lazy.force catalog) in
+  let flag_col = Table.column_index li "l_returnflag" in
+  let counts = Hashtbl.create 4 in
+  for r = 0 to li.Table.n_rows - 1 do
+    let f = Aeq_rt.Dict.decode dict (Table.get a li ~col:flag_col ~row:r) in
+    Hashtbl.replace counts f (1 + Option.value ~default:0 (Hashtbl.find_opt counts f))
+  done;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " present") true (Hashtbl.mem counts f))
+    [ "A"; "N"; "R" ]
+
+let test_deterministic () =
+  let c1 = make 0.002 and c2 = make 0.002 in
+  let t1 = Aeq_storage.Catalog.table c1 "lineitem"
+  and t2 = Aeq_storage.Catalog.table c2 "lineitem" in
+  Alcotest.(check int) "same row count" t1.Table.n_rows t2.Table.n_rows;
+  let a1 = Aeq_storage.Catalog.arena c1 and a2 = Aeq_storage.Catalog.arena c2 in
+  let same = ref true in
+  for r = 0 to t1.Table.n_rows - 1 do
+    for col = 0 to Array.length t1.Table.columns - 1 do
+      if not (Int64.equal (Table.get a1 t1 ~col ~row:r) (Table.get a2 t2 ~col ~row:r)) then
+        same := false
+    done
+  done;
+  Alcotest.(check bool) "bit-identical data" true !same
+
+let test_seed_changes_data () =
+  let c1 = make 0.002 in
+  let c3 = Aeq_storage.Catalog.create () in
+  Aeq_workload.Tpch.load ~seed:99L ~scale_factor:0.002 c3;
+  let t1 = Aeq_storage.Catalog.table c1 "orders"
+  and t3 = Aeq_storage.Catalog.table c3 "orders" in
+  let a1 = Aeq_storage.Catalog.arena c1 and a3 = Aeq_storage.Catalog.arena c3 in
+  let diff = ref false in
+  for r = 0 to Stdlib.min t1.Table.n_rows t3.Table.n_rows - 1 do
+    if not (Int64.equal (Table.get a1 t1 ~col:3 ~row:r) (Table.get a3 t3 ~col:3 ~row:r))
+    then diff := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !diff
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "tpch",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_cardinalities_scale;
+          Alcotest.test_case "referential integrity" `Quick test_referential_integrity;
+          Alcotest.test_case "value domains" `Quick test_value_domains;
+          Alcotest.test_case "returnflag skew" `Quick test_returnflag_skew;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seeded" `Quick test_seed_changes_data;
+        ] );
+    ]
