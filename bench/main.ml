@@ -498,9 +498,34 @@ let ablation () =
   Printf.printf "plan cache       : cold %.2f ms | warm %.2f ms (plan + mode memory reused)\n"
     (ms t1) (ms t2)
 
+(* ------------------------------------------------------------------ *)
+(* Prepared statements: compiled artifacts survive across executions   *)
+(* ------------------------------------------------------------------ *)
+let prepared () =
+  header "PREPARED: compiled-artifact cache across executions (adaptive mode)";
+  let e = engine_at base_sf in
+  Printf.printf "%-6s %11s %11s %11s %11s %11s\n" "run" "codegen[ms]" "bytecd[ms]"
+    "compile[ms]" "exec[ms]" "total[ms]";
+  List.iter
+    (fun (name, sql) ->
+      Printf.printf "--- %s ---\n" name;
+      for run = 1 to 3 do
+        let r = Aeq.Engine.query e ~mode:Driver.Adaptive sql in
+        let st = r.Driver.stats in
+        Printf.printf "%-6d %11.3f %11.3f %11.3f %11.3f %11.3f%s\n%!" run
+          (ms st.Driver.codegen_seconds) (ms st.Driver.bc_seconds)
+          (ms st.Driver.compile_seconds) (ms st.Driver.exec_seconds)
+          (ms st.Driver.total_seconds)
+          (if st.Driver.prepared_reuse then "   (cached artifacts)" else "")
+      done)
+    [ ("q1", Aeq_workload.Queries.tpch_q 1); ("q5", Aeq_workload.Queries.tpch_q 5) ];
+  let cs = Aeq.Engine.cache_stats e in
+  Printf.printf "plan cache: %d entries | %d hits | %d misses | %d evictions\n"
+    cs.Aeq.Engine.entries cs.Aeq.Engine.hits cs.Aeq.Engine.misses cs.Aeq.Engine.evictions
+
 let all =
   [ "fig1"; "fig2"; "fig6"; "fig13"; "fig14"; "fig15"; "table1"; "table2"; "regalloc";
-    "ablation"; "micro" ]
+    "ablation"; "prepared"; "micro" ]
 
 let run_one = function
   | "fig1" -> fig1 ()
@@ -513,6 +538,7 @@ let run_one = function
   | "table2" -> table2 ()
   | "regalloc" -> regalloc ()
   | "ablation" -> ablation ()
+  | "prepared" -> prepared ()
   | "micro" -> micro ()
   | other -> Printf.printf "unknown experiment %s (available: %s)\n" other (String.concat " " all)
 

@@ -20,6 +20,13 @@ let translate_bytecode ?strategy ~cost_model ~symbols f =
   in
   (prog, pad_to cost_model Cost_model.Bytecode n elapsed)
 
+let compile_unopt_of_bytecode ~cost_model ~mem ~n_instrs prog =
+  let exec, elapsed =
+    Aeq_util.Clock.time_it (fun () -> Closure_compile.compile prog mem)
+  in
+  let compile_seconds = pad_to cost_model Cost_model.Unopt n_instrs elapsed in
+  { exec; compile_seconds; n_instrs_after = n_instrs }
+
 let compile ~cost_model ~symbols ~mem ~mode f =
   let n = Func.n_instrs f in
   let (exec, n_after), elapsed =

@@ -33,3 +33,14 @@ val compile :
   compiled
 (** [mode] must be [Unopt] or [Opt].
     @raise Invalid_argument on [Bytecode]. *)
+
+val compile_unopt_of_bytecode :
+  cost_model:Cost_model.t ->
+  mem:Aeq_mem.Arena.t ->
+  n_instrs:int ->
+  Aeq_vm.Bytecode.t ->
+  compiled
+(** Unoptimized closure compilation of an already-translated bytecode
+    program, skipping the redundant IR re-translation that [compile]
+    with [Unopt] performs. [n_instrs] is the source function's IR size
+    (drives the modelled latency). *)

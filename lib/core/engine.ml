@@ -1,9 +1,11 @@
 type cache_entry = {
-  ce_plan : Aeq_plan.Physical.t;
-  mutable ce_executions : int;
+  ce_prepared : Aeq_exec.Driver.prepared;
   mutable ce_modes : Aeq_backend.Cost_model.mode list;
-      (* pipeline modes at the end of the last execution *)
+      (* pipeline modes at the end of the last adaptive execution *)
+  mutable ce_last_used : int; (* LRU tick *)
 }
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
 
 type t = {
   catalog : Aeq_storage.Catalog.t;
@@ -11,7 +13,14 @@ type t = {
   cost_model : Aeq_backend.Cost_model.t;
   plan_cache : (string, cache_entry) Hashtbl.t;
   mutable cache_enabled : bool;
+  mutable cache_capacity : int;
+  mutable cache_tick : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
+
+let default_cache_capacity = 128
 
 let create ?n_threads ?cost_model ?chunk_size () =
   let n_threads =
@@ -37,6 +46,11 @@ let create ?n_threads ?cost_model ?chunk_size () =
     cost_model;
     plan_cache = Hashtbl.create 64;
     cache_enabled = true;
+    cache_capacity = default_cache_capacity;
+    cache_tick = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let load_tpch ?seed t ~scale_factor = Aeq_workload.Tpch.load ?seed ~scale_factor t.catalog
@@ -55,8 +69,63 @@ let explain t sql = Aeq_plan.Explain.to_string (plan t sql)
 
 let set_plan_cache t enabled = t.cache_enabled <- enabled
 
+let evict_down_to t capacity =
+  while Hashtbl.length t.plan_cache > capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun sql e ->
+        match !victim with
+        | Some (_, best) when best <= e.ce_last_used -> ()
+        | _ -> victim := Some (sql, e.ce_last_used))
+      t.plan_cache;
+    match !victim with
+    | Some (sql, _) ->
+      Hashtbl.remove t.plan_cache sql;
+      t.cache_evictions <- t.cache_evictions + 1
+    | None -> ()
+  done
+
+let set_plan_cache_capacity t n =
+  t.cache_capacity <- Stdlib.max 1 n;
+  evict_down_to t t.cache_capacity
+
+let cache_stats t =
+  {
+    hits = t.cache_hits;
+    misses = t.cache_misses;
+    evictions = t.cache_evictions;
+    entries = Hashtbl.length t.plan_cache;
+  }
+
+let touch t entry =
+  t.cache_tick <- t.cache_tick + 1;
+  entry.ce_last_used <- t.cache_tick
+
+(* Look the statement up, preparing (and possibly evicting) on miss. *)
+let prepare_entry t sql =
+  match Hashtbl.find_opt t.plan_cache sql with
+  | Some e ->
+    t.cache_hits <- t.cache_hits + 1;
+    touch t e;
+    e
+  | None ->
+    t.cache_misses <- t.cache_misses + 1;
+    let prepared =
+      Aeq_exec.Driver.prepare ~cost_model:t.cost_model t.catalog (plan t sql)
+        ~n_threads:(n_threads t)
+    in
+    let e = { ce_prepared = prepared; ce_modes = []; ce_last_used = 0 } in
+    touch t e;
+    Hashtbl.replace t.plan_cache sql e;
+    evict_down_to t t.cache_capacity;
+    e
+
+let prepare t sql = ignore (prepare_entry t sql)
+
 let cached_executions t sql =
-  match Hashtbl.find_opt t.plan_cache sql with Some e -> e.ce_executions | None -> 0
+  match Hashtbl.find_opt t.plan_cache sql with
+  | Some e -> Aeq_exec.Driver.prepared_executions e.ce_prepared
+  | None -> 0
 
 let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
   if not t.cache_enabled then begin
@@ -65,27 +134,24 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
       ~pool:t.pool
   end
   else begin
-    (* plan cache with per-pipeline mode memory (the paper's Sec. VI
-       extension): repeated executions of the same text reuse the plan
-       and, in adaptive mode, start pipelines in the mode they had
-       converged to last time *)
-    let entry =
-      match Hashtbl.find_opt t.plan_cache sql with
-      | Some e -> e
-      | None ->
-        let e = { ce_plan = plan t sql; ce_executions = 0; ce_modes = [] } in
-        Hashtbl.replace t.plan_cache sql e;
-        e
-    in
+    (* prepared-statement cache with per-pipeline mode memory (the
+       paper's Sec. VI extension): repeated executions of the same
+       text reuse the plan AND the compiled artifacts — codegen,
+       bytecode translation and machine-code variants are paid once.
+       In adaptive mode, pipelines start in the mode they had
+       converged to last time. *)
+    let entry = prepare_entry t sql in
     let initial_modes =
-      if entry.ce_executions > 0 && mode = Aeq_exec.Driver.Adaptive then Some entry.ce_modes
+      if
+        Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
+        && mode = Aeq_exec.Driver.Adaptive
+      then Some entry.ce_modes
       else None
     in
     let r =
-      Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?initial_modes
-        t.catalog entry.ce_plan ~mode ~pool:t.pool
+      Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes entry.ce_prepared
+        ~mode ~pool:t.pool
     in
-    entry.ce_executions <- entry.ce_executions + 1;
     if mode = Aeq_exec.Driver.Adaptive then
       entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes;
     r

@@ -23,7 +23,12 @@ let extrapolate ~model ~current_mode ~n_instrs ~remaining ~rate ~n_threads =
     let t0 = n /. rate /. w in
     let option mode =
       let c = CM.compile_time model mode n_instrs in
-      let r = rate *. CM.speedup model mode in
+      (* [rate] was measured in [current_mode]; the model's speedups
+         are vs bytecode. Scale by the *relative* gain, otherwise an
+         already-upgraded pipeline credits the candidate with the full
+         vs-bytecode speedup (e.g. Unopt->Opt looked 5x instead of
+         5/3.6 = 1.39x) and upgrades far too eagerly. *)
+      let r = rate *. (CM.speedup model mode /. CM.speedup model current_mode) in
       (* one thread compiles; the others keep processing during c *)
       let leftover = Stdlib.max (n -. ((w -. 1.0) *. rate *. c)) 0.0 in
       c +. (leftover /. r /. w)
@@ -43,13 +48,13 @@ let extrapolate ~model ~current_mode ~n_instrs ~remaining ~rate ~n_threads =
 let maybe_decide t =
   let now = Aeq_util.Clock.now () in
   if now -. Progress.start_time t.progress < min_delay_seconds then Do_nothing
-  else if Atomic.get t.handle.Handle.compiling then Do_nothing
+  else if Atomic.get (Handle.compiling t.handle) then Do_nothing
   else if not (Atomic.compare_and_set t.evaluating false true) then Do_nothing
   else begin
     let d =
       extrapolate ~model:t.model
         ~current_mode:(Handle.mode t.handle)
-        ~n_instrs:t.handle.Handle.n_instrs
+        ~n_instrs:(Handle.n_instrs t.handle)
         ~remaining:(Progress.remaining t.progress)
         ~rate:(Progress.avg_rate t.progress)
         ~n_threads:t.n_threads
@@ -59,11 +64,11 @@ let maybe_decide t =
       Atomic.set t.evaluating false;
       Do_nothing
     | Compile _ ->
-      Atomic.set t.handle.Handle.compiling true;
+      Atomic.set (Handle.compiling t.handle) true;
       d
   end
 
 let finish_compile t =
   Progress.reset_rates t.progress;
-  Atomic.set t.handle.Handle.compiling false;
+  Atomic.set (Handle.compiling t.handle) false;
   Atomic.set t.evaluating false

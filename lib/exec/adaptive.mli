@@ -9,8 +9,12 @@
     + compile optimized:   [t2 = c2 + max(n - (w-1)·r0·c2, 0) / r2 / w]
 
     where [n] is the remaining tuple count, [w] the worker count, [r0]
-    the measured rate, [r1/r2 = r0 × speedup], and [c1/c2] the modelled
-    compile latencies for the function's instruction count. The
+    the measured rate, [r1/r2 = r0 × speedup(candidate) /
+    speedup(current)] (the measured rate is in the *current* mode's
+    units, so candidate speedups — which the cost model states
+    relative to bytecode — must be rescaled to relative gains before
+    applying them), and [c1/c2] the modelled compile latencies for
+    the function's instruction count. The
     [(w-1)·r0·c] term accounts for tuples the other threads process
     while one thread compiles. Evaluation is guarded so only one
     thread runs it ("the extrapolation is only performed by a single

@@ -20,6 +20,7 @@ type stats = {
   total_seconds : float;
   rows_out : int;
   final_modes : string list;
+  prepared_reuse : bool;
 }
 
 type result = {
@@ -30,6 +31,23 @@ type result = {
   trace : Trace.t option;
   final_cm_modes : CM.mode list;
 }
+
+type prepared = {
+  pr_catalog : Aeq_storage.Catalog.t;
+  pr_plan : P.t;
+  pr_layout : P.layout;
+  pr_cost_model : CM.t;
+  pr_ctx : Aeq_rt.Context.t;
+  pr_symbols : Aeq_vm.Rt_fn.resolver;
+  pr_handles : Handle.compiled array;
+  pr_codegen_seconds : float;
+  pr_bc_seconds : float;
+  mutable pr_executions : int;
+}
+
+let prepared_executions p = p.pr_executions
+
+let prepared_modes p = Array.to_list (Array.map Handle.mode_of_compiled p.pr_handles)
 
 let cm_mode_name = function
   | CM.Bytecode -> "bytecode"
@@ -42,25 +60,65 @@ let morsel_size ~processed ~n_threads =
   let grow = processed / (8 * n_threads) in
   Stdlib.min 16384 (Stdlib.max 512 grow)
 
-let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes catalog plan
-    ~mode ~pool =
-  let t_start = Aeq_util.Clock.now () in
+(* Stat accumulators are bumped from worker domains; a plain [float
+   ref] would be a data race under the multicore memory model. *)
+let rec atomic_add_float a d =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
+
+let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
   let arena = Aeq_storage.Catalog.arena catalog in
-  let mark = A.mark_chunks arena in
-  let n_threads = Pool.n_threads pool in
   let ctx =
-    Aeq_rt.Context.create ~arena ~dict:(Aeq_storage.Catalog.dict catalog) ~n_threads
+    Aeq_rt.Context.create ~arena ~dict:(Aeq_storage.Catalog.dict catalog)
+      ~n_threads:(Stdlib.max 1 n_threads)
   in
   let symbols = Aeq_rt.Symbols.resolver ctx in
   let layout = P.layout plan in
-  (* --- code generation -------------------------------------------- *)
   let workers, codegen_seconds =
     Aeq_util.Clock.time_it (fun () -> Aeq_codegen.Codegen.all_workers plan layout)
   in
-  let handles = List.map (Handle.create ~cost_model ~symbols) workers in
-  let bc_seconds =
-    List.fold_left (fun acc h -> acc +. h.Handle.bc_translate_seconds) 0.0 handles
+  let handles =
+    Array.of_list (List.map (Handle.compile_worker ~cost_model ~symbols) workers)
   in
+  let bc_seconds =
+    Array.fold_left (fun acc c -> acc +. c.Handle.bc_translate_seconds) 0.0 handles
+  in
+  {
+    pr_catalog = catalog;
+    pr_plan = plan;
+    pr_layout = layout;
+    pr_cost_model = cost_model;
+    pr_ctx = ctx;
+    pr_symbols = symbols;
+    pr_handles = handles;
+    pr_codegen_seconds = codegen_seconds;
+    pr_bc_seconds = bc_seconds;
+    pr_executions = 0;
+  }
+
+let execute_prepared ?(collect_trace = false) ?initial_modes p ~mode ~pool =
+  let t_start = Aeq_util.Clock.now () in
+  let catalog = p.pr_catalog and plan = p.pr_plan and layout = p.pr_layout in
+  let cost_model = p.pr_cost_model in
+  let arena = Aeq_storage.Catalog.arena catalog in
+  let mark = A.mark_chunks arena in
+  let n_threads = Pool.n_threads pool in
+  if n_threads > p.pr_ctx.Aeq_rt.Context.n_threads then
+    invalid_arg "Driver.execute_prepared: pool is wider than the prepared statement";
+  (* rebind the long-lived context to this execution: fresh registries
+     (ids re-issued in planning order) and fresh allocators *)
+  Aeq_rt.Context.reset p.pr_ctx;
+  let ctx = p.pr_ctx in
+  let handles =
+    Array.map
+      (fun c -> Handle.bind c ~cost_model ~symbols:p.pr_symbols ~mem:arena)
+      p.pr_handles
+  in
+  (* codegen and bytecode translation were paid by [prepare]; account
+     them to the first execution only *)
+  let first_execution = p.pr_executions = 0 in
+  let codegen_seconds = if first_execution then p.pr_codegen_seconds else 0.0 in
+  let bc_seconds = if first_execution then p.pr_bc_seconds else 0.0 in
   (* --- runtime objects (ids match planning order) ------------------ *)
   Array.iter
     (fun spec ->
@@ -93,41 +151,41 @@ let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes c
             (Int64.of_int c.Table.data))
         tbl.Table.columns)
     plan.P.pl_trefs;
-  (* --- static up-front compilation --------------------------------- *)
-  let compile_seconds = ref 0.0 in
+  (* --- install the requested per-pipeline variants ------------------ *)
+  let compile_seconds = Atomic.make 0.0 in
   (match mode with
+  | Bytecode ->
+    (* re-executions may start on a cached compiled variant *)
+    Array.iter (fun h -> ignore (Handle.promote h ~mode:CM.Bytecode)) handles
   | Unopt ->
-    List.iter
-      (fun h ->
-        compile_seconds :=
-          !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:CM.Unopt)
+    Array.iter
+      (fun h -> atomic_add_float compile_seconds (Handle.promote h ~mode:CM.Unopt))
       handles
   | Opt ->
-    List.iter
-      (fun h ->
-        compile_seconds :=
-          !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:CM.Opt)
+    Array.iter
+      (fun h -> atomic_add_float compile_seconds (Handle.promote h ~mode:CM.Opt))
       handles
-  | Bytecode | Adaptive -> ());
+  | Adaptive -> ());
   (* plan-cache warm start (paper Sec. VI): pipelines that ended
-     compiled in an earlier execution of this plan start compiled *)
+     compiled in an earlier execution of this plan start compiled.
+     With a prepared statement the cached variant makes this free. *)
   (match (mode, initial_modes) with
   | Adaptive, Some modes ->
     List.iteri
       (fun i m ->
-        match (m, List.nth_opt handles i) with
-        | CM.Bytecode, _ | _, None -> ()
-        | (CM.Unopt | CM.Opt), Some h ->
-          compile_seconds :=
-            !compile_seconds +. Handle.promote h ~cost_model ~symbols ~mem:arena ~mode:m)
+        match m with
+        | CM.Bytecode -> ()
+        | CM.Unopt | CM.Opt ->
+          if i < Array.length handles then
+            atomic_add_float compile_seconds (Handle.promote handles.(i) ~mode:m))
       modes
   | _ -> ());
   let trace = if collect_trace then Some (Trace.create ()) else None in
   (* --- pipelines ----------------------------------------------------- *)
-  let exec_seconds = ref 0.0 in
+  let exec_seconds = Atomic.make 0.0 in
   List.iteri
     (fun pi (p : P.pipeline) ->
-      let handle = List.nth handles pi in
+      let handle = handles.(pi) in
       let total =
         match p.P.p_source with
         | P.Src_scan { tref } -> (fst plan.P.pl_trefs.(tref)).Table.n_rows
@@ -162,7 +220,7 @@ let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes c
           else begin
             let e = Stdlib.min (b + size) total in
             let t0 = Aeq_util.Clock.now () in
-            Handle.run_morsel handle arena ~regs
+            Handle.run_morsel handle ~regs
               ~args:
                 [|
                   Int64.of_int state; Int64.of_int b; Int64.of_int e; Int64.of_int tid;
@@ -179,21 +237,28 @@ let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes c
               | Adaptive.Do_nothing -> ()
               | Adaptive.Compile m ->
                 let c0 = Aeq_util.Clock.now () in
-                let dt = Handle.promote handle ~cost_model ~symbols ~mem:arena ~mode:m in
+                (* finish_compile must run even if promotion raises:
+                   otherwise the handle stays marked compiling forever
+                   and all future upgrades are disabled *)
+                let dt =
+                  Fun.protect
+                    ~finally:(fun () -> Adaptive.finish_compile ctl)
+                    (fun () -> Handle.promote handle ~mode:m)
+                in
                 let c1 = Aeq_util.Clock.now () in
                 (match trace with
                 | Some tr -> Trace.record tr ~pipeline:pi ~tid ~t0:c0 ~t1:c1 (Trace.Ev_compile m)
                 | None -> ());
-                compile_seconds := !compile_seconds +. dt;
-                Adaptive.finish_compile ctl)
+                atomic_add_float compile_seconds dt)
             | None -> ()
           end
         done
       in
       let (), dt = Aeq_util.Clock.time_it (fun () -> if total > 0 then Pool.run pool job) in
-      exec_seconds := !exec_seconds +. dt)
+      atomic_add_float exec_seconds dt)
     plan.P.pl_pipelines;
-  let final_modes = List.map (fun h -> cm_mode_name (Handle.mode h)) handles in
+  let handle_list = Array.to_list handles in
+  let final_modes = List.map (fun h -> cm_mode_name (Handle.mode h)) handle_list in
   (* --- collect, sort, limit ----------------------------------------- *)
   let n_cols = List.length plan.P.pl_out.P.out_names in
   let raw = Aeq_rt.Output.rows out in
@@ -226,24 +291,33 @@ let execute ?(cost_model = CM.default) ?(collect_trace = false) ?initial_modes c
   in
   (* release query scratch *)
   A.truncate arena mark;
-  let total_seconds = Aeq_util.Clock.now () -. t_start in
+  p.pr_executions <- p.pr_executions + 1;
+  (* the up-front preparation cost belongs to the cold run's total *)
+  let total_seconds =
+    Aeq_util.Clock.now () -. t_start +. codegen_seconds +. bc_seconds
+  in
   {
     names = plan.P.pl_out.P.out_names;
     dtypes;
     rows;
-    final_cm_modes = List.map Handle.mode handles;
+    final_cm_modes = List.map Handle.mode handle_list;
     stats =
       {
         codegen_seconds;
         bc_seconds;
-        compile_seconds = !compile_seconds;
-        exec_seconds = !exec_seconds;
+        compile_seconds = Atomic.get compile_seconds;
+        exec_seconds = Atomic.get exec_seconds;
         total_seconds;
         rows_out = List.length rows;
         final_modes;
+        prepared_reuse = not first_execution;
       };
     trace;
   }
+
+let execute ?cost_model ?collect_trace ?initial_modes catalog plan ~mode ~pool =
+  let p = prepare ?cost_model catalog plan ~n_threads:(Pool.n_threads pool) in
+  execute_prepared ?collect_trace ?initial_modes p ~mode ~pool
 
 let row_to_strings catalog dtypes row =
   List.mapi

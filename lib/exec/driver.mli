@@ -11,7 +11,15 @@
     the others keep interpreting, and all threads pick up the new
     variant on their next morsel. Static modes compile every pipeline
     up front, single-threaded, exactly like a classical compiling
-    engine. *)
+    engine.
+
+    Execution is split into {!prepare} (codegen + bytecode
+    translation, once per plan) and {!execute_prepared} (everything
+    per-execution). A {!prepared} value is a prepared statement: its
+    compiled artifacts — bytecode programs and any machine-code
+    variants promoted during earlier executions — survive, so repeated
+    executions pay no codegen, translation or recompilation cost.
+    {!execute} composes the two for one-shot use. *)
 
 type mode = Bytecode | Unopt | Opt | Adaptive
 
@@ -19,12 +27,19 @@ val mode_name : mode -> string
 
 type stats = {
   codegen_seconds : float;
-  bc_seconds : float;  (** bytecode translation, all pipelines *)
-  compile_seconds : float;  (** machine-code compilation (incl. adaptive) *)
+      (** IR generation; 0 on prepared re-executions (already paid) *)
+  bc_seconds : float;
+      (** bytecode translation, all pipelines; 0 on prepared re-executions *)
+  compile_seconds : float;
+      (** machine-code compilation paid {e this} execution (incl.
+          adaptive); promoting to a variant cached by an earlier
+          execution costs 0 *)
   exec_seconds : float;  (** pipeline execution wall time *)
   total_seconds : float;
   rows_out : int;
   final_modes : string list;  (** execution mode of each pipeline at completion *)
+  prepared_reuse : bool;
+      (** this run reused a previously-executed prepared statement *)
 }
 
 type result = {
@@ -38,6 +53,42 @@ type result = {
           the next execution's [initial_modes] *)
 }
 
+type prepared
+(** A compiled plan: worker IR, translated bytecode, promoted
+    machine-code variants, and the runtime context the code was
+    resolved against. Re-executable any number of times (not
+    concurrently with itself — each execution resets and re-populates
+    the shared context). *)
+
+val prepare :
+  ?cost_model:Aeq_backend.Cost_model.t ->
+  Aeq_storage.Catalog.t ->
+  Aeq_plan.Physical.t ->
+  n_threads:int ->
+  prepared
+(** Generate and bytecode-translate every pipeline worker.
+    [n_threads] is the widest pool the statement may later execute
+    on. *)
+
+val execute_prepared :
+  ?collect_trace:bool ->
+  ?initial_modes:Aeq_backend.Cost_model.mode list ->
+  prepared ->
+  mode:mode ->
+  pool:Pool.t ->
+  result
+(** Execute a prepared statement. Pipelines start in the variant left
+    installed by the previous execution (warm start); static modes
+    install their variant first, reusing cached compilations.
+    @raise Invalid_argument if [pool] is wider than the [n_threads]
+    the statement was prepared with. *)
+
+val prepared_executions : prepared -> int
+(** How many times the statement has executed. *)
+
+val prepared_modes : prepared -> Aeq_backend.Cost_model.mode list
+(** Currently-installed variant of each pipeline. *)
+
 val execute :
   ?cost_model:Aeq_backend.Cost_model.t ->
   ?collect_trace:bool ->
@@ -47,8 +98,10 @@ val execute :
   mode:mode ->
   pool:Pool.t ->
   result
-(** Query scratch memory is released (arena truncation) before
-    returning; result rows are decoded into OCaml arrays first.
+(** [prepare] + [execute_prepared]: plan-to-rows in one call, nothing
+    cached afterwards. Query scratch memory is released (arena
+    truncation) before returning; result rows are decoded into OCaml
+    arrays first.
 
     [initial_modes] (adaptive mode only) pre-compiles the listed
     pipelines before execution starts — the plan-caching extension of

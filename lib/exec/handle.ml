@@ -4,17 +4,26 @@ type variant =
   | V_bytecode of Aeq_vm.Bytecode.t
   | V_compiled of CM.mode * Aeq_backend.Closure_compile.t
 
-type t = {
+type compiled = {
   func : Func.t;
   bytecode : Aeq_vm.Bytecode.t;
   current : variant Atomic.t;
   compiling : bool Atomic.t;
   n_instrs : int;
   bc_translate_seconds : float;
-  mutable compile_seconds : float;
+  unopt : Aeq_backend.Closure_compile.t option Atomic.t;
+  opt : Aeq_backend.Closure_compile.t option Atomic.t;
+  compile_seconds : float Atomic.t;
 }
 
-let create ~cost_model ~symbols func =
+type t = {
+  c : compiled;
+  cost_model : CM.t;
+  symbols : Aeq_vm.Rt_fn.resolver;
+  mem : Aeq_mem.Arena.t;
+}
+
+let compile_worker ~cost_model ~symbols func =
   let bytecode, bc_seconds =
     Aeq_backend.Compiler.translate_bytecode ~cost_model ~symbols func
   in
@@ -25,30 +34,77 @@ let create ~cost_model ~symbols func =
     compiling = Atomic.make false;
     n_instrs = Func.n_instrs func;
     bc_translate_seconds = bc_seconds;
-    compile_seconds = 0.0;
+    unopt = Atomic.make None;
+    opt = Atomic.make None;
+    compile_seconds = Atomic.make 0.0;
   }
 
-let mode t =
-  match Atomic.get t.current with
+let bind c ~cost_model ~symbols ~mem = { c; cost_model; symbols; mem }
+
+let create ~cost_model ~symbols ~mem func =
+  bind (compile_worker ~cost_model ~symbols func) ~cost_model ~symbols ~mem
+
+let compiled_part t = t.c
+
+let mode_of_compiled c =
+  match Atomic.get c.current with
   | V_bytecode _ -> CM.Bytecode
   | V_compiled (m, _) -> m
 
-let install t v = Atomic.set t.current v
+let mode t = mode_of_compiled t.c
+
+let compiling t = t.c.compiling
+
+let n_instrs t = t.c.n_instrs
+
+let total_compile_seconds c = Atomic.get c.compile_seconds
+
+let install t v = Atomic.set t.c.current v
 
 let ensure_regs regs n =
   if Bytes.length !regs < n then regs := Bytes.make (Stdlib.max n (2 * Bytes.length !regs)) '\000'
 
-let run_morsel t mem ~regs ~args =
-  match Atomic.get t.current with
+let run_morsel t ~regs ~args =
+  match Atomic.get t.c.current with
   | V_bytecode bc ->
     ensure_regs regs bc.Aeq_vm.Bytecode.n_reg_bytes;
-    ignore (Aeq_vm.Interp.run bc mem ~regs:!regs ~args ())
+    ignore (Aeq_vm.Interp.run bc t.mem ~regs:!regs ~args ())
   | V_compiled (_, c) ->
     ensure_regs regs (Aeq_backend.Closure_compile.n_reg_bytes c);
     ignore (Aeq_backend.Closure_compile.run c ~regs:!regs ~args ())
 
-let promote t ~cost_model ~symbols ~mem ~mode =
-  let compiled = Aeq_backend.Compiler.compile ~cost_model ~symbols ~mem ~mode t.func in
-  install t (V_compiled (mode, compiled.Aeq_backend.Compiler.exec));
-  t.compile_seconds <- t.compile_seconds +. compiled.Aeq_backend.Compiler.compile_seconds;
-  compiled.Aeq_backend.Compiler.compile_seconds
+let rec atomic_add_float a d =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
+
+let promote t ~mode =
+  if mode = mode_of_compiled t.c then 0.0
+  else
+    match mode with
+    | CM.Bytecode ->
+      install t (V_bytecode t.c.bytecode);
+      0.0
+    | CM.Unopt | CM.Opt -> (
+      let slot = match mode with CM.Unopt -> t.c.unopt | _ -> t.c.opt in
+      match Atomic.get slot with
+      | Some exec ->
+        (* prepared-statement fast path: the variant survived an
+           earlier execution, switching is a single store *)
+        install t (V_compiled (mode, exec));
+        0.0
+      | None ->
+        let compiled =
+          match mode with
+          | CM.Unopt ->
+            (* the bytecode program is already translated; closure-
+               compile it directly instead of re-walking the IR *)
+            Aeq_backend.Compiler.compile_unopt_of_bytecode ~cost_model:t.cost_model
+              ~mem:t.mem ~n_instrs:t.c.n_instrs t.c.bytecode
+          | _ ->
+            Aeq_backend.Compiler.compile ~cost_model:t.cost_model ~symbols:t.symbols
+              ~mem:t.mem ~mode t.c.func
+        in
+        Atomic.set slot (Some compiled.Aeq_backend.Compiler.exec);
+        install t (V_compiled (mode, compiled.Aeq_backend.Compiler.exec));
+        atomic_add_float t.c.compile_seconds compiled.Aeq_backend.Compiler.compile_seconds;
+        compiled.Aeq_backend.Compiler.compile_seconds)

@@ -4,45 +4,92 @@
     worker function. Workers pick the current best variant for every
     morsel; switching execution modes is a single atomic store, and
     because all variants operate on the same arena state, remaining
-    morsels continue seamlessly in the new mode. *)
+    morsels continue seamlessly in the new mode.
+
+    The handle is split in two:
+
+    - {!compiled} is execution-independent: the IR, the translated
+      bytecode program, every machine-code (closure) variant built so
+      far, and the currently-installed variant. It is what a prepared
+      statement caches — surviving artifacts make re-executions skip
+      codegen, bytecode translation and recompilation entirely.
+    - {!t} binds a [compiled] to one execution's environment (cost
+      model, symbol resolver, arena). Bindings are cheap throwaway
+      records created per execution.
+
+    Compiled artifacts stay valid across executions because they only
+    close over long-lived objects: the catalog arena and a runtime
+    context whose registries are re-populated (not replaced) each run
+    — see {!Aeq_rt.Context.reset}. *)
 
 type variant =
   | V_bytecode of Aeq_vm.Bytecode.t
   | V_compiled of Aeq_backend.Cost_model.mode * Aeq_backend.Closure_compile.t
 
-type t = {
+type compiled = {
   func : Func.t;
   bytecode : Aeq_vm.Bytecode.t;
-  current : variant Atomic.t;
+  current : variant Atomic.t;  (** the variant run_morsel dispatches to *)
   compiling : bool Atomic.t;  (** a compile task is in flight *)
   n_instrs : int;
   bc_translate_seconds : float;
-  mutable compile_seconds : float;  (** accumulated compilation latency *)
+  unopt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Unopt variant *)
+  opt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Opt variant *)
+  compile_seconds : float Atomic.t;  (** compilation latency over the handle's lifetime *)
 }
+
+type t = {
+  c : compiled;
+  cost_model : Aeq_backend.Cost_model.t;
+  symbols : Aeq_vm.Rt_fn.resolver;
+  mem : Aeq_mem.Arena.t;
+}
+
+val compile_worker :
+  cost_model:Aeq_backend.Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  Func.t ->
+  compiled
+(** Translate to bytecode (always available, fast). The result starts
+    in the bytecode variant with no machine-code variants built. *)
+
+val bind :
+  compiled ->
+  cost_model:Aeq_backend.Cost_model.t ->
+  symbols:Aeq_vm.Rt_fn.resolver ->
+  mem:Aeq_mem.Arena.t ->
+  t
 
 val create :
   cost_model:Aeq_backend.Cost_model.t ->
   symbols:Aeq_vm.Rt_fn.resolver ->
+  mem:Aeq_mem.Arena.t ->
   Func.t ->
   t
-(** Translate to bytecode (always available, fast). *)
+(** [compile_worker] + [bind] for single-shot (unprepared) execution. *)
+
+val compiled_part : t -> compiled
 
 val mode : t -> Aeq_backend.Cost_model.mode
 
+val mode_of_compiled : compiled -> Aeq_backend.Cost_model.mode
+
+val compiling : t -> bool Atomic.t
+
+val n_instrs : t -> int
+
+val total_compile_seconds : compiled -> float
+
 val install : t -> variant -> unit
 
-val run_morsel :
-  t -> Aeq_mem.Arena.t -> regs:Bytes.t ref -> args:int64 array -> unit
+val run_morsel : t -> regs:Bytes.t ref -> args:int64 array -> unit
 (** Execute one morsel with the current variant, growing the caller's
     scratch register file if the variant needs more space. *)
 
-val promote :
-  t ->
-  cost_model:Aeq_backend.Cost_model.t ->
-  symbols:Aeq_vm.Rt_fn.resolver ->
-  mem:Aeq_mem.Arena.t ->
-  mode:Aeq_backend.Cost_model.mode ->
-  float
-(** Compile to the given mode (blocking; run it on the thread that
-    volunteered) and install the result. Returns the compile latency
-    in seconds. *)
+val promote : t -> mode:Aeq_backend.Cost_model.mode -> float
+(** Install the given mode's variant and return the compile latency
+    paid now: 0 if the handle is already in that mode or the variant
+    was cached from an earlier execution; otherwise the variant is
+    compiled (blocking; run it on the thread that volunteered),
+    cached for future executions, and installed. [Bytecode] reinstalls
+    the interpreter (free). *)

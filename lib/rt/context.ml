@@ -21,6 +21,15 @@ let create ~arena ~dict ~n_threads =
     preds = [||];
   }
 
+let reset t =
+  (* Fresh allocators: the arena may have been truncated back past the
+     chunks the old ones were bumping into. *)
+  Array.iteri (fun i _ -> t.allocators.(i) <- Aeq_mem.Arena.allocator t.arena) t.allocators;
+  t.hts <- [||];
+  t.aggs <- [||];
+  t.outs <- [||];
+  t.preds <- [||]
+
 let append arr x = Array.append arr [| x |]
 
 let register_ht t ht =

@@ -17,6 +17,16 @@ type t = {
 
 val create : arena:Aeq_mem.Arena.t -> dict:Dict.t -> n_threads:int -> t
 
+val reset : t -> unit
+(** Empty the object registries and replace every thread allocator
+    with a fresh one. A long-lived context (a prepared statement's)
+    is reset at the start of each execution so ids from the new
+    registration round line up with planning order again, and so no
+    allocator still points into arena chunks released by the previous
+    execution's truncation. Code compiled against this context (via
+    its {!Symbols.resolver}) stays valid: resolvers index the
+    registries at call time, not at compile time. *)
+
 val register_ht : t -> Hash_table.t -> int
 
 val register_agg : t -> Agg.t -> int

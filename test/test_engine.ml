@@ -119,6 +119,54 @@ let test_adaptive_stays_interpreted_when_tiny () =
     (fun m -> Alcotest.(check string) "stays bytecode" "bytecode" m)
     r.Driver.stats.Driver.final_modes
 
+let test_query_cache_hit_skips_compilation () =
+  (* acceptance: a cached re-execution's codegen + translation +
+     compilation is < 10% of the cold run's, with identical rows *)
+  let e = Aeq.Engine.create ~n_threads:2 ~cost_model:Aeq_backend.Cost_model.default () in
+  Aeq.Engine.load_tpch e ~scale_factor:0.01;
+  let sql = "select sum(l_extendedprice * (1 - l_discount)) from lineitem" in
+  let cost (r : Driver.result) =
+    r.Driver.stats.Driver.codegen_seconds +. r.Driver.stats.Driver.bc_seconds
+    +. r.Driver.stats.Driver.compile_seconds
+  in
+  let r1 = Aeq.Engine.query e ~mode:Driver.Opt sql in
+  let r2 = Aeq.Engine.query e ~mode:Driver.Opt sql in
+  Alcotest.(check bool) "cold run pays compilation" true (cost r1 > 0.0);
+  Alcotest.(check bool) "warm run under 10% of cold" true (cost r2 < 0.1 *. cost r1);
+  Alcotest.(check (float 0.0)) "no codegen on hit" 0.0 r2.Driver.stats.Driver.codegen_seconds;
+  Alcotest.(check (float 0.0)) "no translation on hit" 0.0 r2.Driver.stats.Driver.bc_seconds;
+  Alcotest.(check (float 0.0)) "no recompilation on hit" 0.0
+    r2.Driver.stats.Driver.compile_seconds;
+  Alcotest.(check bool) "same rows" true (r1.Driver.rows = r2.Driver.rows);
+  let st = Aeq.Engine.cache_stats e in
+  Alcotest.(check int) "one miss" 1 st.Aeq.Engine.misses;
+  Alcotest.(check int) "one hit" 1 st.Aeq.Engine.hits;
+  Aeq.Engine.close e
+
+let test_cache_lru_and_prepare () =
+  let e = Aeq.Engine.create ~n_threads:2 ~cost_model:Aeq_backend.Cost_model.off () in
+  Aeq.Engine.load_tpch e ~scale_factor:0.002;
+  Aeq.Engine.set_plan_cache_capacity e 2;
+  let nation = "select count(*) from nation" in
+  Aeq.Engine.prepare e nation;
+  let st = Aeq.Engine.cache_stats e in
+  Alcotest.(check int) "prepare misses once" 1 st.Aeq.Engine.misses;
+  Alcotest.(check int) "prepared but unexecuted" 0 (Aeq.Engine.cached_executions e nation);
+  Aeq.Engine.prepare e nation;
+  let st = Aeq.Engine.cache_stats e in
+  Alcotest.(check int) "second prepare hits" 1 st.Aeq.Engine.hits;
+  ignore (Aeq.Engine.query e "select count(*) from region");
+  ignore (Aeq.Engine.query e "select count(*) from part");
+  (* capacity 2: the least-recently-used statement (nation) is gone *)
+  let st = Aeq.Engine.cache_stats e in
+  Alcotest.(check int) "bounded to capacity" 2 st.Aeq.Engine.entries;
+  Alcotest.(check int) "one eviction" 1 st.Aeq.Engine.evictions;
+  Alcotest.(check int) "evicted statement forgotten" 0 (Aeq.Engine.cached_executions e nation);
+  ignore (Aeq.Engine.query e nation);
+  let st = Aeq.Engine.cache_stats e in
+  Alcotest.(check int) "evicted statement re-prepared" 4 st.Aeq.Engine.misses;
+  Aeq.Engine.close e
+
 let test_explain () =
   let e = Lazy.force engine in
   let text = Aeq.Engine.explain e (Aeq_workload.Queries.tpch_q 5) in
@@ -164,6 +212,12 @@ let () =
         [
           Alcotest.test_case "compiles hot pipeline" `Quick test_adaptive_compiles_large_pipeline;
           Alcotest.test_case "tiny stays interpreted" `Quick test_adaptive_stays_interpreted_when_tiny;
+        ] );
+      ( "prepared cache",
+        [
+          Alcotest.test_case "cache hit skips compilation" `Quick
+            test_query_cache_hit_skips_compilation;
+          Alcotest.test_case "lru bound and prepare" `Quick test_cache_lru_and_prepare;
         ] );
       ( "planner",
         [

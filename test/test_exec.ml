@@ -26,6 +26,20 @@ let test_pool_propagates_exceptions () =
   Alcotest.(check int) "usable after error" 3 (Atomic.get count);
   Aeq_exec.Pool.shutdown pool
 
+let test_pool_main_thread_exception () =
+  (* thread 0 is the caller: its exception must propagate like any
+     worker's, and the pool must survive *)
+  let pool = Aeq_exec.Pool.create ~n_threads:3 in
+  (match Aeq_exec.Pool.run pool (fun ~tid -> if tid = 0 then failwith "main-boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "main-boom" m);
+  let count = Atomic.make 0 in
+  Aeq_exec.Pool.run pool (fun ~tid ->
+      ignore tid;
+      Atomic.incr count);
+  Alcotest.(check int) "usable after error" 3 (Atomic.get count);
+  Aeq_exec.Pool.shutdown pool
+
 let test_pool_single_thread_inline () =
   let pool = Aeq_exec.Pool.create ~n_threads:1 in
   let ran = ref false in
@@ -93,6 +107,37 @@ let test_decide_no_rate_no_decision () =
   match extrapolate ~current_mode:CM.Bytecode ~remaining:1_000_000 ~rate:0.0 ~n_threads:4 with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | _ -> Alcotest.fail "cannot extrapolate without a rate"
+
+(* Regression for the mis-extrapolation bug: the measured rate is in
+   the *current* mode's units, so a candidate's speedup (stated vs
+   bytecode) must be divided by the current mode's speedup. With the
+   old formula the Unopt->Opt estimate used the full 5x instead of
+   5/3.6 = 1.39x and upgraded near-finished pipelines. Numbers below
+   (default model, 1000 instrs, 1 thread, 1M rows/s):
+   opt compile = 75.5 ms; 120k rows remaining = 120 ms left.
+   buggy estimate: 75.5 + 120/5      =  99.5 ms -> upgrade (wrong)
+   fixed estimate: 75.5 + 120/1.389  = 161.9 ms -> keep Unopt *)
+
+let test_relative_speedup_blocks_eager_upgrade () =
+  match
+    extrapolate ~current_mode:CM.Unopt ~remaining:120_000 ~rate:1e6 ~n_threads:1
+  with
+  | Aeq_exec.Adaptive.Do_nothing -> ()
+  | Aeq_exec.Adaptive.Compile _ ->
+    Alcotest.fail
+      "Unopt->Opt upgraded on the vs-bytecode speedup (5x) instead of the relative \
+       gain (1.39x)"
+
+let test_relative_speedup_still_upgrades_when_profitable () =
+  (* 1M rows remaining = 1 s left; 75.5 + 1000/1.389 = 795 ms: the
+     relative gain still pays for itself *)
+  match
+    extrapolate ~current_mode:CM.Unopt ~remaining:1_000_000 ~rate:1e6 ~n_threads:1
+  with
+  | Aeq_exec.Adaptive.Compile CM.Opt -> ()
+  | Aeq_exec.Adaptive.Compile (CM.Unopt | CM.Bytecode) -> Alcotest.fail "expected Opt"
+  | Aeq_exec.Adaptive.Do_nothing ->
+    Alcotest.fail "a genuinely profitable Unopt->Opt upgrade must still happen"
 
 let test_monotone_in_remaining () =
   (* once compilation pays off, it keeps paying off for more work *)
@@ -178,6 +223,66 @@ let test_plan_cache_promotion () =
     r1.Driver.stats.Driver.final_modes r2.Driver.stats.Driver.final_modes;
   Aeq.Engine.close engine
 
+(* ---- prepared statements (compiled-artifact cache) ------------------ *)
+
+let test_prepared_artifact_reuse () =
+  let engine = Aeq.Engine.create ~n_threads:2 ~cost_model:CM.off () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.005;
+  let catalog = Aeq.Engine.catalog engine in
+  let pool = Aeq.Engine.pool engine in
+  let plan = Aeq.Engine.plan engine "select sum(l_quantity) from lineitem" in
+  let p =
+    Driver.prepare ~cost_model:CM.off catalog plan
+      ~n_threads:(Aeq_exec.Pool.n_threads pool)
+  in
+  Alcotest.(check int) "unexecuted" 0 (Driver.prepared_executions p);
+  let r1 = Driver.execute_prepared p ~mode:Driver.Opt ~pool in
+  let r2 = Driver.execute_prepared p ~mode:Driver.Opt ~pool in
+  Alcotest.(check int) "executed twice" 2 (Driver.prepared_executions p);
+  Alcotest.(check bool) "same rows" true (r1.Driver.rows = r2.Driver.rows);
+  Alcotest.(check bool) "cold run pays codegen" true
+    (r1.Driver.stats.Driver.codegen_seconds > 0.0);
+  Alcotest.(check bool) "cold run not flagged as reuse" false
+    r1.Driver.stats.Driver.prepared_reuse;
+  (* the compiled artifacts survived: nothing is rebuilt *)
+  Alcotest.(check (float 0.0)) "no codegen on reuse" 0.0
+    r2.Driver.stats.Driver.codegen_seconds;
+  Alcotest.(check (float 0.0)) "no translation on reuse" 0.0
+    r2.Driver.stats.Driver.bc_seconds;
+  Alcotest.(check (float 0.0)) "no recompilation on reuse" 0.0
+    r2.Driver.stats.Driver.compile_seconds;
+  Alcotest.(check bool) "reuse flagged" true r2.Driver.stats.Driver.prepared_reuse;
+  (* every pipeline is still in the statically-requested mode *)
+  List.iter
+    (fun m -> Alcotest.(check bool) "stays optimized" true (m = CM.Opt))
+    (Driver.prepared_modes p);
+  Aeq.Engine.close engine
+
+let test_prepared_mode_switches () =
+  (* the same prepared statement can serve every execution mode; a
+     bytecode run after a compiled one must reinstall the interpreter *)
+  let engine = Aeq.Engine.create ~n_threads:2 ~cost_model:CM.off () in
+  Aeq.Engine.load_tpch engine ~scale_factor:0.002;
+  let catalog = Aeq.Engine.catalog engine in
+  let pool = Aeq.Engine.pool engine in
+  let plan = Aeq.Engine.plan engine "select count(*) from orders" in
+  let p =
+    Driver.prepare ~cost_model:CM.off catalog plan
+      ~n_threads:(Aeq_exec.Pool.n_threads pool)
+  in
+  let r_opt = Driver.execute_prepared p ~mode:Driver.Opt ~pool in
+  let r_bc = Driver.execute_prepared p ~mode:Driver.Bytecode ~pool in
+  let r_un = Driver.execute_prepared p ~mode:Driver.Unopt ~pool in
+  Alcotest.(check bool) "opt = bytecode rows" true (r_opt.Driver.rows = r_bc.Driver.rows);
+  Alcotest.(check bool) "unopt = bytecode rows" true (r_un.Driver.rows = r_bc.Driver.rows);
+  List.iter
+    (fun m -> Alcotest.(check string) "back to bytecode" "bytecode" m)
+    r_bc.Driver.stats.Driver.final_modes;
+  List.iter
+    (fun m -> Alcotest.(check string) "unoptimized installed" "unoptimized" m)
+    r_un.Driver.stats.Driver.final_modes;
+  Aeq.Engine.close engine
+
 let test_trace_render () =
   let tr = Aeq_exec.Trace.create () in
   let t0 = Aeq_exec.Trace.epoch tr in
@@ -196,6 +301,7 @@ let () =
         [
           Alcotest.test_case "all tids" `Quick test_pool_runs_all_tids;
           Alcotest.test_case "exceptions" `Quick test_pool_propagates_exceptions;
+          Alcotest.test_case "main-thread exception" `Quick test_pool_main_thread_exception;
           Alcotest.test_case "single thread" `Quick test_pool_single_thread_inline;
         ] );
       ("progress", [ Alcotest.test_case "rates" `Quick test_progress_rates ]);
@@ -206,12 +312,21 @@ let () =
           Alcotest.test_case "medium -> unoptimized" `Quick test_decide_unopt_in_between;
           Alcotest.test_case "never downgrades" `Quick test_decide_never_downgrades;
           Alcotest.test_case "no rate, no decision" `Quick test_decide_no_rate_no_decision;
+          Alcotest.test_case "relative speedup blocks eager upgrade" `Quick
+            test_relative_speedup_blocks_eager_upgrade;
+          Alcotest.test_case "relative speedup keeps profitable upgrade" `Quick
+            test_relative_speedup_still_upgrades_when_profitable;
           Alcotest.test_case "monotone in remaining" `Quick test_monotone_in_remaining;
         ] );
       ( "switching",
         [
           Alcotest.test_case "no lost work" `Quick test_no_lost_work;
           Alcotest.test_case "plan-cache mode memory" `Quick test_plan_cache_promotion;
+        ] );
+      ( "prepared",
+        [
+          Alcotest.test_case "artifact reuse" `Quick test_prepared_artifact_reuse;
+          Alcotest.test_case "mode switches" `Quick test_prepared_mode_switches;
         ] );
       ("trace", [ Alcotest.test_case "render" `Quick test_trace_render ]);
     ]
