@@ -18,7 +18,11 @@ let mode_conv =
   in
   Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Aeq_exec.Driver.mode_name m))
 
-let run sf threads mode explain trace tpch_n sql =
+let run sf threads mode explain trace tpch_n timeout mem_budget failpoints strict_compile
+    sql =
+  (match failpoints with
+  | Some spec -> Aeq_util.Failpoints.set_from_string spec
+  | None -> ());
   let engine = Aeq.Engine.create ~n_threads:threads () in
   Printf.printf "loading TPC-H sf=%.3f ...\n%!" sf;
   Aeq.Engine.load_tpch engine ~scale_factor:sf;
@@ -30,7 +34,11 @@ let run sf threads mode explain trace tpch_n sql =
   in
   if explain then print_endline (Aeq.Engine.explain engine sql)
   else begin
-    match Aeq.Engine.query engine ~mode ~collect_trace:trace sql with
+    let on_compile_failure = if strict_compile then `Fail else `Degrade in
+    match
+      Aeq.Engine.query engine ~mode ~collect_trace:trace ?timeout_seconds:timeout
+        ?memory_budget_bytes:mem_budget ~on_compile_failure sql
+    with
     | result ->
       print_endline (String.concat "\t" result.Aeq_exec.Driver.names);
       List.iter print_endline (Aeq.Engine.render_rows engine result);
@@ -48,6 +56,8 @@ let run sf threads mode explain trace tpch_n sql =
       (match result.Aeq_exec.Driver.trace with
       | Some tr -> print_string (Aeq_exec.Trace.render tr ~n_threads:threads)
       | None -> ())
+    | exception Aeq_exec.Query_error.Error e ->
+      Printf.printf "query error: %s\n" (Aeq_exec.Query_error.to_string e)
     | exception Aeq_ir.Trap.Error m -> Printf.printf "runtime error: %s\n" m
     | exception Aeq_plan.Planner.Plan_error m -> Printf.printf "planning error: %s\n" m
     | exception Aeq_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
@@ -68,9 +78,41 @@ let cmd =
   let tpch_n =
     Arg.(value & opt (some int) None & info [ "tpch" ] ~doc:"Run TPC-H query N (1..22).")
   in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~doc:"Abort the query after this many seconds.")
+  in
+  let mem_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mem-budget" ] ~doc:"Per-query arena scratch budget in bytes.")
+  in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ]
+          ~doc:
+            "Arm fault-injection sites, e.g. \
+             'compile.opt=fail,driver.morsel=fail\\@5' (same syntax as \
+             \\$(b,AEQ_FAILPOINTS)).")
+  in
+  let strict_compile =
+    Arg.(
+      value & flag
+      & info [ "strict-compile" ]
+          ~doc:
+            "Fail the query when a requested compilation fails instead of degrading \
+             to bytecode.")
+  in
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
   Cmd.v
     (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
-    Term.(const run $ sf $ threads $ mode $ explain $ trace $ tpch_n $ sql)
+    Term.(
+      const run $ sf $ threads $ mode $ explain $ trace $ tpch_n $ timeout $ mem_budget
+      $ failpoints $ strict_compile $ sql)
 
 let () = exit (Cmd.eval cmd)

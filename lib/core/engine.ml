@@ -127,11 +127,12 @@ let cached_executions t sql =
   | Some e -> Aeq_exec.Driver.prepared_executions e.ce_prepared
   | None -> 0
 
-let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
+let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_seconds
+    ?cancel ?memory_budget_bytes ?on_compile_failure t sql =
   if not t.cache_enabled then begin
     let p = plan t sql in
-    Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace t.catalog p ~mode
-      ~pool:t.pool
+    Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
+      ?cancel ?memory_budget_bytes ?on_compile_failure t.catalog p ~mode ~pool:t.pool
   end
   else begin
     (* prepared-statement cache with per-pipeline mode memory (the
@@ -139,7 +140,9 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
        text reuse the plan AND the compiled artifacts — codegen,
        bytecode translation and machine-code variants are paid once.
        In adaptive mode, pipelines start in the mode they had
-       converged to last time. *)
+       converged to last time. A failed execution leaves the entry
+       cached and reusable (the driver guarantees cleanup); only a
+       successful adaptive run updates the mode memory. *)
     let entry = prepare_entry t sql in
     let initial_modes =
       if
@@ -149,8 +152,9 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) t sql =
       else None
     in
     let r =
-      Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes entry.ce_prepared
-        ~mode ~pool:t.pool
+      Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes ?timeout_seconds
+        ?cancel ?memory_budget_bytes ?on_compile_failure entry.ce_prepared ~mode
+        ~pool:t.pool
     in
     if mode = Aeq_exec.Driver.Adaptive then
       entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes;
@@ -162,4 +166,7 @@ let render_rows t (r : Aeq_exec.Driver.result) =
     (fun row -> String.concat "\t" (Aeq_exec.Driver.row_to_strings t.catalog r.Aeq_exec.Driver.dtypes row))
     r.Aeq_exec.Driver.rows
 
+(* Pool.shutdown is idempotent, which makes close idempotent. *)
 let close t = Aeq_exec.Pool.shutdown t.pool
+
+let closed t = Aeq_exec.Pool.closed t.pool

@@ -47,8 +47,27 @@ val plan : t -> string -> Aeq_plan.Physical.t
 val explain : t -> string -> string
 
 val query :
-  ?mode:Aeq_exec.Driver.mode -> ?collect_trace:bool -> t -> string -> Aeq_exec.Driver.result
+  ?mode:Aeq_exec.Driver.mode ->
+  ?collect_trace:bool ->
+  ?timeout_seconds:float ->
+  ?cancel:Aeq_exec.Cancel.t ->
+  ?memory_budget_bytes:int ->
+  ?on_compile_failure:[ `Degrade | `Fail ] ->
+  t ->
+  string ->
+  Aeq_exec.Driver.result
 (** Plan + execute. [mode] defaults to [Adaptive].
+
+    Guardrails (see {!Aeq_exec.Driver.execute_prepared} for the full
+    contract): [timeout_seconds] and [cancel] stop the query at the
+    next morsel boundary, [memory_budget_bytes] bounds its arena
+    scratch, and [on_compile_failure] (default [`Degrade]) decides
+    whether a failed up-front compilation degrades to bytecode or
+    fails the query. Failures raise {!Aeq_exec.Query_error.Error}
+    after guaranteed cleanup: the cached prepared statement, the
+    arena and the worker pool all stay healthy, so the next query —
+    including a cache-hit re-execution of the failing text — runs
+    normally.
 
     Queries are cached by text as prepared statements: the physical
     plan, the generated worker IR, the translated bytecode, and every
@@ -88,4 +107,7 @@ val render_rows : t -> Aeq_exec.Driver.result -> string list
 (** Result rows as tab-separated strings (dictionary decoded). *)
 
 val close : t -> unit
-(** Shut the worker pool down. *)
+(** Shut the worker pool down. Idempotent; queries on a closed engine
+    raise [Invalid_argument]. *)
+
+val closed : t -> bool

@@ -15,7 +15,8 @@ let min_delay_seconds = 0.001
 let create ~model ~handle ~progress ~n_threads =
   { model; handle; progress; n_threads; evaluating = Atomic.make false }
 
-let extrapolate ~model ~current_mode ~n_instrs ~remaining ~rate ~n_threads =
+let extrapolate ?(allow_unopt = true) ?(allow_opt = true) ~model ~current_mode
+    ~n_instrs ~remaining ~rate ~n_threads () =
   if rate <= 0.0 || remaining <= 0 then Do_nothing
   else begin
     let n = float_of_int remaining in
@@ -33,13 +34,18 @@ let extrapolate ~model ~current_mode ~n_instrs ~remaining ~rate ~n_threads =
       let leftover = Stdlib.max (n -. ((w -. 1.0) *. rate *. c)) 0.0 in
       c +. (leftover /. r /. w)
     in
+    (* blacklisted candidates (a mode whose compilation failed) are
+       priced out rather than special-cased: infinity never beats the
+       status quo, so the controller never retries a dead mode *)
+    let option mode ~allowed = if allowed then option mode else Float.infinity in
     match current_mode with
     | CM.Opt -> Do_nothing
     | CM.Unopt ->
-      let t2 = option CM.Opt in
+      let t2 = option CM.Opt ~allowed:allow_opt in
       if t2 < t0 then Compile CM.Opt else Do_nothing
     | CM.Bytecode ->
-      let t1 = option CM.Unopt and t2 = option CM.Opt in
+      let t1 = option CM.Unopt ~allowed:allow_unopt
+      and t2 = option CM.Opt ~allowed:allow_opt in
       if t1 <= t2 && t1 < t0 then Compile CM.Unopt
       else if t2 < t1 && t2 < t0 then Compile CM.Opt
       else Do_nothing
@@ -53,11 +59,13 @@ let maybe_decide t =
   else begin
     let d =
       extrapolate ~model:t.model
+        ~allow_unopt:(not (Handle.blacklisted t.handle CM.Unopt))
+        ~allow_opt:(not (Handle.blacklisted t.handle CM.Opt))
         ~current_mode:(Handle.mode t.handle)
         ~n_instrs:(Handle.n_instrs t.handle)
         ~remaining:(Progress.remaining t.progress)
         ~rate:(Progress.avg_rate t.progress)
-        ~n_threads:t.n_threads
+        ~n_threads:t.n_threads ()
     in
     match d with
     | Do_nothing ->

@@ -28,14 +28,20 @@ val create :
   model:Aeq_backend.Cost_model.t -> handle:Handle.t -> progress:Progress.t -> n_threads:int -> t
 
 val extrapolate :
+  ?allow_unopt:bool ->
+  ?allow_opt:bool ->
   model:Aeq_backend.Cost_model.t ->
   current_mode:Aeq_backend.Cost_model.mode ->
   n_instrs:int ->
   remaining:int ->
   rate:float ->
   n_threads:int ->
+  unit ->
   decision
-(** Pure decision function (unit-testable). *)
+(** Pure decision function (unit-testable). [allow_unopt] /
+    [allow_opt] (default [true]) exclude blacklisted candidates — a
+    mode whose compilation failed is priced at infinity and therefore
+    never chosen again. *)
 
 val maybe_decide : t -> decision
 (** Thread-safe; returns [Do_nothing] unless this caller won the

@@ -1,0 +1,17 @@
+(** Cooperative cancellation token.
+
+    Create one, pass it to [Engine.query] / [Driver.execute_prepared],
+    and {!cancel} it from any thread; every worker checks the token at
+    its next morsel boundary and the query raises
+    [Query_error.Error Cancelled] after cleanup. A token is reusable
+    only in the trivial sense that once cancelled it cancels every
+    query it is passed to — create a fresh one per query. *)
+
+type t
+
+val create : unit -> t
+
+val cancel : t -> unit
+(** Thread-safe, idempotent. *)
+
+val cancelled : t -> bool

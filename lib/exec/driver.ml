@@ -21,6 +21,7 @@ type stats = {
   rows_out : int;
   final_modes : string list;
   prepared_reuse : bool;
+  compile_failures : int;
 }
 
 type result = {
@@ -96,228 +97,331 @@ let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
     pr_executions = 0;
   }
 
-let execute_prepared ?(collect_trace = false) ?initial_modes p ~mode ~pool =
+let error_of_exn = function
+  | Query_error.Error e -> e
+  | Trap.Error m -> Query_error.Trap m
+  | Aeq_util.Failpoints.Injected site -> Query_error.Trap ("injected fault at " ^ site)
+  | e -> Query_error.Trap (Printexc.to_string e)
+
+let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?cancel
+    ?memory_budget_bytes ?(on_compile_failure = `Degrade) p ~mode ~pool =
   let t_start = Aeq_util.Clock.now () in
   let catalog = p.pr_catalog and plan = p.pr_plan and layout = p.pr_layout in
   let cost_model = p.pr_cost_model in
-  let arena = Aeq_storage.Catalog.arena catalog in
-  let mark = A.mark_chunks arena in
   let n_threads = Pool.n_threads pool in
   if n_threads > p.pr_ctx.Aeq_rt.Context.n_threads then
     invalid_arg "Driver.execute_prepared: pool is wider than the prepared statement";
-  (* rebind the long-lived context to this execution: fresh registries
-     (ids re-issued in planning order) and fresh allocators *)
-  Aeq_rt.Context.reset p.pr_ctx;
-  let ctx = p.pr_ctx in
-  let handles =
-    Array.map
-      (fun c -> Handle.bind c ~cost_model ~symbols:p.pr_symbols ~mem:arena)
-      p.pr_handles
+  let arena = Aeq_storage.Catalog.arena catalog in
+  let mark = A.mark_chunks arena in
+  let mem_baseline = A.used arena in
+  let deadline = Option.map (fun s -> t_start +. s) timeout_seconds in
+  (* --- query guardrails --------------------------------------------- *)
+  (* The first error (worker trap, cancellation, deadline, budget
+     breach) is recorded here; every worker polls it at each morsel
+     boundary, so one failing domain stops the others promptly instead
+     of letting them drain the remaining morsels. *)
+  let failed : Query_error.t option Atomic.t = Atomic.make None in
+  let fail e = ignore (Atomic.compare_and_set failed None (Some e)) in
+  let check_guards () =
+    (match Atomic.get failed with
+    | Some _ -> ()
+    | None -> (
+      (match cancel with
+      | Some c when Cancel.cancelled c -> fail Query_error.Cancelled
+      | _ -> ());
+      (match deadline with
+      | Some d when Aeq_util.Clock.now () > d ->
+        fail (Query_error.Timeout (Option.get timeout_seconds))
+      | _ -> ());
+      match memory_budget_bytes with
+      | Some b when A.used arena - mem_baseline > b ->
+        fail
+          (Query_error.Memory_budget_exceeded
+             { budget_bytes = b; used_bytes = A.used arena - mem_baseline })
+      | _ -> ()));
+    Atomic.get failed <> None
   in
-  (* codegen and bytecode translation were paid by [prepare]; account
-     them to the first execution only *)
-  let first_execution = p.pr_executions = 0 in
-  let codegen_seconds = if first_execution then p.pr_codegen_seconds else 0.0 in
-  let bc_seconds = if first_execution then p.pr_bc_seconds else 0.0 in
-  (* --- runtime objects (ids match planning order) ------------------ *)
-  Array.iter
-    (fun spec ->
-      ignore
-        (Aeq_rt.Context.register_ht ctx
-           (Aeq_rt.Hash_table.create arena ~expected_entries:spec.P.ht_expected
-              ~payload_bytes:spec.P.ht_payload_bytes)))
-    plan.P.pl_hts;
-  (match plan.P.pl_agg with
-  | Some cfg ->
-    ignore
-      (Aeq_rt.Context.register_agg ctx
-         (Aeq_rt.Agg.create arena ~n_threads ~key_arity:cfg.P.agg_key_arity
-            ~accs:(List.map fst cfg.P.agg_accs)))
-  | None -> ());
-  let out =
-    Aeq_rt.Output.create arena ~n_threads ~row_bytes:plan.P.pl_out.P.out_row_bytes
+  let raise_if_failed () =
+    if check_guards () then
+      match Atomic.get failed with
+      | Some e -> Query_error.raise_error e
+      | None -> ()
   in
-  ignore (Aeq_rt.Context.register_out ctx out);
-  Array.iter (fun bm -> ignore (Aeq_rt.Context.register_pred ctx bm)) plan.P.pl_preds;
-  (* --- state area --------------------------------------------------- *)
-  let setup_alloc = Aeq_rt.Context.allocator ctx ~tid:0 in
-  let state = A.alloc setup_alloc (8 * Stdlib.max 1 (P.n_slots layout)) in
-  Array.iteri
-    (fun tref (tbl, _) ->
-      Array.iteri
-        (fun col (c : Table.column) ->
-          A.set_i64 arena
-            (state + (8 * P.slot_of_col layout ~tref ~col))
-            (Int64.of_int c.Table.data))
-        tbl.Table.columns)
-    plan.P.pl_trefs;
-  (* --- install the requested per-pipeline variants ------------------ *)
-  let compile_seconds = Atomic.make 0.0 in
-  (match mode with
-  | Bytecode ->
-    (* re-executions may start on a cached compiled variant *)
-    Array.iter (fun h -> ignore (Handle.promote h ~mode:CM.Bytecode)) handles
-  | Unopt ->
-    Array.iter
-      (fun h -> atomic_add_float compile_seconds (Handle.promote h ~mode:CM.Unopt))
-      handles
-  | Opt ->
-    Array.iter
-      (fun h -> atomic_add_float compile_seconds (Handle.promote h ~mode:CM.Opt))
-      handles
-  | Adaptive -> ());
-  (* plan-cache warm start (paper Sec. VI): pipelines that ended
-     compiled in an earlier execution of this plan start compiled.
-     With a prepared statement the cached variant makes this free. *)
-  (match (mode, initial_modes) with
-  | Adaptive, Some modes ->
-    List.iteri
-      (fun i m ->
-        match m with
-        | CM.Bytecode -> ()
-        | CM.Unopt | CM.Opt ->
-          if i < Array.length handles then
-            atomic_add_float compile_seconds (Handle.promote handles.(i) ~mode:m))
-      modes
-  | _ -> ());
+  let compile_failures = Atomic.make 0 in
   let trace = if collect_trace then Some (Trace.create ()) else None in
-  (* --- pipelines ----------------------------------------------------- *)
-  let exec_seconds = Atomic.make 0.0 in
-  List.iteri
-    (fun pi (p : P.pipeline) ->
-      let handle = handles.(pi) in
-      let total =
-        match p.P.p_source with
-        | P.Src_scan { tref } -> (fst plan.P.pl_trefs.(tref)).Table.n_rows
-        | P.Src_agg_scan { agg } ->
-          (* pipeline barrier: merge thread-local groups and expose
-             them as a scannable table *)
-          let a = ctx.Aeq_rt.Context.aggs.(agg) in
-          Aeq_rt.Agg.merge a;
-          let n, cols = Aeq_rt.Agg.materialize a ~allocator:setup_alloc in
-          Array.iteri
-            (fun k col ->
-              A.set_i64 arena
-                (state + (8 * P.slot_of_agg_col layout k))
-                (Int64.of_int col))
-            cols;
-          n
-      in
-      let progress = Progress.create ~total_rows:total ~n_threads in
-      let controller =
-        match mode with
-        | Adaptive -> Some (Adaptive.create ~model:cost_model ~handle ~progress ~n_threads)
-        | Bytecode | Unopt | Opt -> None
-      in
-      let next = Atomic.make 0 in
-      let job ~tid =
-        let regs = ref (Bytes.make 256 '\000') in
-        let continue_ = ref true in
-        while !continue_ do
-          let size = morsel_size ~processed:(Progress.processed progress) ~n_threads in
-          let b = Atomic.fetch_and_add next size in
-          if b >= total then continue_ := false
-          else begin
-            let e = Stdlib.min (b + size) total in
-            let t0 = Aeq_util.Clock.now () in
-            Handle.run_morsel handle ~regs
-              ~args:
-                [|
-                  Int64.of_int state; Int64.of_int b; Int64.of_int e; Int64.of_int tid;
-                |];
-            let t1 = Aeq_util.Clock.now () in
-            Progress.note_morsel progress ~tid ~rows:(e - b) ~seconds:(t1 -. t0);
-            (match trace with
-            | Some tr ->
-              Trace.record tr ~pipeline:pi ~tid ~t0 ~t1 (Trace.Ev_morsel (Handle.mode handle))
-            | None -> ());
-            match controller with
-            | Some ctl -> (
-              match Adaptive.maybe_decide ctl with
-              | Adaptive.Do_nothing -> ()
-              | Adaptive.Compile m ->
-                let c0 = Aeq_util.Clock.now () in
-                (* finish_compile must run even if promotion raises:
-                   otherwise the handle stays marked compiling forever
-                   and all future upgrades are disabled *)
-                let dt =
-                  Fun.protect
-                    ~finally:(fun () -> Adaptive.finish_compile ctl)
-                    (fun () -> Handle.promote handle ~mode:m)
-                in
-                let c1 = Aeq_util.Clock.now () in
-                (match trace with
-                | Some tr -> Trace.record tr ~pipeline:pi ~tid ~t0:c0 ~t1:c1 (Trace.Ev_compile m)
-                | None -> ());
-                atomic_add_float compile_seconds dt)
-            | None -> ()
-          end
-        done
-      in
-      let (), dt = Aeq_util.Clock.time_it (fun () -> if total > 0 then Pool.run pool job) in
-      atomic_add_float exec_seconds dt)
-    plan.P.pl_pipelines;
-  let handle_list = Array.to_list handles in
-  let final_modes = List.map (fun h -> cm_mode_name (Handle.mode h)) handle_list in
-  (* --- collect, sort, limit ----------------------------------------- *)
-  let n_cols = List.length plan.P.pl_out.P.out_names in
-  let raw = Aeq_rt.Output.rows out in
-  let rows =
-    Array.to_list raw
-    |> List.map (fun ptr -> Array.init n_cols (fun k -> A.get_i64 arena (ptr + (8 * k))))
+  let record_compile_failure ~pipeline m =
+    Atomic.incr compile_failures;
+    match trace with
+    | Some tr ->
+      let t = Aeq_util.Clock.now () in
+      Trace.record tr ~pipeline ~tid:0 ~t0:t ~t1:t (Trace.Ev_compile_failed m)
+    | None -> ()
   in
-  let dtypes = plan.P.pl_out.P.out_dtypes in
-  let dict = Aeq_storage.Catalog.dict catalog in
-  let dtype_arr = Array.of_list dtypes in
-  let compare_rows (a : int64 array) (b : int64 array) =
-    let rec go = function
-      | [] -> 0
-      | (idx, desc) :: rest ->
-        let c =
-          match dtype_arr.(idx) with
-          | Dtype.Str ->
-            String.compare (Aeq_rt.Dict.decode dict a.(idx)) (Aeq_rt.Dict.decode dict b.(idx))
-          | _ -> Int64.compare a.(idx) b.(idx)
-        in
-        if c <> 0 then if desc then -c else c else go rest
+  let body () =
+    (* rebind the long-lived context to this execution: fresh registries
+       (ids re-issued in planning order) and fresh allocators *)
+    Aeq_rt.Context.reset p.pr_ctx;
+    let ctx = p.pr_ctx in
+    let handles =
+      Array.map
+        (fun c -> Handle.bind c ~cost_model ~symbols:p.pr_symbols ~mem:arena)
+        p.pr_handles
     in
-    go plan.P.pl_order_by
+    (* codegen and bytecode translation were paid by [prepare]; account
+       them to the first execution only *)
+    let first_execution = p.pr_executions = 0 in
+    let codegen_seconds = if first_execution then p.pr_codegen_seconds else 0.0 in
+    let bc_seconds = if first_execution then p.pr_bc_seconds else 0.0 in
+    (* --- runtime objects (ids match planning order) ------------------ *)
+    Array.iter
+      (fun spec ->
+        ignore
+          (Aeq_rt.Context.register_ht ctx
+             (Aeq_rt.Hash_table.create arena ~expected_entries:spec.P.ht_expected
+                ~payload_bytes:spec.P.ht_payload_bytes)))
+      plan.P.pl_hts;
+    (match plan.P.pl_agg with
+    | Some cfg ->
+      ignore
+        (Aeq_rt.Context.register_agg ctx
+           (Aeq_rt.Agg.create arena ~n_threads ~key_arity:cfg.P.agg_key_arity
+              ~accs:(List.map fst cfg.P.agg_accs)))
+    | None -> ());
+    let out =
+      Aeq_rt.Output.create arena ~n_threads ~row_bytes:plan.P.pl_out.P.out_row_bytes
+    in
+    ignore (Aeq_rt.Context.register_out ctx out);
+    Array.iter (fun bm -> ignore (Aeq_rt.Context.register_pred ctx bm)) plan.P.pl_preds;
+    (* --- state area --------------------------------------------------- *)
+    let setup_alloc = Aeq_rt.Context.allocator ctx ~tid:0 in
+    let state = A.alloc setup_alloc (8 * Stdlib.max 1 (P.n_slots layout)) in
+    Array.iteri
+      (fun tref (tbl, _) ->
+        Array.iteri
+          (fun col (c : Table.column) ->
+            A.set_i64 arena
+              (state + (8 * P.slot_of_col layout ~tref ~col))
+              (Int64.of_int c.Table.data))
+          tbl.Table.columns)
+      plan.P.pl_trefs;
+    (* --- install the requested per-pipeline variants ------------------ *)
+    let compile_seconds = Atomic.make 0.0 in
+    (* A failed static promotion degrades to the handle's current mode
+       (bytecode is always available) unless the caller asked to
+       [`Fail]; either way the mode is blacklisted and attempted at
+       most once per prepared statement. *)
+    let static_promote ~pipeline h m =
+      let degrade detail =
+        match on_compile_failure with
+        | `Fail -> Query_error.raise_error (Query_error.Compile_failed (m, detail))
+        | `Degrade -> record_compile_failure ~pipeline m
+      in
+      if Handle.blacklisted h m then degrade "blacklisted after an earlier failure"
+      else
+        match Handle.promote h ~mode:m with
+        | dt -> atomic_add_float compile_seconds dt
+        | exception e -> degrade (Printexc.to_string e)
+    in
+    (match mode with
+    | Bytecode ->
+      (* re-executions may start on a cached compiled variant *)
+      Array.iter (fun h -> ignore (Handle.promote h ~mode:CM.Bytecode)) handles
+    | Unopt -> Array.iteri (fun i h -> static_promote ~pipeline:i h CM.Unopt) handles
+    | Opt -> Array.iteri (fun i h -> static_promote ~pipeline:i h CM.Opt) handles
+    | Adaptive -> ());
+    (* plan-cache warm start (paper Sec. VI): pipelines that ended
+       compiled in an earlier execution of this plan start compiled.
+       With a prepared statement the cached variant makes this free.
+       Warm starting is opportunistic — a failure here degrades to
+       bytecode regardless of [on_compile_failure]. *)
+    (match (mode, initial_modes) with
+    | Adaptive, Some modes ->
+      List.iteri
+        (fun i m ->
+          match m with
+          | CM.Bytecode -> ()
+          | CM.Unopt | CM.Opt ->
+            if i < Array.length handles && not (Handle.blacklisted handles.(i) m) then (
+              match Handle.promote handles.(i) ~mode:m with
+              | dt -> atomic_add_float compile_seconds dt
+              | exception _ -> record_compile_failure ~pipeline:i m))
+        modes
+    | _ -> ());
+    (* --- pipelines ----------------------------------------------------- *)
+    let exec_seconds = Atomic.make 0.0 in
+    List.iteri
+      (fun pi (p : P.pipeline) ->
+        raise_if_failed ();
+        let handle = handles.(pi) in
+        let total =
+          match p.P.p_source with
+          | P.Src_scan { tref } -> (fst plan.P.pl_trefs.(tref)).Table.n_rows
+          | P.Src_agg_scan { agg } ->
+            (* pipeline barrier: merge thread-local groups and expose
+               them as a scannable table *)
+            let a = ctx.Aeq_rt.Context.aggs.(agg) in
+            Aeq_rt.Agg.merge a;
+            let n, cols = Aeq_rt.Agg.materialize a ~allocator:setup_alloc in
+            Array.iteri
+              (fun k col ->
+                A.set_i64 arena
+                  (state + (8 * P.slot_of_agg_col layout k))
+                  (Int64.of_int col))
+              cols;
+            n
+        in
+        let progress = Progress.create ~total_rows:total ~n_threads in
+        let controller =
+          match mode with
+          | Adaptive -> Some (Adaptive.create ~model:cost_model ~handle ~progress ~n_threads)
+          | Bytecode | Unopt | Opt -> None
+        in
+        let next = Atomic.make 0 in
+        let job ~tid =
+          let regs = ref (Bytes.make 256 '\000') in
+          let continue_ = ref true in
+          while !continue_ do
+            if check_guards () then continue_ := false
+            else begin
+              let size = morsel_size ~processed:(Progress.processed progress) ~n_threads in
+              let b = Atomic.fetch_and_add next size in
+              if b >= total then continue_ := false
+              else begin
+                let e = Stdlib.min (b + size) total in
+                let t0 = Aeq_util.Clock.now () in
+                match
+                  Aeq_util.Failpoints.hit "driver.morsel";
+                  Handle.run_morsel handle ~regs
+                    ~args:
+                      [|
+                        Int64.of_int state; Int64.of_int b; Int64.of_int e;
+                        Int64.of_int tid;
+                      |]
+                with
+                | exception exn ->
+                  (* first error wins; peers stop at their next
+                     boundary via [check_guards] *)
+                  fail (error_of_exn exn);
+                  continue_ := false
+                | () -> (
+                  let t1 = Aeq_util.Clock.now () in
+                  Progress.note_morsel progress ~tid ~rows:(e - b) ~seconds:(t1 -. t0);
+                  (match trace with
+                  | Some tr ->
+                    Trace.record tr ~pipeline:pi ~tid ~t0 ~t1
+                      (Trace.Ev_morsel (Handle.mode handle))
+                  | None -> ());
+                  match controller with
+                  | Some ctl -> (
+                    match Adaptive.maybe_decide ctl with
+                    | Adaptive.Do_nothing -> ()
+                    | Adaptive.Compile m -> (
+                      let c0 = Aeq_util.Clock.now () in
+                      (* finish_compile must run even if promotion raises:
+                         otherwise the handle stays marked compiling forever
+                         and all future upgrades are disabled *)
+                      match
+                        Fun.protect
+                          ~finally:(fun () -> Adaptive.finish_compile ctl)
+                          (fun () -> Handle.promote handle ~mode:m)
+                      with
+                      | dt ->
+                        let c1 = Aeq_util.Clock.now () in
+                        (match trace with
+                        | Some tr ->
+                          Trace.record tr ~pipeline:pi ~tid ~t0:c0 ~t1:c1
+                            (Trace.Ev_compile m)
+                        | None -> ());
+                        atomic_add_float compile_seconds dt
+                      | exception _ ->
+                        (* graceful degradation: [promote] blacklisted
+                           the mode, so the controller will not ask
+                           again; keep interpreting *)
+                        record_compile_failure ~pipeline:pi m))
+                  | None -> ())
+              end
+            end
+          done
+        in
+        let (), dt = Aeq_util.Clock.time_it (fun () -> if total > 0 then Pool.run pool job) in
+        atomic_add_float exec_seconds dt;
+        raise_if_failed ())
+      plan.P.pl_pipelines;
+    let handle_list = Array.to_list handles in
+    let final_modes = List.map (fun h -> cm_mode_name (Handle.mode h)) handle_list in
+    (* --- collect, sort, limit ----------------------------------------- *)
+    let n_cols = List.length plan.P.pl_out.P.out_names in
+    let raw = Aeq_rt.Output.rows out in
+    let rows =
+      Array.to_list raw
+      |> List.map (fun ptr -> Array.init n_cols (fun k -> A.get_i64 arena (ptr + (8 * k))))
+    in
+    let dtypes = plan.P.pl_out.P.out_dtypes in
+    let dict = Aeq_storage.Catalog.dict catalog in
+    let dtype_arr = Array.of_list dtypes in
+    let compare_rows (a : int64 array) (b : int64 array) =
+      let rec go = function
+        | [] -> 0
+        | (idx, desc) :: rest ->
+          let c =
+            match dtype_arr.(idx) with
+            | Dtype.Str ->
+              String.compare (Aeq_rt.Dict.decode dict a.(idx)) (Aeq_rt.Dict.decode dict b.(idx))
+            | _ -> Int64.compare a.(idx) b.(idx)
+          in
+          if c <> 0 then if desc then -c else c else go rest
+      in
+      go plan.P.pl_order_by
+    in
+    let rows = if plan.P.pl_order_by = [] then rows else List.stable_sort compare_rows rows in
+    let rows =
+      match plan.P.pl_limit with
+      | Some n -> List.filteri (fun i _ -> i < n) rows
+      | None -> rows
+    in
+    p.pr_executions <- p.pr_executions + 1;
+    (* the up-front preparation cost belongs to the cold run's total *)
+    let total_seconds =
+      Aeq_util.Clock.now () -. t_start +. codegen_seconds +. bc_seconds
+    in
+    {
+      names = plan.P.pl_out.P.out_names;
+      dtypes;
+      rows;
+      final_cm_modes = List.map Handle.mode handle_list;
+      stats =
+        {
+          codegen_seconds;
+          bc_seconds;
+          compile_seconds = Atomic.get compile_seconds;
+          exec_seconds = Atomic.get exec_seconds;
+          total_seconds;
+          rows_out = List.length rows;
+          final_modes;
+          prepared_reuse = not first_execution;
+          compile_failures = Atomic.get compile_failures;
+        };
+      trace;
+    }
   in
-  let rows = if plan.P.pl_order_by = [] then rows else List.stable_sort compare_rows rows in
-  let rows =
-    match plan.P.pl_limit with
-    | Some n -> List.filteri (fun i _ -> i < n) rows
-    | None -> rows
-  in
-  (* release query scratch *)
-  A.truncate arena mark;
-  p.pr_executions <- p.pr_executions + 1;
-  (* the up-front preparation cost belongs to the cold run's total *)
-  let total_seconds =
-    Aeq_util.Clock.now () -. t_start +. codegen_seconds +. bc_seconds
-  in
-  {
-    names = plan.P.pl_out.P.out_names;
-    dtypes;
-    rows;
-    final_cm_modes = List.map Handle.mode handle_list;
-    stats =
-      {
-        codegen_seconds;
-        bc_seconds;
-        compile_seconds = Atomic.get compile_seconds;
-        exec_seconds = Atomic.get exec_seconds;
-        total_seconds;
-        rows_out = List.length rows;
-        final_modes;
-        prepared_reuse = not first_execution;
-      };
-    trace;
-  }
+  (* Guaranteed cleanup: whatever happens above, the query scratch is
+     released so the arena, the shared context (reset at the start of
+     the next execution) and therefore the cached prepared statement
+     stay reusable. Failures surface as structured [Query_error]s. *)
+  Fun.protect
+    ~finally:(fun () -> A.truncate arena mark)
+    (fun () ->
+      try body () with
+      | Query_error.Error _ as e -> raise e
+      | Trap.Error m -> Query_error.raise_error (Query_error.Trap m)
+      | Aeq_util.Failpoints.Injected site ->
+        Query_error.raise_error (Query_error.Trap ("injected fault at " ^ site)))
 
-let execute ?cost_model ?collect_trace ?initial_modes catalog plan ~mode ~pool =
+let execute ?cost_model ?collect_trace ?initial_modes ?timeout_seconds ?cancel
+    ?memory_budget_bytes ?on_compile_failure catalog plan ~mode ~pool =
   let p = prepare ?cost_model catalog plan ~n_threads:(Pool.n_threads pool) in
-  execute_prepared ?collect_trace ?initial_modes p ~mode ~pool
+  execute_prepared ?collect_trace ?initial_modes ?timeout_seconds ?cancel
+    ?memory_budget_bytes ?on_compile_failure p ~mode ~pool
 
 let row_to_strings catalog dtypes row =
   List.mapi

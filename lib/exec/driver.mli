@@ -40,6 +40,10 @@ type stats = {
   final_modes : string list;  (** execution mode of each pipeline at completion *)
   prepared_reuse : bool;
       (** this run reused a previously-executed prepared statement *)
+  compile_failures : int;
+      (** promotions that failed and degraded this execution (static
+          installs, warm starts, and adaptive upgrades); each one
+          blacklisted its mode *)
 }
 
 type result = {
@@ -73,6 +77,10 @@ val prepare :
 val execute_prepared :
   ?collect_trace:bool ->
   ?initial_modes:Aeq_backend.Cost_model.mode list ->
+  ?timeout_seconds:float ->
+  ?cancel:Cancel.t ->
+  ?memory_budget_bytes:int ->
+  ?on_compile_failure:[ `Degrade | `Fail ] ->
   prepared ->
   mode:mode ->
   pool:Pool.t ->
@@ -80,6 +88,26 @@ val execute_prepared :
 (** Execute a prepared statement. Pipelines start in the variant left
     installed by the previous execution (warm start); static modes
     install their variant first, reusing cached compilations.
+
+    Guardrails (all cooperative, checked at morsel boundaries):
+    - [timeout_seconds] bounds the execution's wall time;
+    - [cancel] is a token any thread may {!Cancel.cancel};
+    - [memory_budget_bytes] bounds the arena scratch this execution
+      may allocate;
+    - [on_compile_failure] (default [`Degrade]) chooses what a failed
+      static compilation does: degrade to the pipeline's current mode
+      or fail the query with [Compile_failed]. Adaptive mid-query
+      upgrades and warm starts always degrade. Either way the failed
+      mode is blacklisted on the handle and never attempted again.
+
+    On any failure the query raises [Query_error.Error] {e after}
+    cleanup: the first worker error stops the remaining domains at
+    their next morsel boundary, arena scratch is truncated back, and
+    the prepared statement stays reusable — the next execution (of
+    this or any other statement) is unaffected.
+
+    @raise Query_error.Error on trap / timeout / cancellation /
+    budget breach / non-degraded compile failure.
     @raise Invalid_argument if [pool] is wider than the [n_threads]
     the statement was prepared with. *)
 
@@ -93,6 +121,10 @@ val execute :
   ?cost_model:Aeq_backend.Cost_model.t ->
   ?collect_trace:bool ->
   ?initial_modes:Aeq_backend.Cost_model.mode list ->
+  ?timeout_seconds:float ->
+  ?cancel:Cancel.t ->
+  ?memory_budget_bytes:int ->
+  ?on_compile_failure:[ `Degrade | `Fail ] ->
   Aeq_storage.Catalog.t ->
   Aeq_plan.Physical.t ->
   mode:mode ->

@@ -14,6 +14,8 @@ type compiled = {
   unopt : Aeq_backend.Closure_compile.t option Atomic.t;
   opt : Aeq_backend.Closure_compile.t option Atomic.t;
   compile_seconds : float Atomic.t;
+  unopt_blacklisted : bool Atomic.t;
+  opt_blacklisted : bool Atomic.t;
 }
 
 type t = {
@@ -37,6 +39,8 @@ let compile_worker ~cost_model ~symbols func =
     unopt = Atomic.make None;
     opt = Atomic.make None;
     compile_seconds = Atomic.make 0.0;
+    unopt_blacklisted = Atomic.make false;
+    opt_blacklisted = Atomic.make false;
   }
 
 let bind c ~cost_model ~symbols ~mem = { c; cost_model; symbols; mem }
@@ -77,6 +81,24 @@ let rec atomic_add_float a d =
   let cur = Atomic.get a in
   if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
 
+let blacklist_flag c = function
+  | CM.Unopt -> Some c.unopt_blacklisted
+  | CM.Opt -> Some c.opt_blacklisted
+  | CM.Bytecode -> None
+
+let blacklisted_compiled c mode =
+  match blacklist_flag c mode with Some f -> Atomic.get f | None -> false
+
+let blacklisted t mode = blacklisted_compiled t.c mode
+
+let blacklist t mode =
+  match blacklist_flag t.c mode with Some f -> Atomic.set f true | None -> ()
+
+let failpoint_of_mode = function
+  | CM.Unopt -> "compile.unopt"
+  | CM.Opt -> "compile.opt"
+  | CM.Bytecode -> "compile.bytecode"
+
 let promote t ~mode =
   if mode = mode_of_compiled t.c then 0.0
   else
@@ -85,6 +107,9 @@ let promote t ~mode =
       install t (V_bytecode t.c.bytecode);
       0.0
     | CM.Unopt | CM.Opt -> (
+      if blacklisted t mode then
+        Query_error.raise_error
+          (Query_error.Compile_failed (mode, "blacklisted after an earlier failure"));
       let slot = match mode with CM.Unopt -> t.c.unopt | _ -> t.c.opt in
       match Atomic.get slot with
       | Some exec ->
@@ -94,15 +119,23 @@ let promote t ~mode =
         0.0
       | None ->
         let compiled =
-          match mode with
-          | CM.Unopt ->
-            (* the bytecode program is already translated; closure-
-               compile it directly instead of re-walking the IR *)
-            Aeq_backend.Compiler.compile_unopt_of_bytecode ~cost_model:t.cost_model
-              ~mem:t.mem ~n_instrs:t.c.n_instrs t.c.bytecode
-          | _ ->
-            Aeq_backend.Compiler.compile ~cost_model:t.cost_model ~symbols:t.symbols
-              ~mem:t.mem ~mode t.c.func
+          try
+            Aeq_util.Failpoints.hit (failpoint_of_mode mode);
+            match mode with
+            | CM.Unopt ->
+              (* the bytecode program is already translated; closure-
+                 compile it directly instead of re-walking the IR *)
+              Aeq_backend.Compiler.compile_unopt_of_bytecode ~cost_model:t.cost_model
+                ~mem:t.mem ~n_instrs:t.c.n_instrs t.c.bytecode
+            | _ ->
+              Aeq_backend.Compiler.compile ~cost_model:t.cost_model ~symbols:t.symbols
+                ~mem:t.mem ~mode t.c.func
+          with e ->
+            (* a failed compilation is never retried: the mode is dead
+               for the lifetime of the compiled artifact (and thus of
+               the prepared statement caching it) *)
+            blacklist t mode;
+            raise e
         in
         Atomic.set slot (Some compiled.Aeq_backend.Compiler.exec);
         install t (V_compiled (mode, compiled.Aeq_backend.Compiler.exec));

@@ -36,6 +36,8 @@ type compiled = {
   unopt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Unopt variant *)
   opt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Opt variant *)
   compile_seconds : float Atomic.t;  (** compilation latency over the handle's lifetime *)
+  unopt_blacklisted : bool Atomic.t;  (** Unopt compilation failed once; never retry *)
+  opt_blacklisted : bool Atomic.t;  (** Opt compilation failed once; never retry *)
 }
 
 type t = {
@@ -86,10 +88,28 @@ val run_morsel : t -> regs:Bytes.t ref -> args:int64 array -> unit
 (** Execute one morsel with the current variant, growing the caller's
     scratch register file if the variant needs more space. *)
 
+val blacklisted : t -> Aeq_backend.Cost_model.mode -> bool
+(** The mode's compilation failed earlier (this execution or a
+    previous one of the same prepared statement); it must not be
+    retried. [Bytecode] is never blacklisted — the interpreter is the
+    always-available escape hatch. *)
+
+val blacklist : t -> Aeq_backend.Cost_model.mode -> unit
+(** Mark a mode as permanently unavailable (no-op for [Bytecode]). *)
+
 val promote : t -> mode:Aeq_backend.Cost_model.mode -> float
 (** Install the given mode's variant and return the compile latency
     paid now: 0 if the handle is already in that mode or the variant
     was cached from an earlier execution; otherwise the variant is
     compiled (blocking; run it on the thread that volunteered),
     cached for future executions, and installed. [Bytecode] reinstalls
-    the interpreter (free). *)
+    the interpreter (free).
+
+    Compilation is fallible: the failpoints ["compile.unopt"] /
+    ["compile.opt"] are hit just before compiling, and any exception
+    (injected or real) blacklists the mode before propagating — the
+    handle stays in its current variant and the mode is never
+    attempted again.
+    @raise Query_error.Error
+      [(Compile_failed _)] when asked to promote to an
+      already-blacklisted mode. *)

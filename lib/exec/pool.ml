@@ -14,6 +14,7 @@ type t = {
   done_cond : Condition.t;
   mutable done_count : int;
   error : exn option Atomic.t;
+  closed : bool Atomic.t;
 }
 
 let signal_done t =
@@ -65,6 +66,7 @@ let create ~n_threads =
       done_cond = Condition.create ();
       done_count = 0;
       error = Atomic.make None;
+      closed = Atomic.make false;
     }
   in
   t.domains <-
@@ -73,7 +75,11 @@ let create ~n_threads =
 
 let n_threads t = t.n_threads
 
+let closed t = Atomic.get t.closed
+
 let run t job =
+  (* a submission to dead workers would block forever on the barrier *)
+  if closed t then invalid_arg "Pool.run: pool has been shut down";
   Mutex.lock t.done_mutex;
   t.done_count <- 0;
   Mutex.unlock t.done_mutex;
@@ -96,11 +102,13 @@ let run t job =
   match Atomic.get t.error with Some e -> raise e | None -> ()
 
 let shutdown t =
-  Array.iter
-    (fun state ->
-      Mutex.lock state.mutex;
-      state.stop <- true;
-      Condition.signal state.cond;
-      Mutex.unlock state.mutex)
-    t.states;
-  Array.iter Domain.join t.domains
+  if Atomic.compare_and_set t.closed false true then begin
+    Array.iter
+      (fun state ->
+        Mutex.lock state.mutex;
+        state.stop <- true;
+        Condition.signal state.cond;
+        Mutex.unlock state.mutex)
+      t.states;
+    Array.iter Domain.join t.domains
+  end

@@ -14,6 +14,11 @@ val n_threads : t -> int
 val run : t -> (tid:int -> unit) -> unit
 (** Execute [job ~tid] on every worker concurrently (the caller runs
     tid 0); returns when all are done. Exceptions raised by workers
-    are re-raised in the caller (first one wins). *)
+    are re-raised in the caller (first one wins).
+    @raise Invalid_argument if the pool has been {!shutdown} (instead
+    of deadlocking on dead workers). *)
+
+val closed : t -> bool
 
 val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. *)

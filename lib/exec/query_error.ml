@@ -1,0 +1,32 @@
+module CM = Aeq_backend.Cost_model
+
+type t =
+  | Trap of string
+  | Compile_failed of CM.mode * string
+  | Timeout of float
+  | Cancelled
+  | Memory_budget_exceeded of { budget_bytes : int; used_bytes : int }
+
+exception Error of t
+
+let mode_name = function
+  | CM.Bytecode -> "bytecode"
+  | CM.Unopt -> "unoptimized"
+  | CM.Opt -> "optimized"
+
+let to_string = function
+  | Trap m -> "runtime trap: " ^ m
+  | Compile_failed (mode, detail) ->
+    Printf.sprintf "compilation to %s failed: %s" (mode_name mode) detail
+  | Timeout s -> Printf.sprintf "query exceeded its %.3f s timeout" s
+  | Cancelled -> "query cancelled"
+  | Memory_budget_exceeded { budget_bytes; used_bytes } ->
+    Printf.sprintf "query memory budget exceeded: used %d of %d bytes" used_bytes
+      budget_bytes
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Aeq_exec.Query_error.Error: " ^ to_string e)
+    | _ -> None)
+
+let raise_error e = raise (Error e)

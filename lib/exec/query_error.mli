@@ -1,0 +1,28 @@
+(** The structured error taxonomy of query execution.
+
+    Everything that can go wrong while a query runs surfaces as one
+    [Error] carrying a {!t}; the engine guarantees cleanup (arena
+    scratch released, prepared statement reusable, worker pool
+    healthy) before the exception reaches the caller, so the next
+    query runs unaffected. *)
+
+type t =
+  | Trap of string
+      (** a runtime trap from query code: division by zero, overflow,
+          abort, or an injected fault *)
+  | Compile_failed of Aeq_backend.Cost_model.mode * string
+      (** a statically-requested compilation failed and degradation
+          was disabled ([`Fail]); the detail string carries the
+          underlying failure *)
+  | Timeout of float
+      (** the [~timeout_seconds] deadline passed (payload: the
+          allowance) *)
+  | Cancelled  (** the query's {!Cancel.t} token was cancelled *)
+  | Memory_budget_exceeded of { budget_bytes : int; used_bytes : int }
+      (** per-query arena scratch exceeded [~memory_budget_bytes] *)
+
+exception Error of t
+
+val to_string : t -> string
+
+val raise_error : t -> 'a

@@ -1,4 +1,7 @@
-type kind = Ev_morsel of Aeq_backend.Cost_model.mode | Ev_compile of Aeq_backend.Cost_model.mode
+type kind =
+  | Ev_morsel of Aeq_backend.Cost_model.mode
+  | Ev_compile of Aeq_backend.Cost_model.mode
+  | Ev_compile_failed of Aeq_backend.Cost_model.mode
 
 type event = { pipeline : int; tid : int; t0 : float; t1 : float; kind : kind }
 
@@ -36,7 +39,10 @@ let render t ~n_threads =
         let c0 = int_of_float (e.t0 /. t_end *. float_of_int (width - 1)) in
         let c1 = int_of_float (e.t1 /. t_end *. float_of_int (width - 1)) in
         let ch =
-          match e.kind with Ev_compile _ -> 'C' | Ev_morsel m -> mode_char m
+          match e.kind with
+          | Ev_compile _ -> 'C'
+          | Ev_compile_failed _ -> 'X'
+          | Ev_morsel m -> mode_char m
         in
         for c = Stdlib.max 0 c0 to Stdlib.min (width - 1) c1 do
           Bytes.set lanes.(e.tid) c ch

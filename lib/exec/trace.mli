@@ -6,6 +6,9 @@
 type kind =
   | Ev_morsel of Aeq_backend.Cost_model.mode
   | Ev_compile of Aeq_backend.Cost_model.mode
+  | Ev_compile_failed of Aeq_backend.Cost_model.mode
+      (** a promotion to this mode failed; the pipeline degraded to
+          its current mode and blacklisted the target (rendered 'X') *)
 
 type event = {
   pipeline : int;

@@ -2,7 +2,9 @@ type t = {
   chunk_size : int;
   chunks : Bytes.t array; (* fixed-capacity table; slots filled under lock *)
   mutable n_chunks : int;
-  mutable total_used : int;
+  total_used : int Atomic.t;
+      (* bumped by concurrent allocators and read by the per-query
+         memory-budget guard; a plain ref would lose updates *)
   lock : Mutex.t;
 }
 
@@ -29,7 +31,7 @@ let max_chunks = 1 lsl 16
 let create ?(chunk_size = 1 lsl 20) () =
   let chunks = Array.make max_chunks Bytes.empty in
   chunks.(0) <- Bytes.make chunk_size '\000';
-  { chunk_size; chunks; n_chunks = 1; total_used = 0; lock = Mutex.create () }
+  { chunk_size; chunks; n_chunks = 1; total_used = Atomic.make 0; lock = Mutex.create () }
 
 (* Append a chunk of at least [size] bytes; returns its index. Slots
    are filled left to right under the lock; a pointer into a chunk can
@@ -37,6 +39,9 @@ let create ?(chunk_size = 1 lsl 20) () =
    scheduler or a locked hash table), which orders the slot write
    before any access. *)
 let add_chunk t size =
+  (* simulated allocation failure: growing the arena is where a real
+     OOM would strike *)
+  Aeq_util.Failpoints.hit "arena.alloc";
   Mutex.lock t.lock;
   let n = t.n_chunks in
   if n >= max_chunks then begin
@@ -61,7 +66,7 @@ let alloc a ?(align = 8) n =
   let start = align_up a.cursor align in
   if a.chunk >= 0 && start + n <= a.limit then begin
     a.cursor <- start + n;
-    t.total_used <- t.total_used + n;
+    ignore (Atomic.fetch_and_add t.total_used n);
     encode a.chunk start
   end
   else begin
@@ -73,11 +78,11 @@ let alloc a ?(align = 8) n =
     a.chunk <- idx;
     a.cursor <- start + n;
     a.limit <- size;
-    t.total_used <- t.total_used + n;
+    ignore (Atomic.fetch_and_add t.total_used n);
     encode idx start
   end
 
-let used t = t.total_used
+let used t = Atomic.get t.total_used
 
 let reset t =
   Mutex.lock t.lock;
@@ -86,7 +91,7 @@ let reset t =
   done;
   Bytes.fill t.chunks.(0) 0 (Bytes.length t.chunks.(0)) '\000';
   t.n_chunks <- 1;
-  t.total_used <- 0;
+  Atomic.set t.total_used 0;
   Mutex.unlock t.lock
 
 let mark_chunks t = t.n_chunks

@@ -40,7 +40,10 @@ val alloc : allocator -> ?align:int -> int -> ptr
     (default 8). *)
 
 val used : t -> int
-(** Total bytes handed to allocators (upper bound on live data). *)
+(** Total bytes handed to allocators since creation / [reset]
+    (monotone during a query — the delta across an execution is what
+    the per-query memory budget meters; [truncate] does not wind it
+    back). Thread-safe. *)
 
 val reset : t -> unit
 (** Drop all chunks except the first and invalidate outstanding

@@ -1,0 +1,118 @@
+exception Injected of string
+
+type action = Fail | Delay of float
+
+type entry = {
+  action : action;
+  on_hit : int;
+  persistent : bool;
+  hits : int Atomic.t;
+  fired : int Atomic.t;
+}
+
+(* Registry mutations take the lock; [hit] reads it only after the
+   lock-free [armed] check says at least one site is active, so the
+   per-morsel / per-alloc cost of a disarmed registry is one atomic
+   load. *)
+let lock = Mutex.create ()
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let armed_count = Atomic.make 0
+
+let armed () = Atomic.get armed_count > 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let activate ?(on_hit = 1) ?(persistent = true) site action =
+  if on_hit < 1 then invalid_arg "Failpoints.activate: on_hit must be >= 1";
+  locked (fun () ->
+      if not (Hashtbl.mem table site) then Atomic.incr armed_count;
+      Hashtbl.replace table site
+        {
+          action;
+          on_hit;
+          persistent;
+          hits = Atomic.make 0;
+          fired = Atomic.make 0;
+        })
+
+let deactivate site =
+  locked (fun () ->
+      if Hashtbl.mem table site then begin
+        Hashtbl.remove table site;
+        Atomic.decr armed_count
+      end)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set armed_count 0)
+
+let find site = locked (fun () -> Hashtbl.find_opt table site)
+
+let hits site = match find site with Some e -> Atomic.get e.hits | None -> 0
+
+let fired site = match find site with Some e -> Atomic.get e.fired | None -> 0
+
+let hit site =
+  if armed () then
+    match find site with
+    | None -> ()
+    | Some e ->
+      let n = 1 + Atomic.fetch_and_add e.hits 1 in
+      let fire = if e.persistent then n >= e.on_hit else n = e.on_hit in
+      if fire then begin
+        Atomic.incr e.fired;
+        match e.action with
+        | Fail -> raise (Injected site)
+        | Delay s -> Unix.sleepf s
+      end
+
+(* "site=fail", "site=fail@3", "site=delay:0.01", "site=delay:0.01@2",
+   joined by ',' or ';'. "@N" makes the site one-shot on its Nth hit;
+   without it the site fires on every hit. *)
+let set_from_string spec =
+  let bad part = invalid_arg ("Failpoints: cannot parse \"" ^ part ^ "\"") in
+  String.split_on_char ',' (String.map (fun c -> if c = ';' then ',' else c) spec)
+  |> List.iter (fun part ->
+         let part = String.trim part in
+         if part <> "" then
+           match String.index_opt part '=' with
+           | None -> bad part
+           | Some i ->
+             let site = String.sub part 0 i in
+             let rhs = String.sub part (i + 1) (String.length part - i - 1) in
+             let act, on_hit =
+               match String.index_opt rhs '@' with
+               | None -> (rhs, None)
+               | Some j ->
+                 let n = String.sub rhs (j + 1) (String.length rhs - j - 1) in
+                 (match int_of_string_opt n with
+                 | Some n when n >= 1 -> (String.sub rhs 0 j, Some n)
+                 | _ -> bad part)
+             in
+             let action =
+               if act = "fail" then Fail
+               else if String.length act > 6 && String.sub act 0 6 = "delay:" then
+                 match
+                   float_of_string_opt (String.sub act 6 (String.length act - 6))
+                 with
+                 | Some s when s >= 0.0 -> Delay s
+                 | _ -> bad part
+               else bad part
+             in
+             (match on_hit with
+             | None -> activate site action
+             | Some n -> activate ~on_hit:n ~persistent:false site action))
+
+let env_var = "AEQ_FAILPOINTS"
+
+let () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec -> (
+    try set_from_string spec
+    with Invalid_argument m -> Printf.eprintf "warning: %s ignored: %s\n%!" env_var m)

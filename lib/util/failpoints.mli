@@ -1,0 +1,65 @@
+(** Deterministic fault injection.
+
+    A failpoint is a named site in the engine (a compile, a morsel, an
+    arena chunk grab) that can be armed to fail or stall on a chosen
+    hit. The recovery paths of the fault-tolerance layer are only
+    trustworthy if they run under test; this registry makes the faults
+    reproducible.
+
+    Sites wired in today:
+    - ["compile.unopt"] / ["compile.opt"] — hit in [Handle.promote]
+      just before the machine-code variant is built (cached variants
+      are not a compilation and do not hit the site);
+    - ["driver.morsel"] — hit before every morsel of every pipeline;
+    - ["arena.alloc"] — hit when the arena takes a new chunk
+      (simulated allocation failure / OOM).
+
+    The registry is global and thread-safe; a disarmed registry costs
+    one atomic load per check. Arm programmatically with {!activate}
+    or through the [AEQ_FAILPOINTS] environment variable, e.g.
+    [AEQ_FAILPOINTS="compile.opt=fail,driver.morsel=fail@5"]. *)
+
+exception Injected of string
+(** Raised by a triggered [Fail] site, carrying the site name. *)
+
+type action =
+  | Fail  (** raise {!Injected} *)
+  | Delay of float  (** sleep this many seconds (slow compile, slow morsel) *)
+
+val activate : ?on_hit:int -> ?persistent:bool -> string -> action -> unit
+(** Arm a site. With [persistent] (the default) the site triggers on
+    every hit from the [on_hit]-th (default 1) onward; with
+    [~persistent:false] it triggers exactly once, on the [on_hit]-th
+    hit. Re-activating a site replaces its previous arming and resets
+    its counters. *)
+
+val deactivate : string -> unit
+
+val clear : unit -> unit
+(** Disarm everything (tests should call this in cleanup). *)
+
+val armed : unit -> bool
+(** Any site armed? (the cheap fast-path check) *)
+
+val hit : string -> unit
+(** Evaluate a site. No-op unless the site is armed.
+    @raise Injected if the armed action is [Fail] and this hit
+    triggers. *)
+
+val hits : string -> int
+(** How many times the armed site was evaluated (0 if not armed;
+    counters reset on re-activation). *)
+
+val fired : string -> int
+(** How many times the armed site actually triggered. *)
+
+val set_from_string : string -> unit
+(** Parse and activate a spec like
+    ["compile.opt=fail,driver.morsel=delay:0.01@2"]. Entries are
+    [site=fail] or [site=delay:SECONDS], optionally suffixed [@N] to
+    make the site one-shot on its Nth hit.
+    @raise Invalid_argument on a malformed spec. *)
+
+val env_var : string
+(** ["AEQ_FAILPOINTS"] — parsed once at module initialisation
+    (malformed values warn on stderr instead of raising). *)

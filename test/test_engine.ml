@@ -83,7 +83,8 @@ let test_overflow_propagates () =
       "select sum(o_totalprice * o_totalprice * 99999999999.0) from orders"
   with
   | _ -> Alcotest.fail "expected overflow trap"
-  | exception Trap.Error _ -> ()
+  | exception Aeq_exec.Query_error.Error (Aeq_exec.Query_error.Trap m) ->
+    Alcotest.(check string) "structured trap" "integer overflow" m
 
 let test_adaptive_compiles_large_pipeline () =
   (* with the paper cost model, a long scan should trigger compilation *)

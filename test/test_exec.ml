@@ -71,7 +71,7 @@ let test_decide_nothing_when_tiny () =
   (* 1000 remaining tuples at 1M/s: 1 ms of work left; compiling costs
      several ms -> keep interpreting *)
   match
-    extrapolate ~current_mode:CM.Bytecode ~remaining:1_000 ~rate:1e6 ~n_threads:4
+    extrapolate ~current_mode:CM.Bytecode ~remaining:1_000 ~rate:1e6 ~n_threads:4 ()
   with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | Aeq_exec.Adaptive.Compile _ -> Alcotest.fail "should not compile a tiny remainder"
@@ -79,7 +79,7 @@ let test_decide_nothing_when_tiny () =
 let test_decide_compile_when_huge () =
   (* 100M remaining tuples at 1M/s: 100 s of work -> optimized pays *)
   match
-    extrapolate ~current_mode:CM.Bytecode ~remaining:100_000_000 ~rate:1e6 ~n_threads:4
+    extrapolate ~current_mode:CM.Bytecode ~remaining:100_000_000 ~rate:1e6 ~n_threads:4 ()
   with
   | Aeq_exec.Adaptive.Compile CM.Opt -> ()
   | Aeq_exec.Adaptive.Compile (CM.Unopt | CM.Bytecode) ->
@@ -88,7 +88,7 @@ let test_decide_compile_when_huge () =
 
 let test_decide_unopt_in_between () =
   (* medium-sized remainder: unoptimized should win over both *)
-  let d = extrapolate ~current_mode:CM.Bytecode ~remaining:400_000 ~rate:1e6 ~n_threads:4 in
+  let d = extrapolate ~current_mode:CM.Bytecode ~remaining:400_000 ~rate:1e6 ~n_threads:4 () in
   match d with
   | Aeq_exec.Adaptive.Compile CM.Unopt -> ()
   | Aeq_exec.Adaptive.Compile (CM.Opt | CM.Bytecode) ->
@@ -96,15 +96,15 @@ let test_decide_unopt_in_between () =
   | Aeq_exec.Adaptive.Do_nothing -> Alcotest.fail "should compile medium remainder"
 
 let test_decide_never_downgrades () =
-  (match extrapolate ~current_mode:CM.Opt ~remaining:100_000_000 ~rate:1e6 ~n_threads:4 with
+  (match extrapolate ~current_mode:CM.Opt ~remaining:100_000_000 ~rate:1e6 ~n_threads:4 () with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | _ -> Alcotest.fail "already optimal");
-  match extrapolate ~current_mode:CM.Unopt ~remaining:1_000 ~rate:1e6 ~n_threads:4 with
+  match extrapolate ~current_mode:CM.Unopt ~remaining:1_000 ~rate:1e6 ~n_threads:4 () with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | _ -> Alcotest.fail "no upgrade for tiny remainder"
 
 let test_decide_no_rate_no_decision () =
-  match extrapolate ~current_mode:CM.Bytecode ~remaining:1_000_000 ~rate:0.0 ~n_threads:4 with
+  match extrapolate ~current_mode:CM.Bytecode ~remaining:1_000_000 ~rate:0.0 ~n_threads:4 () with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | _ -> Alcotest.fail "cannot extrapolate without a rate"
 
@@ -120,7 +120,7 @@ let test_decide_no_rate_no_decision () =
 
 let test_relative_speedup_blocks_eager_upgrade () =
   match
-    extrapolate ~current_mode:CM.Unopt ~remaining:120_000 ~rate:1e6 ~n_threads:1
+    extrapolate ~current_mode:CM.Unopt ~remaining:120_000 ~rate:1e6 ~n_threads:1 ()
   with
   | Aeq_exec.Adaptive.Do_nothing -> ()
   | Aeq_exec.Adaptive.Compile _ ->
@@ -132,7 +132,7 @@ let test_relative_speedup_still_upgrades_when_profitable () =
   (* 1M rows remaining = 1 s left; 75.5 + 1000/1.389 = 795 ms: the
      relative gain still pays for itself *)
   match
-    extrapolate ~current_mode:CM.Unopt ~remaining:1_000_000 ~rate:1e6 ~n_threads:1
+    extrapolate ~current_mode:CM.Unopt ~remaining:1_000_000 ~rate:1e6 ~n_threads:1 ()
   with
   | Aeq_exec.Adaptive.Compile CM.Opt -> ()
   | Aeq_exec.Adaptive.Compile (CM.Unopt | CM.Bytecode) -> Alcotest.fail "expected Opt"
@@ -145,7 +145,7 @@ let test_monotone_in_remaining () =
   List.iter
     (fun remaining ->
       match
-        (extrapolate ~current_mode:CM.Bytecode ~remaining ~rate:1e6 ~n_threads:4,
+        (extrapolate ~current_mode:CM.Bytecode ~remaining ~rate:1e6 ~n_threads:4 (),
          !compiled_at)
       with
       | Aeq_exec.Adaptive.Compile _, None -> compiled_at := Some remaining
