@@ -523,9 +523,87 @@ let prepared () =
   Printf.printf "plan cache: %d entries | %d hits | %d misses | %d evictions\n"
     cs.Aeq.Engine.entries cs.Aeq.Engine.hits cs.Aeq.Engine.misses cs.Aeq.Engine.evictions
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving: closed-loop clients, with/without admission      *)
+(* ------------------------------------------------------------------ *)
+let concurrency () =
+  header "CONCURRENCY: closed-loop clients, direct locking vs admission control";
+  (* small data: serving behavior, not scan throughput, is under test *)
+  let sf = Stdlib.min base_sf 0.01 in
+  let e = engine_at sf in
+  let stmts =
+    [ Aeq_workload.Queries.tpch_q 1; Aeq_workload.Queries.tpch_q 6;
+      snd (List.hd Aeq_workload.Queries.metadata) ]
+  in
+  (* warm the plan cache so every configuration measures steady state *)
+  List.iter (fun sql -> ignore (Aeq.Engine.query e sql)) stmts;
+  let iters = 20 in
+  let run_clients ~admission ~clients =
+    let latencies = Array.make (clients * iters) 0.0 in
+    let failures = Atomic.make 0 in
+    let before = Aeq.Engine.scheduler_stats e in
+    let t0 = Clock.now () in
+    let client c () =
+      for i = 0 to iters - 1 do
+        let sql = List.nth stmts ((c + i) mod List.length stmts) in
+        let t = Clock.now () in
+        (if admission then (
+           match Aeq.Engine.query_concurrent e sql with
+           | Ok _ -> ()
+           | Error _ -> Atomic.incr failures)
+         else
+           match Aeq.Engine.query e sql with
+           | _ -> ()
+           | exception Aeq_exec.Query_error.Error _ -> Atomic.incr failures);
+        latencies.((c * iters) + i) <- Clock.now () -. t
+      done
+    in
+    let domains = List.init clients (fun c -> Domain.spawn (client c)) in
+    List.iter Domain.join domains;
+    let wall = Clock.now () -. t0 in
+    let after = Aeq.Engine.scheduler_stats e in
+    let lat = Array.to_list latencies in
+    let module S = Aeq_exec.Scheduler in
+    ( float_of_int (clients * iters) /. wall,
+      Stats.percentile 0.5 lat,
+      Stats.percentile 0.99 lat,
+      Atomic.get failures,
+      after.S.shed - before.S.shed,
+      after.S.rejected - before.S.rejected,
+      after.S.degraded - before.S.degraded )
+  in
+  let rows = ref [] in
+  Printf.printf "%-10s %8s %10s %9s %9s %7s %5s %7s %9s\n" "admission" "clients"
+    "thru[q/s]" "p50[ms]" "p99[ms]" "failed" "shed" "reject" "degraded";
+  List.iter
+    (fun admission ->
+      List.iter
+        (fun clients ->
+          let thru, p50, p99, failed, shed, rejected, degraded =
+            run_clients ~admission ~clients
+          in
+          rows :=
+            Printf.sprintf
+              {|    {"admission": %b, "clients": %d, "throughput_qps": %.2f, "p50_ms": %.3f, "p99_ms": %.3f, "failed": %d, "shed": %d, "rejected": %d, "degraded": %d}|}
+              admission clients thru (ms p50) (ms p99) failed shed rejected degraded
+            :: !rows;
+          Printf.printf "%-10s %8d %10.1f %9.2f %9.2f %7d %5d %7d %9d\n%!"
+            (if admission then "scheduler" else "direct") clients thru (ms p50)
+            (ms p99) failed shed rejected degraded)
+        [ 1; 4; 16 ])
+    [ false; true ];
+  let out = open_out "BENCH_concurrency.json" in
+  Printf.fprintf out
+    "{\n  \"scenario\": \"concurrency\",\n  \"sf\": %.4f,\n  \"threads\": %d,\n  \
+     \"iters_per_client\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
+    sf n_threads iters
+    (String.concat ",\n" (List.rev !rows));
+  close_out out;
+  Printf.printf "wrote BENCH_concurrency.json\n%!"
+
 let all =
   [ "fig1"; "fig2"; "fig6"; "fig13"; "fig14"; "fig15"; "table1"; "table2"; "regalloc";
-    "ablation"; "prepared"; "micro" ]
+    "ablation"; "prepared"; "micro"; "concurrency" ]
 
 let run_one = function
   | "fig1" -> fig1 ()
@@ -540,6 +618,7 @@ let run_one = function
   | "ablation" -> ablation ()
   | "prepared" -> prepared ()
   | "micro" -> micro ()
+  | "concurrency" -> concurrency ()
   | other -> Printf.printf "unknown experiment %s (available: %s)\n" other (String.concat " " all)
 
 let () =

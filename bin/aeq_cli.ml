@@ -18,8 +18,51 @@ let mode_conv =
   in
   Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Aeq_exec.Driver.mode_name m))
 
+(* Closed-loop concurrent serving: [clients] domains each submit
+   [iters] queries through the engine's scheduler and wait for the
+   answer before sending the next. *)
+let serve_clients engine ~clients ~iters ~mode ~deadline sql =
+  Printf.printf "serving %d closed-loop clients x %d queries ...\n%!" clients iters;
+  let latencies = Array.make (clients * iters) 0.0 in
+  let ok = Atomic.make 0 and failed = Atomic.make 0 in
+  let t0 = Aeq_util.Clock.now () in
+  let client c () =
+    for i = 0 to iters - 1 do
+      let t = Aeq_util.Clock.now () in
+      (match
+         Aeq.Engine.query_concurrent engine ~mode ?deadline_seconds:deadline sql
+       with
+      | Ok _ -> Atomic.incr ok
+      | Error e ->
+        Atomic.incr failed;
+        if c = 0 && i = 0 then
+          Printf.printf "client error: %s\n%!" (Aeq_exec.Query_error.to_string e));
+      latencies.((c * iters) + i) <- Aeq_util.Clock.now () -. t
+    done
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (client c)) in
+  List.iter Domain.join domains;
+  let wall = Aeq_util.Clock.now () -. t0 in
+  let lat = Array.to_list latencies in
+  let pct p = Aeq_util.Stats.percentile p lat *. 1e3 in
+  Printf.printf "%d ok, %d failed in %.2f s | %.1f q/s | p50 %.2f ms | p99 %.2f ms\n"
+    (Atomic.get ok) (Atomic.get failed) wall
+    (float_of_int (clients * iters) /. wall)
+    (pct 0.5) (pct 0.99);
+  let s = Aeq.Engine.scheduler_stats engine in
+  Printf.printf
+    "scheduler: admitted %d | rejected %d | shed %d | expired %d | retried %d | degraded \
+     %d | watchdog cancels %d | breaker trips %d (%s) | max depth %d | avg wait %.2f ms\n"
+    s.Aeq_exec.Scheduler.admitted s.Aeq_exec.Scheduler.rejected
+    s.Aeq_exec.Scheduler.shed s.Aeq_exec.Scheduler.expired
+    s.Aeq_exec.Scheduler.retried s.Aeq_exec.Scheduler.degraded
+    s.Aeq_exec.Scheduler.watchdog_cancels s.Aeq_exec.Scheduler.breaker_trips
+    (Aeq_exec.Scheduler.breaker_state_name s.Aeq_exec.Scheduler.breaker_state)
+    s.Aeq_exec.Scheduler.max_queue_depth
+    (s.Aeq_exec.Scheduler.avg_wait_seconds *. 1e3)
+
 let run sf threads mode explain trace tpch_n timeout mem_budget failpoints strict_compile
-    sql =
+    clients iters sql =
   (match failpoints with
   | Some spec -> Aeq_util.Failpoints.set_from_string spec
   | None -> ());
@@ -33,6 +76,8 @@ let run sf threads mode explain trace tpch_n timeout mem_budget failpoints stric
     | None, None -> "select count(*) as lineitems from lineitem"
   in
   if explain then print_endline (Aeq.Engine.explain engine sql)
+  else if clients > 0 then
+    serve_clients engine ~clients ~iters ~mode ~deadline:timeout sql
   else begin
     let on_compile_failure = if strict_compile then `Fail else `Degrade in
     match
@@ -108,11 +153,26 @@ let cmd =
             "Fail the query when a requested compilation fails instead of degrading \
              to bytecode.")
   in
+  let clients =
+    Arg.(
+      value & opt int 0
+      & info [ "clients" ]
+          ~doc:
+            "Serve the query to N closed-loop clients through the scheduler \
+             (admission control, shedding, circuit breaker) and report \
+             throughput, p50/p99 and serving stats. $(b,--timeout) becomes \
+             the per-query deadline.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 20
+      & info [ "iters" ] ~doc:"Queries per client in $(b,--clients) mode.")
+  in
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
   Cmd.v
     (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
     Term.(
       const run $ sf $ threads $ mode $ explain $ trace $ tpch_n $ timeout $ mem_budget
-      $ failpoints $ strict_compile $ sql)
+      $ failpoints $ strict_compile $ clients $ iters $ sql)
 
 let () = exit (Cmd.eval cmd)

@@ -7,11 +7,20 @@ type cache_entry = {
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
 
+(* Lock order: exec_lock -> cache_lock (query/prepare take both).
+   sched_lock is leaf-only and never held across either. *)
 type t = {
   catalog : Aeq_storage.Catalog.t;
   pool : Aeq_exec.Pool.t;
   cost_model : Aeq_backend.Cost_model.t;
   plan_cache : (string, cache_entry) Hashtbl.t;
+  cache_lock : Mutex.t; (* guards plan_cache, its counters, and ce_* fields *)
+  exec_lock : Mutex.t;
+      (* the execution core (arena, pool, per-statement contexts) is
+         single-writer; concurrent [query] callers serialize here *)
+  sched_lock : Mutex.t; (* guards lazy scheduler creation/config *)
+  mutable scheduler : Aeq_exec.Scheduler.t option;
+  mutable sched_config : Aeq_exec.Scheduler.config;
   mutable cache_enabled : bool;
   mutable cache_capacity : int;
   mutable cache_tick : int;
@@ -21,6 +30,10 @@ type t = {
 }
 
 let default_cache_capacity = 128
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let create ?n_threads ?cost_model ?chunk_size () =
   let n_threads =
@@ -45,6 +58,11 @@ let create ?n_threads ?cost_model ?chunk_size () =
     pool = Aeq_exec.Pool.create ~n_threads;
     cost_model;
     plan_cache = Hashtbl.create 64;
+    cache_lock = Mutex.create ();
+    exec_lock = Mutex.create ();
+    sched_lock = Mutex.create ();
+    scheduler = None;
+    sched_config = Aeq_exec.Scheduler.default_config;
     cache_enabled = true;
     cache_capacity = default_cache_capacity;
     cache_tick = 0;
@@ -67,8 +85,10 @@ let plan t sql = Aeq_plan.Planner.plan_sql t.catalog sql
 
 let explain t sql = Aeq_plan.Explain.to_string (plan t sql)
 
-let set_plan_cache t enabled = t.cache_enabled <- enabled
+let set_plan_cache t enabled =
+  with_lock t.cache_lock (fun () -> t.cache_enabled <- enabled)
 
+(* under cache_lock *)
 let evict_down_to t capacity =
   while Hashtbl.length t.plan_cache > capacity do
     let victim = ref None in
@@ -86,87 +106,151 @@ let evict_down_to t capacity =
   done
 
 let set_plan_cache_capacity t n =
-  t.cache_capacity <- Stdlib.max 1 n;
-  evict_down_to t t.cache_capacity
+  with_lock t.cache_lock (fun () ->
+      t.cache_capacity <- Stdlib.max 1 n;
+      evict_down_to t t.cache_capacity)
 
 let cache_stats t =
-  {
-    hits = t.cache_hits;
-    misses = t.cache_misses;
-    evictions = t.cache_evictions;
-    entries = Hashtbl.length t.plan_cache;
-  }
+  with_lock t.cache_lock (fun () ->
+      {
+        hits = t.cache_hits;
+        misses = t.cache_misses;
+        evictions = t.cache_evictions;
+        entries = Hashtbl.length t.plan_cache;
+      })
 
+(* under cache_lock *)
 let touch t entry =
   t.cache_tick <- t.cache_tick + 1;
   entry.ce_last_used <- t.cache_tick
 
-(* Look the statement up, preparing (and possibly evicting) on miss. *)
+(* Look the statement up, preparing (and possibly evicting) on miss.
+   Caller holds exec_lock (Driver.prepare touches the shared
+   catalog/arena); the cache structure itself is guarded here. *)
 let prepare_entry t sql =
-  match Hashtbl.find_opt t.plan_cache sql with
-  | Some e ->
-    t.cache_hits <- t.cache_hits + 1;
-    touch t e;
-    e
+  let cached =
+    with_lock t.cache_lock (fun () ->
+        match Hashtbl.find_opt t.plan_cache sql with
+        | Some e ->
+          t.cache_hits <- t.cache_hits + 1;
+          touch t e;
+          Some e
+        | None ->
+          t.cache_misses <- t.cache_misses + 1;
+          None)
+  in
+  match cached with
+  | Some e -> e
   | None ->
-    t.cache_misses <- t.cache_misses + 1;
     let prepared =
       Aeq_exec.Driver.prepare ~cost_model:t.cost_model t.catalog (plan t sql)
         ~n_threads:(n_threads t)
     in
     let e = { ce_prepared = prepared; ce_modes = []; ce_last_used = 0 } in
-    touch t e;
-    Hashtbl.replace t.plan_cache sql e;
-    evict_down_to t t.cache_capacity;
+    with_lock t.cache_lock (fun () ->
+        touch t e;
+        Hashtbl.replace t.plan_cache sql e;
+        evict_down_to t t.cache_capacity);
     e
 
-let prepare t sql = ignore (prepare_entry t sql)
+let prepare t sql =
+  with_lock t.exec_lock (fun () -> ignore (prepare_entry t sql))
 
 let cached_executions t sql =
-  match Hashtbl.find_opt t.plan_cache sql with
+  let entry =
+    with_lock t.cache_lock (fun () -> Hashtbl.find_opt t.plan_cache sql)
+  in
+  match entry with
   | Some e -> Aeq_exec.Driver.prepared_executions e.ce_prepared
   | None -> 0
 
 let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_seconds
     ?cancel ?memory_budget_bytes ?on_compile_failure t sql =
-  if not t.cache_enabled then begin
-    let p = plan t sql in
-    Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
-      ?cancel ?memory_budget_bytes ?on_compile_failure t.catalog p ~mode ~pool:t.pool
-  end
-  else begin
-    (* prepared-statement cache with per-pipeline mode memory (the
-       paper's Sec. VI extension): repeated executions of the same
-       text reuse the plan AND the compiled artifacts — codegen,
-       bytecode translation and machine-code variants are paid once.
-       In adaptive mode, pipelines start in the mode they had
-       converged to last time. A failed execution leaves the entry
-       cached and reusable (the driver guarantees cleanup); only a
-       successful adaptive run updates the mode memory. *)
-    let entry = prepare_entry t sql in
-    let initial_modes =
-      if
-        Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
-        && mode = Aeq_exec.Driver.Adaptive
-      then Some entry.ce_modes
-      else None
-    in
-    let r =
-      Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes ?timeout_seconds
-        ?cancel ?memory_budget_bytes ?on_compile_failure entry.ce_prepared ~mode
-        ~pool:t.pool
-    in
-    if mode = Aeq_exec.Driver.Adaptive then
-      entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes;
-    r
-  end
+  with_lock t.exec_lock (fun () ->
+      let cache_enabled =
+        with_lock t.cache_lock (fun () -> t.cache_enabled)
+      in
+      if not cache_enabled then begin
+        let p = plan t sql in
+        Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
+          ?cancel ?memory_budget_bytes ?on_compile_failure t.catalog p ~mode ~pool:t.pool
+      end
+      else begin
+        (* prepared-statement cache with per-pipeline mode memory (the
+           paper's Sec. VI extension): repeated executions of the same
+           text reuse the plan AND the compiled artifacts — codegen,
+           bytecode translation and machine-code variants are paid once.
+           In adaptive mode, pipelines start in the mode they had
+           converged to last time. A failed execution leaves the entry
+           cached and reusable (the driver guarantees cleanup); only a
+           successful adaptive run updates the mode memory. *)
+        let entry = prepare_entry t sql in
+        let initial_modes =
+          with_lock t.cache_lock (fun () ->
+              if
+                Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
+                && mode = Aeq_exec.Driver.Adaptive
+              then Some entry.ce_modes
+              else None)
+        in
+        let r =
+          Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes ?timeout_seconds
+            ?cancel ?memory_budget_bytes ?on_compile_failure entry.ce_prepared ~mode
+            ~pool:t.pool
+        in
+        if mode = Aeq_exec.Driver.Adaptive then
+          with_lock t.cache_lock (fun () ->
+              entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes);
+        r
+      end)
+
+(* ---- concurrent serving --------------------------------------------- *)
+
+let set_scheduler_config t config =
+  with_lock t.sched_lock (fun () ->
+      match t.scheduler with
+      | Some _ ->
+        invalid_arg "Engine.set_scheduler_config: scheduler already running"
+      | None -> t.sched_config <- config)
+
+let scheduler t =
+  with_lock t.sched_lock (fun () ->
+      match t.scheduler with
+      | Some s -> s
+      | None ->
+        let s =
+          Aeq_exec.Scheduler.create ~config:t.sched_config
+            ~arena:(Aeq_storage.Catalog.arena t.catalog)
+            ~exec:(fun ~mode ~cancel sql -> query ~mode ~cancel t sql)
+            ()
+        in
+        t.scheduler <- Some s;
+        s)
+
+let submit ?mode ?priority ?deadline_seconds ?cancel t sql =
+  Aeq_exec.Scheduler.submit ?mode ?priority ?deadline_seconds ?cancel
+    (scheduler t) sql
+
+let query_concurrent ?mode ?priority ?deadline_seconds ?cancel t sql =
+  Aeq_exec.Scheduler.run ?mode ?priority ?deadline_seconds ?cancel (scheduler t)
+    sql
+
+let scheduler_stats t =
+  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  match s with
+  | Some s -> Aeq_exec.Scheduler.stats s
+  | None -> Aeq_exec.Scheduler.zero_stats
 
 let render_rows t (r : Aeq_exec.Driver.result) =
   List.map
     (fun row -> String.concat "\t" (Aeq_exec.Driver.row_to_strings t.catalog r.Aeq_exec.Driver.dtypes row))
     r.Aeq_exec.Driver.rows
 
-(* Pool.shutdown is idempotent, which makes close idempotent. *)
-let close t = Aeq_exec.Pool.shutdown t.pool
+(* Scheduler first (drains queued clients, finishes the in-flight
+   query), then the pool. Both are idempotent, so close is. *)
+let close t =
+  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  (match s with Some s -> Aeq_exec.Scheduler.shutdown s | None -> ());
+  Aeq_exec.Pool.shutdown t.pool
 
 let closed t = Aeq_exec.Pool.closed t.pool

@@ -58,6 +58,13 @@ val query :
   Aeq_exec.Driver.result
 (** Plan + execute. [mode] defaults to [Adaptive].
 
+    Thread-safe: the execution core (shared arena, worker pool,
+    per-statement contexts) is single-writer, so concurrent callers
+    serialize on an internal lock and the plan cache is guarded
+    separately. For serving many clients with admission control and
+    backpressure instead of an unbounded lock convoy, use {!submit} /
+    {!query_concurrent}.
+
     Guardrails (see {!Aeq_exec.Driver.execute_prepared} for the full
     contract): [timeout_seconds] and [cancel] stop the query at the
     next morsel boundary, [memory_budget_bytes] bounds its arena
@@ -79,6 +86,46 @@ val query :
     it converged to previously, so frequently-run queries end up fully
     compiled without ever paying an up-front compilation on a cold
     path. *)
+
+val submit :
+  ?mode:Aeq_exec.Driver.mode ->
+  ?priority:Aeq_exec.Scheduler.priority ->
+  ?deadline_seconds:float ->
+  ?cancel:Aeq_exec.Cancel.t ->
+  t ->
+  string ->
+  Aeq_exec.Scheduler.ticket
+(** Enqueue a query on the engine's scheduler (created lazily on first
+    use) and return without waiting; await the ticket with
+    {!Aeq_exec.Scheduler.await}. Unlike {!query}, which any number of
+    callers may invoke but which serializes them on the execution
+    core's lock with no queue bound, fairness or deadline, [submit]
+    goes through admission control: a full queue rejects with
+    {!Aeq_exec.Query_error.Overloaded}, overload degrades execution to
+    bytecode-only, compile failures engine-wide can trip the circuit
+    breaker, and deadline overruns are cancelled by the watchdog. See
+    {!Aeq_exec.Scheduler} for the full contract. *)
+
+val query_concurrent :
+  ?mode:Aeq_exec.Driver.mode ->
+  ?priority:Aeq_exec.Scheduler.priority ->
+  ?deadline_seconds:float ->
+  ?cancel:Aeq_exec.Cancel.t ->
+  t ->
+  string ->
+  Aeq_exec.Scheduler.outcome
+(** [submit] + await, with admission errors folded into the outcome —
+    the blocking per-client call of a concurrent server loop. *)
+
+val scheduler_stats : t -> Aeq_exec.Scheduler.stats
+(** Serving-health counters (admitted/rejected/shed/retried, breaker
+    state and trips, queue depth and waits).
+    {!Aeq_exec.Scheduler.zero_stats} if no query was ever submitted. *)
+
+val set_scheduler_config : t -> Aeq_exec.Scheduler.config -> unit
+(** Configure admission control before the first {!submit} /
+    {!query_concurrent}.
+    @raise Invalid_argument once the scheduler exists. *)
 
 val prepare : t -> string -> unit
 (** Plan + compile the statement into the cache without executing it
@@ -107,7 +154,8 @@ val render_rows : t -> Aeq_exec.Driver.result -> string list
 (** Result rows as tab-separated strings (dictionary decoded). *)
 
 val close : t -> unit
-(** Shut the worker pool down. Idempotent; queries on a closed engine
-    raise [Invalid_argument]. *)
+(** Shut down: the scheduler first (queued queries complete with
+    [Rejected], the in-flight one finishes), then the worker pool.
+    Idempotent; queries on a closed engine raise [Invalid_argument]. *)
 
 val closed : t -> bool

@@ -15,6 +15,7 @@ type t = {
   mutable done_count : int;
   error : exn option Atomic.t;
   closed : bool Atomic.t;
+  busy : bool Atomic.t;
 }
 
 let signal_done t =
@@ -67,6 +68,7 @@ let create ~n_threads =
       done_count = 0;
       error = Atomic.make None;
       closed = Atomic.make false;
+      busy = Atomic.make false;
     }
   in
   t.domains <-
@@ -77,9 +79,12 @@ let n_threads t = t.n_threads
 
 let closed t = Atomic.get t.closed
 
+let busy t = Atomic.get t.busy
+
 let run t job =
   (* a submission to dead workers would block forever on the barrier *)
   if closed t then invalid_arg "Pool.run: pool has been shut down";
+  Atomic.set t.busy true;
   Mutex.lock t.done_mutex;
   t.done_count <- 0;
   Mutex.unlock t.done_mutex;
@@ -99,6 +104,7 @@ let run t job =
     Condition.wait t.done_cond t.done_mutex
   done;
   Mutex.unlock t.done_mutex;
+  Atomic.set t.busy false;
   match Atomic.get t.error with Some e -> raise e | None -> ()
 
 let shutdown t =

@@ -20,5 +20,10 @@ val run : t -> (tid:int -> unit) -> unit
 
 val closed : t -> bool
 
+val busy : t -> bool
+(** A job is currently executing (between {!run} entry and its
+    barrier). A monitoring gauge — racy by nature, do not synchronise
+    on it. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. *)

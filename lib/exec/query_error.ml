@@ -6,6 +6,8 @@ type t =
   | Timeout of float
   | Cancelled
   | Memory_budget_exceeded of { budget_bytes : int; used_bytes : int }
+  | Overloaded of { queue_depth : int; capacity : int }
+  | Rejected of string
 
 exception Error of t
 
@@ -23,6 +25,10 @@ let to_string = function
   | Memory_budget_exceeded { budget_bytes; used_bytes } ->
     Printf.sprintf "query memory budget exceeded: used %d of %d bytes" used_bytes
       budget_bytes
+  | Overloaded { queue_depth; capacity } ->
+    Printf.sprintf "engine overloaded: admission queue full (%d of %d)" queue_depth
+      capacity
+  | Rejected reason -> "query rejected: " ^ reason
 
 let () =
   Printexc.register_printer (function
@@ -30,3 +36,16 @@ let () =
     | _ -> None)
 
 let raise_error e = raise (Error e)
+
+(* Injected faults stand in for the transient infrastructure failures
+   (an allocation hiccup, a flaky compile worker) that a serving layer
+   retries; real query bugs (division by zero, budget breaches) are
+   deterministic and must not be retried. *)
+let transient = function
+  | Trap m ->
+    let prefix = "injected fault" in
+    String.length m >= String.length prefix
+    && String.sub m 0 (String.length prefix) = prefix
+  | Compile_failed _ | Timeout _ | Cancelled | Memory_budget_exceeded _ | Overloaded _
+  | Rejected _ ->
+    false

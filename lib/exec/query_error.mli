@@ -20,9 +20,25 @@ type t =
   | Cancelled  (** the query's {!Cancel.t} token was cancelled *)
   | Memory_budget_exceeded of { budget_bytes : int; used_bytes : int }
       (** per-query arena scratch exceeded [~memory_budget_bytes] *)
+  | Overloaded of { queue_depth : int; capacity : int }
+      (** the scheduler's bounded admission queue was full and nothing
+          lower-priority could be shed; submitted work is rejected
+          immediately instead of queueing unboundedly *)
+  | Rejected of string
+      (** the scheduler refused or abandoned the query before it
+          produced a result: shed under overload, deadline expired
+          while still queued, or the scheduler was shut down *)
 
 exception Error of t
 
 val to_string : t -> string
 
 val raise_error : t -> 'a
+
+val transient : t -> bool
+(** Is the failure worth retrying? [Trap]s carrying an injected fault
+    (the chaos-testing stand-in for transient infrastructure failures)
+    are transient; deterministic query errors — real traps, compile
+    failures, timeouts, cancellations, budget breaches, scheduler
+    rejections — are not. The scheduler retries transient failures
+    with backoff, bounded by the query's deadline. *)

@@ -1,0 +1,621 @@
+module Clock = Aeq_util.Clock
+module Prng = Aeq_util.Prng
+module QE = Query_error
+
+type priority = Low | Normal | High
+
+let priority_name = function Low -> "low" | Normal -> "normal" | High -> "high"
+
+(* dispatch order: highest class first, FIFO within a class *)
+let queue_index = function High -> 0 | Normal -> 1 | Low -> 2
+
+type config = {
+  queue_capacity : int;
+  shed_queue_depth : int;
+  shed_resident_bytes : int option;
+  deadline_grace : float;
+  breaker_threshold : int;
+  breaker_window : float;
+  breaker_cooldown : float;
+  breaker_cooldown_max : float;
+  max_retries : int;
+  retry_backoff : float;
+  watchdog_period : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    shed_queue_depth = 48;
+    shed_resident_bytes = None;
+    deadline_grace = 0.25;
+    breaker_threshold = 5;
+    breaker_window = 30.0;
+    breaker_cooldown = 0.5;
+    breaker_cooldown_max = 30.0;
+    max_retries = 2;
+    retry_backoff = 0.01;
+    watchdog_period = 0.005;
+    seed = 0x5CEDC0FFEEL;
+  }
+
+type outcome = (Driver.result, QE.t) result
+
+type state = Queued | Running | Done of outcome
+
+type ticket = {
+  tk_id : int;
+  tk_sql : string;
+  tk_mode : Driver.mode;
+  tk_priority : priority;
+  tk_deadline_seconds : float option;
+  tk_deadline : float option; (* absolute, against Clock.now *)
+  tk_submitted : float;
+  tk_cancel : Cancel.t;
+  tk_lock : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_state : state;
+  mutable tk_started : float; (* -1. until dispatched *)
+  mutable tk_watchdog_fired : bool;
+  mutable tk_degraded : bool;
+  mutable tk_retries : int;
+}
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type stats = {
+  admitted : int;
+  rejected : int;
+  shed : int;
+  expired : int;
+  retried : int;
+  completed : int;
+  failed : int;
+  degraded : int;
+  watchdog_cancels : int;
+  breaker_trips : int;
+  breaker_state : breaker_state;
+  queue_depth : int;
+  max_queue_depth : int;
+  avg_wait_seconds : float;
+  max_wait_seconds : float;
+}
+
+let zero_stats =
+  {
+    admitted = 0;
+    rejected = 0;
+    shed = 0;
+    expired = 0;
+    retried = 0;
+    completed = 0;
+    failed = 0;
+    degraded = 0;
+    watchdog_cancels = 0;
+    breaker_trips = 0;
+    breaker_state = Closed;
+    queue_depth = 0;
+    max_queue_depth = 0;
+    avg_wait_seconds = 0.0;
+    max_wait_seconds = 0.0;
+  }
+
+(* Lock order, everywhere: [t.lock] before [tk_lock], never the
+   reverse. [await] and the ticket accessors take only [tk_lock]. *)
+type t = {
+  cfg : config;
+  exec : mode:Driver.mode -> cancel:Cancel.t -> string -> Driver.result;
+  arena : Aeq_mem.Arena.t option;
+  lock : Mutex.t;
+  work : Condition.t; (* signalled on admit and on shutdown *)
+  queues : ticket Queue.t array; (* [High; Normal; Low] *)
+  ids : int Atomic.t;
+  prng : Prng.t; (* jitter; drawn under [lock] *)
+  mutable queued : int; (* live (state Queued) tickets across queues *)
+  mutable stopped : bool;
+  mutable current : ticket option; (* what the watchdog supervises *)
+  (* circuit breaker *)
+  mutable brk : breaker_state;
+  mutable brk_until : float; (* Open: earliest half-open probe *)
+  mutable brk_consecutive : int; (* consecutive opens, drives backoff *)
+  mutable probe : int option; (* ticket id of the in-flight half-open probe *)
+  failures : float Queue.t; (* compile-failure timestamps, sliding window *)
+  (* counters *)
+  mutable n_admitted : int;
+  mutable n_rejected : int;
+  mutable n_shed : int;
+  mutable n_expired : int;
+  mutable n_retried : int;
+  mutable n_completed : int;
+  mutable n_failed : int;
+  mutable n_degraded : int;
+  mutable n_watchdog_cancels : int;
+  mutable n_breaker_trips : int;
+  mutable max_depth : int;
+  mutable total_wait : float;
+  mutable n_waits : int;
+  mutable max_wait : float;
+  mutable domains : unit Domain.t list;
+}
+
+(* ---- ticket helpers -------------------------------------------------- *)
+
+let is_done tk =
+  Mutex.lock tk.tk_lock;
+  let d = match tk.tk_state with Done _ -> true | Queued | Running -> false in
+  Mutex.unlock tk.tk_lock;
+  d
+
+let complete tk outcome =
+  Mutex.lock tk.tk_lock;
+  (match tk.tk_state with
+  | Done _ -> () (* first completion wins *)
+  | Queued | Running ->
+    tk.tk_state <- Done outcome;
+    Condition.broadcast tk.tk_cond);
+  Mutex.unlock tk.tk_lock
+
+let await tk =
+  Mutex.lock tk.tk_lock;
+  let rec wait () =
+    match tk.tk_state with
+    | Done o -> o
+    | Queued | Running ->
+      Condition.wait tk.tk_cond tk.tk_lock;
+      wait ()
+  in
+  let o = wait () in
+  Mutex.unlock tk.tk_lock;
+  o
+
+let cancel tk = Cancel.cancel tk.tk_cancel
+
+let wait_seconds tk =
+  Mutex.lock tk.tk_lock;
+  let s = if tk.tk_started < 0.0 then -1.0 else tk.tk_started -. tk.tk_submitted in
+  Mutex.unlock tk.tk_lock;
+  s
+
+let was_degraded tk =
+  Mutex.lock tk.tk_lock;
+  let d = tk.tk_degraded in
+  Mutex.unlock tk.tk_lock;
+  d
+
+let retries tk =
+  Mutex.lock tk.tk_lock;
+  let r = tk.tk_retries in
+  Mutex.unlock tk.tk_lock;
+  r
+
+(* ---- circuit breaker (all under t.lock) ------------------------------ *)
+
+let breaker_trip t now =
+  t.brk <- Open;
+  t.probe <- None;
+  t.n_breaker_trips <- t.n_breaker_trips + 1;
+  let cap =
+    Stdlib.min t.cfg.breaker_cooldown_max
+      (t.cfg.breaker_cooldown *. (2.0 ** float_of_int t.brk_consecutive))
+  in
+  t.brk_consecutive <- t.brk_consecutive + 1;
+  (* full jitter, floored at 10% of the cap so an open breaker is
+     observably open (a zero-length cooldown would probe instantly) *)
+  t.brk_until <- now +. (0.1 *. cap) +. Prng.float t.prng (0.9 *. cap)
+
+(* May a query dispatched now spend compile budget? Promotes Open →
+   Half_open (electing this ticket as the probe) once the cooldown has
+   passed. *)
+let breaker_allow t tk_id now =
+  match t.brk with
+  | Closed -> true
+  | Half_open -> false (* a probe is already in flight *)
+  | Open ->
+    if now >= t.brk_until then begin
+      t.brk <- Half_open;
+      t.probe <- Some tk_id;
+      true
+    end
+    else false
+
+(* Digest one served query into the breaker. [n_cf] is the number of
+   compile failures its attempts reported (degradations from Ok
+   results and Compile_failed errors alike — the attempt loop already
+   counted both). *)
+let breaker_feed t tk outcome n_cf =
+  let now = Clock.now () in
+  if t.probe = Some tk.tk_id then begin
+    t.probe <- None;
+    let probe_ok = match outcome with Ok _ -> n_cf = 0 | Error _ -> false in
+    if probe_ok then begin
+      t.brk <- Closed;
+      t.brk_consecutive <- 0;
+      Queue.clear t.failures
+    end
+    else breaker_trip t now (* re-open, cooldown doubled *)
+  end
+  else if t.brk = Closed && n_cf > 0 then begin
+    for _ = 1 to n_cf do
+      Queue.push now t.failures
+    done;
+    while
+      (not (Queue.is_empty t.failures))
+      && Queue.peek t.failures < now -. t.cfg.breaker_window
+    do
+      ignore (Queue.pop t.failures)
+    done;
+    if Queue.length t.failures >= t.cfg.breaker_threshold then breaker_trip t now
+  end
+
+(* ---- execution with retry -------------------------------------------- *)
+
+(* Runs outside t.lock (takes it briefly for jitter draws and retry
+   accounting). Returns the outcome plus the compile failures seen
+   across attempts, for the breaker. *)
+let attempt_loop t tk eff_mode =
+  let rec go attempt cf_acc =
+    match t.exec ~mode:eff_mode ~cancel:tk.tk_cancel tk.tk_sql with
+    | r -> (Ok r, cf_acc + r.Driver.stats.Driver.compile_failures)
+    | exception QE.Error e ->
+      let watchdogged =
+        Mutex.lock tk.tk_lock;
+        let w = tk.tk_watchdog_fired in
+        Mutex.unlock tk.tk_lock;
+        w
+      in
+      if e = QE.Cancelled && watchdogged then
+        (* the watchdog killed it for blowing its deadline: surface the
+           reason, not the mechanism *)
+        (Error (QE.Timeout (Option.value tk.tk_deadline_seconds ~default:0.0)), cf_acc)
+      else begin
+        let cf_acc = cf_acc + (match e with QE.Compile_failed _ -> 1 | _ -> 0) in
+        let backoff_cap = t.cfg.retry_backoff *. (2.0 ** float_of_int attempt) in
+        let deadline_allows =
+          match tk.tk_deadline with
+          | None -> true
+          | Some d -> Clock.now () +. backoff_cap < d
+        in
+        if
+          QE.transient e
+          && attempt < t.cfg.max_retries
+          && deadline_allows
+          && not (Cancel.cancelled tk.tk_cancel)
+        then begin
+          let jitter =
+            Mutex.lock t.lock;
+            t.n_retried <- t.n_retried + 1;
+            let j = Prng.float t.prng backoff_cap in
+            Mutex.unlock t.lock;
+            j
+          in
+          Mutex.lock tk.tk_lock;
+          tk.tk_retries <- tk.tk_retries + 1;
+          Mutex.unlock tk.tk_lock;
+          Unix.sleepf jitter;
+          go (attempt + 1) cf_acc
+        end
+        else (Error e, cf_acc)
+      end
+    | exception e ->
+      (* the engine's exec contract is Query_error-only; anything else
+         is a bug we still turn into a structured response *)
+      (Error (QE.Trap (Printexc.to_string e)), cf_acc)
+  in
+  go 0 0
+
+(* ---- dispatcher ------------------------------------------------------ *)
+
+(* under t.lock: oldest live ticket of the highest non-empty class *)
+let pop_live t =
+  let rec from_queue q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some tk -> if is_done tk then from_queue q else Some tk
+  in
+  let rec scan i = if i >= 3 then None else
+      match from_queue t.queues.(i) with Some tk -> Some tk | None -> scan (i + 1)
+  in
+  scan 0
+
+(* Serve one ticket. Called with t.lock held; returns with it held. *)
+let serve t tk =
+  let now = Clock.now () in
+  match tk.tk_deadline with
+  | Some d when now > d ->
+    (* expired while queued (between watchdog sweeps) *)
+    t.n_expired <- t.n_expired + 1;
+    complete tk (Error (QE.Rejected "deadline expired in admission queue"))
+  | _ ->
+    let wait = now -. tk.tk_submitted in
+    t.total_wait <- t.total_wait +. wait;
+    t.n_waits <- t.n_waits + 1;
+    if wait > t.max_wait then t.max_wait <- wait;
+    (* overload & breaker decide how much this query may spend *)
+    let wants_compile = tk.tk_mode <> Driver.Bytecode in
+    let overloaded =
+      t.queued > t.cfg.shed_queue_depth
+      || (match (t.cfg.shed_resident_bytes, t.arena) with
+         | Some b, Some a -> Aeq_mem.Arena.resident_bytes a > b
+         | _ -> false)
+    in
+    let compile_allowed =
+      (not wants_compile)
+      || ((not overloaded) && breaker_allow t tk.tk_id now)
+    in
+    let eff_mode = if compile_allowed then tk.tk_mode else Driver.Bytecode in
+    if eff_mode <> tk.tk_mode then t.n_degraded <- t.n_degraded + 1;
+    t.current <- Some tk;
+    Mutex.unlock t.lock;
+    Mutex.lock tk.tk_lock;
+    tk.tk_state <- Running;
+    tk.tk_started <- Clock.now ();
+    tk.tk_degraded <- eff_mode <> tk.tk_mode;
+    Mutex.unlock tk.tk_lock;
+    let outcome, n_cf =
+      if Cancel.cancelled tk.tk_cancel then (Error QE.Cancelled, 0)
+      else attempt_loop t tk eff_mode
+    in
+    Mutex.lock t.lock;
+    t.current <- None;
+    breaker_feed t tk outcome n_cf;
+    (match outcome with
+    | Ok _ -> t.n_completed <- t.n_completed + 1
+    | Error _ -> t.n_failed <- t.n_failed + 1);
+    Mutex.unlock t.lock;
+    complete tk outcome;
+    Mutex.lock t.lock
+
+let dispatcher_loop t () =
+  Mutex.lock t.lock;
+  let running = ref true in
+  while !running do
+    while t.queued = 0 && not t.stopped do
+      Condition.wait t.work t.lock
+    done;
+    if t.stopped then begin
+      (* fail-fast drain: pending clients get a structured answer now,
+         not a hang *)
+      Array.iter
+        (fun q ->
+          Queue.iter
+            (fun tk ->
+              if not (is_done tk) then begin
+                t.n_rejected <- t.n_rejected + 1;
+                complete tk (Error (QE.Rejected "scheduler is shut down"))
+              end)
+            q;
+          Queue.clear q)
+        t.queues;
+      t.queued <- 0;
+      running := false
+    end
+    else begin
+      match pop_live t with
+      | Some tk ->
+        t.queued <- t.queued - 1;
+        serve t tk
+      | None -> t.queued <- 0 (* counter drift guard; unreachable *)
+    end
+  done;
+  Mutex.unlock t.lock
+
+(* ---- watchdog -------------------------------------------------------- *)
+
+let watchdog_loop t () =
+  let running = ref true in
+  while !running do
+    Unix.sleepf t.cfg.watchdog_period;
+    Mutex.lock t.lock;
+    if t.stopped then running := false
+    else begin
+      let now = Clock.now () in
+      (* the in-flight query: cancel past deadline + grace *)
+      (match t.current with
+      | Some tk -> (
+        match tk.tk_deadline with
+        | Some d when now > d +. t.cfg.deadline_grace ->
+          Mutex.lock tk.tk_lock;
+          let fresh = not tk.tk_watchdog_fired in
+          if fresh then tk.tk_watchdog_fired <- true;
+          Mutex.unlock tk.tk_lock;
+          if fresh then begin
+            Cancel.cancel tk.tk_cancel;
+            t.n_watchdog_cancels <- t.n_watchdog_cancels + 1
+          end
+        | _ -> ())
+      | None -> ());
+      (* queued queries whose deadline already passed: answer now
+         instead of wasting a dispatch slot later *)
+      Array.iter
+        (fun q ->
+          Queue.iter
+            (fun tk ->
+              match tk.tk_deadline with
+              | Some d when now > d && not (is_done tk) ->
+                t.n_expired <- t.n_expired + 1;
+                t.queued <- t.queued - 1;
+                complete tk (Error (QE.Rejected "deadline expired in admission queue"))
+              | _ -> ())
+            q)
+        t.queues
+    end;
+    Mutex.unlock t.lock
+  done
+
+(* ---- admission ------------------------------------------------------- *)
+
+(* under t.lock: oldest live ticket of the lowest class strictly below
+   [pri], popped out of its queue *)
+let shed_victim t pri =
+  let candidate_queues =
+    match pri with High -> [ 2; 1 ] | Normal -> [ 2 ] | Low -> []
+  in
+  let rec from_queue q =
+    match Queue.take_opt q with
+    | None -> None
+    | Some tk -> if is_done tk then from_queue q else Some tk
+  in
+  let rec scan = function
+    | [] -> None
+    | qi :: rest -> (
+      match from_queue t.queues.(qi) with Some tk -> Some tk | None -> scan rest)
+  in
+  scan candidate_queues
+
+let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?cancel t
+    sql =
+  let now = Clock.now () in
+  let tk =
+    {
+      tk_id = Atomic.fetch_and_add t.ids 1;
+      tk_sql = sql;
+      tk_mode = mode;
+      tk_priority = priority;
+      tk_deadline_seconds = deadline_seconds;
+      tk_deadline = Option.map (fun s -> now +. s) deadline_seconds;
+      tk_submitted = now;
+      tk_cancel = (match cancel with Some c -> c | None -> Cancel.create ());
+      tk_lock = Mutex.create ();
+      tk_cond = Condition.create ();
+      tk_state = Queued;
+      tk_started = -1.0;
+      tk_watchdog_fired = false;
+      tk_degraded = false;
+      tk_retries = 0;
+    }
+  in
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    QE.raise_error (QE.Rejected "scheduler is shut down")
+  end;
+  let victim =
+    if t.queued < t.cfg.queue_capacity then None
+    else
+      match shed_victim t priority with
+      | Some v ->
+        t.n_shed <- t.n_shed + 1;
+        t.queued <- t.queued - 1;
+        Some v
+      | None ->
+        (* full, nothing sheddable: fail fast *)
+        let depth = t.queued in
+        t.n_rejected <- t.n_rejected + 1;
+        Mutex.unlock t.lock;
+        QE.raise_error
+          (QE.Overloaded { queue_depth = depth; capacity = t.cfg.queue_capacity })
+  in
+  Queue.push tk t.queues.(queue_index priority);
+  t.queued <- t.queued + 1;
+  t.n_admitted <- t.n_admitted + 1;
+  if t.queued > t.max_depth then t.max_depth <- t.queued;
+  Condition.signal t.work;
+  Mutex.unlock t.lock;
+  (match victim with
+  | Some v ->
+    complete v
+      (Error
+         (QE.Rejected
+            (Printf.sprintf "shed under overload (%s priority, queue full)"
+               (priority_name v.tk_priority))))
+  | None -> ());
+  tk
+
+let run ?mode ?priority ?deadline_seconds ?cancel t sql =
+  match submit ?mode ?priority ?deadline_seconds ?cancel t sql with
+  | tk -> await tk
+  | exception QE.Error e -> Error e
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let validate cfg =
+  if cfg.queue_capacity < 1 then
+    invalid_arg "Scheduler: queue_capacity must be >= 1";
+  if cfg.breaker_threshold < 1 then
+    invalid_arg "Scheduler: breaker_threshold must be >= 1";
+  if cfg.max_retries < 0 then invalid_arg "Scheduler: max_retries must be >= 0";
+  if cfg.watchdog_period <= 0.0 then
+    invalid_arg "Scheduler: watchdog_period must be > 0"
+
+let create ?(config = default_config) ?arena ~exec () =
+  validate config;
+  let t =
+    {
+      cfg = config;
+      exec;
+      arena;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queues = Array.init 3 (fun _ -> Queue.create ());
+      ids = Atomic.make 0;
+      prng = Prng.create config.seed;
+      queued = 0;
+      stopped = false;
+      current = None;
+      brk = Closed;
+      brk_until = 0.0;
+      brk_consecutive = 0;
+      probe = None;
+      failures = Queue.create ();
+      n_admitted = 0;
+      n_rejected = 0;
+      n_shed = 0;
+      n_expired = 0;
+      n_retried = 0;
+      n_completed = 0;
+      n_failed = 0;
+      n_degraded = 0;
+      n_watchdog_cancels = 0;
+      n_breaker_trips = 0;
+      max_depth = 0;
+      total_wait = 0.0;
+      n_waits = 0;
+      max_wait = 0.0;
+      domains = [];
+    }
+  in
+  t.domains <-
+    [ Domain.spawn (dispatcher_loop t); Domain.spawn (watchdog_loop t) ];
+  t
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      admitted = t.n_admitted;
+      rejected = t.n_rejected;
+      shed = t.n_shed;
+      expired = t.n_expired;
+      retried = t.n_retried;
+      completed = t.n_completed;
+      failed = t.n_failed;
+      degraded = t.n_degraded;
+      watchdog_cancels = t.n_watchdog_cancels;
+      breaker_trips = t.n_breaker_trips;
+      breaker_state = t.brk;
+      queue_depth = t.queued;
+      max_queue_depth = t.max_depth;
+      avg_wait_seconds = (if t.n_waits = 0 then 0.0 else t.total_wait /. float_of_int t.n_waits);
+      max_wait_seconds = t.max_wait;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    let ds = t.domains in
+    t.domains <- [];
+    Mutex.unlock t.lock;
+    List.iter Domain.join ds
+  end

@@ -1,0 +1,179 @@
+(** Concurrent query serving: admission control, overload shedding,
+    and a compile-path circuit breaker in front of the driver.
+
+    The execution core underneath (driver + worker pool + shared
+    arena/context) is deliberately single-writer: one query executes
+    at a time, morsel-parallel across the pool's domains. What a
+    server needs on top — and what this module provides — is a
+    defined behavior when clients outnumber capacity:
+
+    - a {b bounded admission queue} with three priority classes and
+      per-query deadlines. A full queue rejects immediately with
+      {!Query_error.Overloaded} (fail fast, never queue unboundedly),
+      shedding an already-queued lower-priority query first if that
+      makes room for a higher-priority newcomer;
+    - {b load shedding / graceful degradation}: when queue depth or
+      the arena's resident high-water mark crosses its threshold,
+      newly dispatched queries are forced to bytecode-only mode — no
+      compilation spend under overload;
+    - a {b compile-path circuit breaker}: per-statement blacklisting
+      (PR 2) stops retry storms within one prepared statement, but
+      every new statement still re-pays a broken compile path. The
+      breaker aggregates compile failures engine-wide in a sliding
+      window; past the threshold it trips to bytecode-only for
+      everyone, then recovers through half-open probing — one query is
+      allowed to compile; success closes the breaker, failure re-opens
+      it with exponentially growing, fully-jittered cooldown;
+    - {b retry with backoff} for failures classified transient by
+      {!Query_error.transient} (injected faults — the chaos stand-in
+      for infrastructure hiccups), bounded by the query's deadline and
+      [max_retries];
+    - a {b watchdog} domain that cancels queries exceeding
+      deadline + grace via their {!Cancel.t} token (surfaced as
+      [Timeout]), expires queries whose deadline passed while still
+      queued, and keeps the health counters in {!stats} current.
+
+    Clients call {!submit} (asynchronous; returns a {!ticket}) or
+    {!run} (submit + await) from any number of domains. A dispatcher
+    domain serves the queue highest-priority-first, FIFO within a
+    class. *)
+
+type priority = Low | Normal | High
+
+val priority_name : priority -> string
+
+type config = {
+  queue_capacity : int;  (** admission queue bound (≥ 1) *)
+  shed_queue_depth : int;
+      (** queue depth beyond which dispatched queries are forced to
+          bytecode-only *)
+  shed_resident_bytes : int option;
+      (** arena high-water mark (resident bytes) beyond which
+          dispatched queries are forced to bytecode-only *)
+  deadline_grace : float;
+      (** seconds past its deadline a running query is granted before
+          the watchdog cancels it *)
+  breaker_threshold : int;
+      (** compile failures within [breaker_window] that trip the
+          breaker *)
+  breaker_window : float;  (** sliding-window length, seconds *)
+  breaker_cooldown : float;
+      (** base open-state cooldown before the first half-open probe;
+          doubles per consecutive re-open (full jitter, see module
+          doc) *)
+  breaker_cooldown_max : float;  (** cooldown growth cap, seconds *)
+  max_retries : int;  (** retry budget per query for transient failures *)
+  retry_backoff : float;
+      (** base retry backoff, seconds; doubles per attempt, full
+          jitter, bounded by the query's deadline *)
+  watchdog_period : float;  (** watchdog scan interval, seconds *)
+  seed : int64;  (** PRNG seed for backoff jitter *)
+}
+
+val default_config : config
+
+type outcome = (Driver.result, Query_error.t) result
+
+type ticket
+(** A submitted query. Await it, cancel it, or inspect it. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?arena:Aeq_mem.Arena.t ->
+  exec:(mode:Driver.mode -> cancel:Cancel.t -> string -> Driver.result) ->
+  unit ->
+  t
+(** Start a scheduler (spawns the dispatcher and watchdog domains).
+    [exec] runs one query to completion and is only ever called from
+    the dispatcher domain, one call at a time; it must raise
+    {!Query_error.Error} on failure (the engine's [query] does).
+    [arena], when given, feeds the [shed_resident_bytes] overload
+    gauge. *)
+
+val submit :
+  ?mode:Driver.mode ->
+  ?priority:priority ->
+  ?deadline_seconds:float ->
+  ?cancel:Cancel.t ->
+  t ->
+  string ->
+  ticket
+(** Enqueue a query. Returns immediately.
+
+    [deadline_seconds] is end-to-end (queue wait + execution +
+    retries): expiring in the queue yields [Rejected], exceeding it
+    while running gets the query cancelled by the watchdog after
+    [deadline_grace] and yields [Timeout]. [cancel] lets the caller
+    abandon the query later ({!cancel} does the same).
+
+    @raise Query_error.Error [(Overloaded _)] when the queue is full
+    and no strictly-lower-priority query can be shed — the fail-fast
+    admission contract.
+    @raise Query_error.Error [(Rejected _)] when the scheduler is shut
+    down. *)
+
+val await : ticket -> outcome
+(** Block until the query completes (any domain may await). *)
+
+val run :
+  ?mode:Driver.mode ->
+  ?priority:priority ->
+  ?deadline_seconds:float ->
+  ?cancel:Cancel.t ->
+  t ->
+  string ->
+  outcome
+(** [submit] + [await], with admission errors ([Overloaded] /
+    [Rejected] raised by {!submit}) folded into the returned outcome —
+    the one-call closed-loop client API. *)
+
+val cancel : ticket -> unit
+(** Cancel the query (queued: completes [Cancelled] without running;
+    running: stops at the next morsel boundary). *)
+
+val wait_seconds : ticket -> float
+(** Time the ticket spent queued before execution started ([-1.] if it
+    never started). *)
+
+val was_degraded : ticket -> bool
+(** The scheduler forced this query to bytecode-only (overload or open
+    breaker). *)
+
+val retries : ticket -> int
+(** Transient-failure retries this query consumed. *)
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_name : breaker_state -> string
+
+type stats = {
+  admitted : int;  (** accepted into the queue *)
+  rejected : int;  (** refused at submission ([Overloaded]) or at shutdown *)
+  shed : int;  (** evicted from the queue to admit higher priority *)
+  expired : int;  (** deadline passed while still queued *)
+  retried : int;  (** transient-failure retry attempts *)
+  completed : int;  (** finished with rows *)
+  failed : int;  (** finished with a structured error *)
+  degraded : int;  (** executions forced to bytecode-only *)
+  watchdog_cancels : int;  (** running queries cancelled past deadline+grace *)
+  breaker_trips : int;  (** transitions to [Open] *)
+  breaker_state : breaker_state;
+  queue_depth : int;  (** gauge: queries queued right now *)
+  max_queue_depth : int;  (** high-water mark of [queue_depth] *)
+  avg_wait_seconds : float;  (** mean queue wait of dispatched queries *)
+  max_wait_seconds : float;
+}
+
+val zero_stats : stats
+(** All counters zero, breaker [Closed] — what an engine reports
+    before its scheduler exists. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Stop serving: every still-queued query completes with [Rejected],
+    the in-flight query (if any) finishes, then the dispatcher and
+    watchdog domains are joined. Idempotent. Later {!submit}s raise
+    [Rejected]. *)

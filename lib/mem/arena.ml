@@ -84,6 +84,17 @@ let alloc a ?(align = 8) n =
 
 let used t = Atomic.get t.total_used
 
+(* memory actually held right now — unlike [used] this shrinks on
+   [truncate], so it works as the overload/high-water gauge *)
+let resident_bytes t =
+  Mutex.lock t.lock;
+  let sum = ref 0 in
+  for i = 0 to t.n_chunks - 1 do
+    sum := !sum + Bytes.length t.chunks.(i)
+  done;
+  Mutex.unlock t.lock;
+  !sum
+
 let reset t =
   Mutex.lock t.lock;
   for i = 1 to t.n_chunks - 1 do

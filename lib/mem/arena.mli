@@ -45,6 +45,12 @@ val used : t -> int
     the per-query memory budget meters; [truncate] does not wind it
     back). Thread-safe. *)
 
+val resident_bytes : t -> int
+(** Bytes currently held in live chunks. Unlike {!used} this falls
+    back when [truncate] releases query scratch, so it is the gauge
+    the scheduler's overload detector (arena high-water threshold)
+    reads. Thread-safe. *)
+
 val reset : t -> unit
 (** Drop all chunks except the first and invalidate outstanding
     allocators. Only call between queries. *)

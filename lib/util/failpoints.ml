@@ -1,6 +1,6 @@
 exception Injected of string
 
-type action = Fail | Delay of float
+type action = Fail | Delay of float | Prob_fail of float
 
 type entry = {
   action : action;
@@ -18,6 +18,12 @@ let lock = Mutex.create ()
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 8
 
+(* One PRNG for every probabilistic site, drawn under the registry
+   lock: chaos runs are reproducible given the seed and a fixed
+   interleaving, and at worst statistically stable across
+   interleavings. *)
+let prng = ref (Prng.create 0x5EEDFA117L)
+
 let armed_count = Atomic.make 0
 
 let armed () = Atomic.get armed_count > 0
@@ -26,8 +32,14 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+let set_seed seed = locked (fun () -> prng := Prng.create seed)
+
 let activate ?(on_hit = 1) ?(persistent = true) site action =
   if on_hit < 1 then invalid_arg "Failpoints.activate: on_hit must be >= 1";
+  (match action with
+  | Prob_fail p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Failpoints.activate: probability must be in [0,1]"
+  | _ -> ());
   locked (fun () ->
       if not (Hashtbl.mem table site) then Atomic.incr armed_count;
       Hashtbl.replace table site
@@ -65,15 +77,27 @@ let hit site =
       let n = 1 + Atomic.fetch_and_add e.hits 1 in
       let fire = if e.persistent then n >= e.on_hit else n = e.on_hit in
       if fire then begin
-        Atomic.incr e.fired;
         match e.action with
-        | Fail -> raise (Injected site)
-        | Delay s -> Unix.sleepf s
+        | Fail ->
+          Atomic.incr e.fired;
+          raise (Injected site)
+        | Delay s ->
+          Atomic.incr e.fired;
+          Unix.sleepf s
+        | Prob_fail p ->
+          (* draw under the lock; the coin decides whether this hit
+             counts as fired at all *)
+          let draw = locked (fun () -> Prng.float !prng 1.0) in
+          if draw < p then begin
+            Atomic.incr e.fired;
+            raise (Injected site)
+          end
       end
 
 (* "site=fail", "site=fail@3", "site=delay:0.01", "site=delay:0.01@2",
-   joined by ',' or ';'. "@N" makes the site one-shot on its Nth hit;
-   without it the site fires on every hit. *)
+   "site=p:0.25", joined by ',' or ';'. "@N" makes the site one-shot
+   on its Nth hit; without it the site fires on every hit. "p:F" fails
+   each hit with probability F (chaos mode). *)
 let set_from_string spec =
   let bad part = invalid_arg ("Failpoints: cannot parse \"" ^ part ^ "\"") in
   String.split_on_char ',' (String.map (fun c -> if c = ';' then ',' else c) spec)
@@ -101,6 +125,10 @@ let set_from_string spec =
                    float_of_string_opt (String.sub act 6 (String.length act - 6))
                  with
                  | Some s when s >= 0.0 -> Delay s
+                 | _ -> bad part
+               else if String.length act > 2 && String.sub act 0 2 = "p:" then
+                 match float_of_string_opt (String.sub act 2 (String.length act - 2)) with
+                 | Some p when p >= 0.0 && p <= 1.0 -> Prob_fail p
                  | _ -> bad part
                else bad part
              in

@@ -25,13 +25,26 @@ exception Injected of string
 type action =
   | Fail  (** raise {!Injected} *)
   | Delay of float  (** sleep this many seconds (slow compile, slow morsel) *)
+  | Prob_fail of float
+      (** raise {!Injected} with this probability on each hit — the
+          chaos-mode action: a soak run under [Prob_fail] exercises
+          retry and circuit-breaker paths non-deterministically but
+          reproducibly (see {!set_seed}) *)
 
 val activate : ?on_hit:int -> ?persistent:bool -> string -> action -> unit
 (** Arm a site. With [persistent] (the default) the site triggers on
     every hit from the [on_hit]-th (default 1) onward; with
     [~persistent:false] it triggers exactly once, on the [on_hit]-th
-    hit. Re-activating a site replaces its previous arming and resets
-    its counters. *)
+    hit. For [Prob_fail] the hit-count gate applies first, then the
+    coin is tossed. Re-activating a site replaces its previous arming
+    and resets its counters.
+    @raise Invalid_argument if a [Prob_fail] probability is outside
+    [\[0,1\]]. *)
+
+val set_seed : int64 -> unit
+(** Re-seed the registry's PRNG (splitmix64, shared by every
+    [Prob_fail] site). Chaos tests call this first so their fault
+    schedule is reproducible. *)
 
 val deactivate : string -> unit
 
@@ -55,9 +68,10 @@ val fired : string -> int
 
 val set_from_string : string -> unit
 (** Parse and activate a spec like
-    ["compile.opt=fail,driver.morsel=delay:0.01@2"]. Entries are
-    [site=fail] or [site=delay:SECONDS], optionally suffixed [@N] to
-    make the site one-shot on its Nth hit.
+    ["compile.opt=fail,driver.morsel=delay:0.01@2,arena.alloc=p:0.05"].
+    Entries are [site=fail], [site=delay:SECONDS] or
+    [site=p:PROBABILITY], optionally suffixed [@N] to make the site
+    one-shot on its Nth hit.
     @raise Invalid_argument on a malformed spec. *)
 
 val env_var : string

@@ -1,0 +1,617 @@
+(* Tests for concurrent query serving: the admission queue (priorities,
+   bounds, shedding, deadlines), the compile-path circuit breaker,
+   transient-failure retry, the watchdog, probabilistic failpoints,
+   the now-thread-safe engine plan cache, and a chaos soak. *)
+
+module Sched = Aeq_exec.Scheduler
+module Driver = Aeq_exec.Driver
+module QE = Aeq_exec.Query_error
+module FP = Aeq_util.Failpoints
+module CM = Aeq_backend.Cost_model
+module Clock = Aeq_util.Clock
+
+let with_clean_failpoints f =
+  FP.clear ();
+  Fun.protect ~finally:FP.clear f
+
+let eager_model =
+  {
+    CM.default with
+    CM.simulate = false;
+    unopt_base = 0.0;
+    unopt_per_instr = 0.0;
+    opt_base = 0.0;
+    opt_per_instr = 0.0;
+    opt_quad = 0.0;
+    speedup_unopt = 10.0;
+    speedup_opt = 20.0;
+  }
+
+(* ---- a fake execution core ------------------------------------------ *)
+(* Scheduler semantics (queueing, breaker, retry, watchdog) are tested
+   against a scripted [exec] — no engine, no SQL. The "sql" strings are
+   commands: ok | sleep:<s> | transient:<n>:<tag> | compile:<tag> |
+   fatal. *)
+
+let ok_result () =
+  {
+    Driver.names = [ "x" ];
+    dtypes = [ Aeq_storage.Dtype.Int ];
+    rows = [ [| 42L |] ];
+    stats =
+      {
+        Driver.codegen_seconds = 0.0;
+        bc_seconds = 0.0;
+        compile_seconds = 0.0;
+        exec_seconds = 0.0;
+        total_seconds = 0.0;
+        rows_out = 1;
+        final_modes = [];
+        prepared_reuse = false;
+        compile_failures = 0;
+      };
+    trace = None;
+    final_cm_modes = [];
+  }
+
+(* sleep in small cancellable steps, like morsel boundaries *)
+let rec csleep cancel remaining =
+  if Aeq_exec.Cancel.cancelled cancel then QE.raise_error QE.Cancelled
+  else if remaining > 0.0 then begin
+    Unix.sleepf (Stdlib.min 0.002 remaining);
+    csleep cancel (remaining -. 0.002)
+  end
+
+type harness = {
+  h_lock : Mutex.t;
+  mutable h_served : string list; (* reverse dispatch order *)
+  h_counts : (string, int) Hashtbl.t; (* executions per command, incl. retries *)
+  mutable h_compile_broken : bool;
+}
+
+let make_harness () =
+  { h_lock = Mutex.create (); h_served = []; h_counts = Hashtbl.create 8;
+    h_compile_broken = false }
+
+let harness_exec h ~mode ~cancel sql =
+  let n =
+    Mutex.lock h.h_lock;
+    h.h_served <- sql :: h.h_served;
+    let n = (match Hashtbl.find_opt h.h_counts sql with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace h.h_counts sql n;
+    Mutex.unlock h.h_lock;
+    n
+  in
+  match String.split_on_char ':' sql with
+  | "ok" :: _ -> ok_result ()
+  | "sleep" :: d :: _ ->
+    csleep cancel (float_of_string d);
+    ok_result ()
+  | "transient" :: k :: _ ->
+    if n <= int_of_string k then QE.raise_error (QE.Trap "injected fault (scripted)")
+    else ok_result ()
+  | "compile" :: _ ->
+    if h.h_compile_broken && mode <> Driver.Bytecode then
+      QE.raise_error (QE.Compile_failed (CM.Unopt, "scripted compile failure"))
+    else ok_result ()
+  | "fatal" :: _ -> QE.raise_error (QE.Trap "real bug")
+  | _ -> ok_result ()
+
+let with_sched ?(config = Sched.default_config) ?arena h f =
+  let s = Sched.create ~config ?arena ~exec:(harness_exec h) () in
+  Fun.protect ~finally:(fun () -> Sched.shutdown s) (fun () -> f s)
+
+let served h =
+  Mutex.lock h.h_lock;
+  let l = List.rev h.h_served in
+  Mutex.unlock h.h_lock;
+  l
+
+let check_ok name = function
+  | Ok r -> Alcotest.(check bool) name true (r.Driver.rows = [ [| 42L |] ])
+  | Error e -> Alcotest.failf "%s: unexpected error %s" name (QE.to_string e)
+
+let check_rejected name = function
+  | Ok _ -> Alcotest.failf "%s: expected Rejected, got rows" name
+  | Error (QE.Rejected _) -> ()
+  | Error e -> Alcotest.failf "%s: expected Rejected, got %s" name (QE.to_string e)
+
+(* ---- probabilistic failpoints (satellite) ---------------------------- *)
+
+let test_prob_failpoints () =
+  with_clean_failpoints (fun () ->
+      FP.set_seed 7L;
+      FP.activate "p.never" (FP.Prob_fail 0.0);
+      for _ = 1 to 50 do
+        FP.hit "p.never"
+      done;
+      Alcotest.(check int) "p=0 never fires" 0 (FP.fired "p.never");
+      FP.activate "p.always" (FP.Prob_fail 1.0);
+      for _ = 1 to 50 do
+        match FP.hit "p.always" with
+        | () -> Alcotest.fail "p=1 must always fire"
+        | exception FP.Injected _ -> ()
+      done;
+      Alcotest.(check int) "p=1 always fires" 50 (FP.fired "p.always");
+      FP.activate "p.half" (FP.Prob_fail 0.5);
+      let fired = ref 0 in
+      for _ = 1 to 200 do
+        match FP.hit "p.half" with () -> () | exception FP.Injected _ -> incr fired
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "p=0.5 fired %d/200" !fired)
+        true
+        (!fired > 50 && !fired < 150);
+      (* same seed, same draws *)
+      FP.set_seed 7L;
+      FP.activate "p.rep" (FP.Prob_fail 0.5);
+      let first = ref [] in
+      for _ = 1 to 20 do
+        first := (match FP.hit "p.rep" with () -> false | exception FP.Injected _ -> true) :: !first
+      done;
+      FP.set_seed 7L;
+      let again = ref [] in
+      for _ = 1 to 20 do
+        again := (match FP.hit "p.rep" with () -> false | exception FP.Injected _ -> true) :: !again
+      done;
+      Alcotest.(check bool) "seeded draws reproducible" true (!first = !again))
+
+let test_prob_failpoints_parse () =
+  with_clean_failpoints (fun () ->
+      FP.set_from_string "a=p:0.0, b=p:1.0";
+      FP.hit "a";
+      (match FP.hit "b" with
+      | () -> Alcotest.fail "b=p:1.0 must fire"
+      | exception FP.Injected _ -> ());
+      List.iter
+        (fun bad ->
+          match FP.set_from_string bad with
+          | () -> Alcotest.failf "accepted %S" bad
+          | exception Invalid_argument _ -> ())
+        [ "x=p:1.5"; "x=p:-0.1"; "x=p:huge" ];
+      match FP.activate "x" (FP.Prob_fail 2.0) with
+      | () -> Alcotest.fail "activate must validate the probability"
+      | exception Invalid_argument _ -> ())
+
+(* ---- basic serving --------------------------------------------------- *)
+
+let test_submit_await () =
+  let h = make_harness () in
+  with_sched h (fun s ->
+      let tk = Sched.submit s "ok:basic" in
+      check_ok "basic outcome" (Sched.await tk);
+      Alcotest.(check bool) "waited >= 0" true (Sched.wait_seconds tk >= 0.0);
+      Alcotest.(check bool) "not degraded" false (Sched.was_degraded tk);
+      check_ok "run" (Sched.run s "ok:run");
+      let st = Sched.stats s in
+      Alcotest.(check int) "admitted" 2 st.Sched.admitted;
+      Alcotest.(check int) "completed" 2 st.Sched.completed;
+      Alcotest.(check int) "failed" 0 st.Sched.failed;
+      Alcotest.(check string) "breaker closed" "closed"
+        (Sched.breaker_state_name st.Sched.breaker_state))
+
+let test_priority_order () =
+  let h = make_harness () in
+  with_sched h (fun s ->
+      let blocker = Sched.submit s "sleep:0.2" in
+      Unix.sleepf 0.05 (* the blocker is now running, the queue is free *);
+      let low = Sched.submit ~priority:Sched.Low s "ok:low" in
+      let high = Sched.submit ~priority:Sched.High s "ok:high" in
+      check_ok "high" (Sched.await high);
+      check_ok "low" (Sched.await low);
+      check_ok "blocker" (Sched.await blocker);
+      Alcotest.(check (list string)) "high dispatched before low"
+        [ "sleep:0.2"; "ok:high"; "ok:low" ]
+        (served h))
+
+let test_overload_reject_and_shed () =
+  let h = make_harness () in
+  let config = { Sched.default_config with Sched.queue_capacity = 2 } in
+  with_sched ~config h (fun s ->
+      let blocker = Sched.submit s "sleep:0.3" in
+      Unix.sleepf 0.05;
+      let n1 = Sched.submit s "ok:n1" in
+      let n2 = Sched.submit s "ok:n2" in
+      (* full queue + equal priority: fail fast, in bounded time *)
+      let t0 = Clock.now () in
+      (match Sched.submit s "ok:n3" with
+      | _ -> Alcotest.fail "expected Overloaded"
+      | exception QE.Error (QE.Overloaded { queue_depth; capacity }) ->
+        Alcotest.(check int) "capacity echoed" 2 capacity;
+        Alcotest.(check int) "depth echoed" 2 queue_depth);
+      Alcotest.(check bool) "rejection is immediate" true (Clock.now () -. t0 < 0.1);
+      (* a higher-priority submission sheds the oldest Normal instead *)
+      let hi = Sched.submit ~priority:Sched.High s "ok:hi" in
+      check_rejected "n1 was shed" (Sched.await n1);
+      check_ok "hi served" (Sched.await hi);
+      check_ok "n2 served" (Sched.await n2);
+      check_ok "blocker served" (Sched.await blocker);
+      (* Low never sheds anything *)
+      let b2 = Sched.submit s "sleep:0.3" in
+      Unix.sleepf 0.05;
+      let q1 = Sched.submit s "ok:q1" in
+      let q2 = Sched.submit s "ok:q2" in
+      (match Sched.submit ~priority:Sched.Low s "ok:lo" with
+      | _ -> Alcotest.fail "low must not shed normal"
+      | exception QE.Error (QE.Overloaded _) -> ());
+      check_ok "q1" (Sched.await q1);
+      check_ok "q2" (Sched.await q2);
+      check_ok "b2" (Sched.await b2);
+      let st = Sched.stats s in
+      Alcotest.(check int) "one shed" 1 st.Sched.shed;
+      Alcotest.(check int) "two rejected" 2 st.Sched.rejected;
+      Alcotest.(check int) "max depth bounded" 2 st.Sched.max_queue_depth)
+
+let test_overload_degrades_to_bytecode () =
+  let h = make_harness () in
+  let config = { Sched.default_config with Sched.shed_queue_depth = 0 } in
+  with_sched ~config h (fun s ->
+      let blocker = Sched.submit s "sleep:0.2" in
+      Unix.sleepf 0.05;
+      let a1 = Sched.submit s "ok:a1" in
+      let a2 = Sched.submit s "ok:a2" in
+      check_ok "a1" (Sched.await a1);
+      check_ok "a2" (Sched.await a2);
+      check_ok "blocker" (Sched.await blocker);
+      (* a1 was dispatched while a2 still queued (depth 1 > 0): degraded;
+         a2 went out with an empty queue: full service *)
+      Alcotest.(check bool) "a1 degraded" true (Sched.was_degraded a1);
+      Alcotest.(check bool) "a2 not degraded" false (Sched.was_degraded a2);
+      Alcotest.(check int) "degraded counted" 1 (Sched.stats s).Sched.degraded);
+  (* arena pressure: resident bytes over the threshold degrade too *)
+  let arena = Aeq_mem.Arena.create () in
+  let h2 = make_harness () in
+  let config = { Sched.default_config with Sched.shed_resident_bytes = Some 0 } in
+  with_sched ~config ~arena h2 (fun s ->
+      let tk = Sched.submit s "ok:mem" in
+      check_ok "served under memory pressure" (Sched.await tk);
+      Alcotest.(check bool) "degraded by resident bytes" true (Sched.was_degraded tk))
+
+(* ---- circuit breaker ------------------------------------------------- *)
+
+let test_breaker_trip_and_recover () =
+  let h = make_harness () in
+  let config =
+    {
+      Sched.default_config with
+      Sched.breaker_threshold = 2;
+      breaker_cooldown = 0.5;
+      breaker_cooldown_max = 1.0;
+      max_retries = 0;
+    }
+  in
+  with_sched ~config h (fun s ->
+      h.h_compile_broken <- true;
+      (match Sched.run s "compile:t1" with
+      | Error (QE.Compile_failed _) -> ()
+      | _ -> Alcotest.fail "t1 must fail compile");
+      Alcotest.(check int) "not yet tripped" 0 (Sched.stats s).Sched.breaker_trips;
+      (match Sched.run s "compile:t2" with
+      | Error (QE.Compile_failed _) -> ()
+      | _ -> Alcotest.fail "t2 must fail compile");
+      let st = Sched.stats s in
+      Alcotest.(check int) "tripped once" 1 st.Sched.breaker_trips;
+      Alcotest.(check string) "open" "open"
+        (Sched.breaker_state_name st.Sched.breaker_state);
+      (* open breaker: immediate dispatches run bytecode-only, so the
+         broken compile path is not exercised *)
+      let deg = Sched.submit s "compile:deg" in
+      check_ok "served degraded while open" (Sched.await deg);
+      Alcotest.(check bool) "degraded while open" true (Sched.was_degraded deg);
+      (* past the cooldown, one probe goes through; still broken, so the
+         breaker re-opens with a doubled cooldown *)
+      Unix.sleepf 0.6;
+      (match Sched.run s "compile:probe1" with
+      | Error (QE.Compile_failed _) -> ()
+      | Ok _ -> Alcotest.fail "probe against a broken path must fail"
+      | Error e -> Alcotest.failf "expected Compile_failed, got %s" (QE.to_string e));
+      let st = Sched.stats s in
+      Alcotest.(check int) "re-opened" 2 st.Sched.breaker_trips;
+      Alcotest.(check string) "open again" "open"
+        (Sched.breaker_state_name st.Sched.breaker_state);
+      (* path repaired: the next probe closes the breaker *)
+      h.h_compile_broken <- false;
+      Unix.sleepf 1.1;
+      let probe = Sched.submit s "compile:probe2" in
+      check_ok "successful probe" (Sched.await probe);
+      Alcotest.(check bool) "probe ran at full service" false
+        (Sched.was_degraded probe);
+      Alcotest.(check string) "closed after recovery" "closed"
+        (Sched.breaker_state_name (Sched.stats s).Sched.breaker_state);
+      (* and stays closed for regular traffic *)
+      check_ok "regular traffic" (Sched.run s "compile:after"))
+
+(* ---- retry ----------------------------------------------------------- *)
+
+let test_retry_transient () =
+  let h = make_harness () in
+  let config =
+    { Sched.default_config with Sched.max_retries = 2; retry_backoff = 0.002 }
+  in
+  with_sched ~config h (fun s ->
+      let tk = Sched.submit s "transient:1:a" in
+      check_ok "retried to success" (Sched.await tk);
+      Alcotest.(check int) "one retry" 1 (Sched.retries tk);
+      (* budget exhausted: the transient error surfaces *)
+      let tk2 = Sched.submit s "transient:9:b" in
+      (match Sched.await tk2 with
+      | Error (QE.Trap _) -> ()
+      | _ -> Alcotest.fail "budget exhaustion must surface the trap");
+      Alcotest.(check int) "both retries burned" 2 (Sched.retries tk2);
+      (* non-transient failures never retry *)
+      let tk3 = Sched.submit s "fatal:c" in
+      (match Sched.await tk3 with
+      | Error (QE.Trap _) -> ()
+      | _ -> Alcotest.fail "fatal must fail");
+      Alcotest.(check int) "no retry for real bugs" 0 (Sched.retries tk3);
+      Alcotest.(check int) "retried counter" 3 (Sched.stats s).Sched.retried)
+
+let test_retry_bounded_by_deadline () =
+  let h = make_harness () in
+  let config =
+    { Sched.default_config with Sched.max_retries = 2; retry_backoff = 0.5 }
+  in
+  with_sched ~config h (fun s ->
+      (* backoff would land past the deadline: fail now instead *)
+      let tk = Sched.submit ~deadline_seconds:0.1 s "transient:1:d" in
+      (match Sched.await tk with
+      | Error (QE.Trap _) -> ()
+      | _ -> Alcotest.fail "no retry budget within the deadline");
+      Alcotest.(check int) "no retries" 0 (Sched.retries tk))
+
+(* ---- deadlines & watchdog -------------------------------------------- *)
+
+let test_watchdog_cancels_overdue () =
+  let h = make_harness () in
+  let config =
+    { Sched.default_config with Sched.deadline_grace = 0.02; watchdog_period = 0.005 }
+  in
+  with_sched ~config h (fun s ->
+      let t0 = Clock.now () in
+      let tk = Sched.submit ~deadline_seconds:0.05 s "sleep:5" in
+      (match Sched.await tk with
+      | Error (QE.Timeout allowance) ->
+        Alcotest.(check (float 1e-9)) "allowance echoed" 0.05 allowance
+      | Ok _ -> Alcotest.fail "must time out"
+      | Error e -> Alcotest.failf "expected Timeout, got %s" (QE.to_string e));
+      Alcotest.(check bool) "cancelled promptly, not after 5 s" true
+        (Clock.now () -. t0 < 1.0);
+      Alcotest.(check int) "watchdog counted" 1 (Sched.stats s).Sched.watchdog_cancels)
+
+let test_deadline_expires_in_queue () =
+  let h = make_harness () in
+  with_sched h (fun s ->
+      let blocker = Sched.submit s "sleep:0.3" in
+      Unix.sleepf 0.05;
+      let tk = Sched.submit ~deadline_seconds:0.05 s "ok:late" in
+      check_rejected "expired in queue" (Sched.await tk);
+      check_ok "blocker unaffected" (Sched.await blocker);
+      Alcotest.(check int) "expired counted" 1 (Sched.stats s).Sched.expired;
+      (* the expired ticket never reached the fake core *)
+      Alcotest.(check bool) "never executed" true
+        (not (List.mem "ok:late" (served h))))
+
+let test_client_cancel_queued () =
+  let h = make_harness () in
+  with_sched h (fun s ->
+      let blocker = Sched.submit s "sleep:0.2" in
+      Unix.sleepf 0.05;
+      let tk = Sched.submit s "sleep:0.2" in
+      Sched.cancel tk;
+      (match Sched.await tk with
+      | Error QE.Cancelled -> ()
+      | Ok _ -> Alcotest.fail "cancelled ticket must not produce rows"
+      | Error e -> Alcotest.failf "expected Cancelled, got %s" (QE.to_string e));
+      check_ok "blocker" (Sched.await blocker))
+
+(* ---- shutdown -------------------------------------------------------- *)
+
+let test_shutdown_drains () =
+  let h = make_harness () in
+  let s = Sched.create ~exec:(harness_exec h) () in
+  let blocker = Sched.submit s "sleep:0.15" in
+  Unix.sleepf 0.05;
+  let q1 = Sched.submit s "ok:s1" in
+  let q2 = Sched.submit s "ok:s2" in
+  Sched.shutdown s;
+  Sched.shutdown s (* idempotent *);
+  check_ok "in-flight query finished" (Sched.await blocker);
+  check_rejected "queued q1 drained" (Sched.await q1);
+  check_rejected "queued q2 drained" (Sched.await q2);
+  match Sched.submit s "ok:late" with
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+  | exception QE.Error (QE.Rejected _) -> ()
+
+(* ---- engine integration ---------------------------------------------- *)
+
+let with_engine ?(n_threads = 2) ?(cost_model = CM.off) ?(sf = 0.005) f =
+  let engine = Aeq.Engine.create ~n_threads ~cost_model () in
+  Aeq.Engine.load_tpch engine ~scale_factor:sf;
+  Fun.protect ~finally:(fun () -> Aeq.Engine.close engine) (fun () -> f engine)
+
+let soak_statements =
+  [
+    Aeq_workload.Queries.tpch_q 1;
+    Aeq_workload.Queries.tpch_q 6;
+    "select count(*) as n from lineitem";
+  ]
+
+(* satellite: the plan cache and its counters are now mutex-guarded —
+   hammer prepare/query from several domains at once *)
+let test_engine_concurrent_cache () =
+  with_engine (fun engine ->
+      let stmts = Array.of_list soak_statements in
+      let reference = Array.map (fun sql -> (Aeq.Engine.query engine sql).Driver.rows) stmts in
+      let errors = Atomic.make 0 in
+      let worker d () =
+        for i = 0 to 9 do
+          let k = (d + i) mod Array.length stmts in
+          if i mod 3 = 0 then Aeq.Engine.prepare engine stmts.(k)
+          else
+            match Aeq.Engine.query engine stmts.(k) with
+            | r -> if r.Driver.rows <> reference.(k) then Atomic.incr errors
+            | exception _ -> Atomic.incr errors
+        done
+      in
+      let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join domains;
+      Alcotest.(check int) "all concurrent queries correct" 0 (Atomic.get errors);
+      let cs = Aeq.Engine.cache_stats engine in
+      Alcotest.(check int) "cache holds the three statements" 3 cs.Aeq.Engine.entries;
+      Alcotest.(check bool) "hits counted without tearing" true
+        (cs.Aeq.Engine.hits >= 20))
+
+let test_engine_scheduler_deadline () =
+  with_engine (fun engine ->
+      Aeq.Engine.set_scheduler_config engine
+        {
+          Sched.default_config with
+          Sched.deadline_grace = 0.02;
+          watchdog_period = 0.005;
+        };
+      with_clean_failpoints (fun () ->
+          FP.activate "driver.morsel" (FP.Delay 0.005);
+          match
+            Aeq.Engine.query_concurrent engine ~mode:Driver.Bytecode
+              ~deadline_seconds:0.05 "select sum(l_quantity) as s from lineitem"
+          with
+          | Error (QE.Timeout _) -> ()
+          | Ok _ -> Alcotest.fail "must time out"
+          | Error e -> Alcotest.failf "expected Timeout, got %s" (QE.to_string e));
+      Alcotest.(check bool) "watchdog fired" true
+        ((Aeq.Engine.scheduler_stats engine).Sched.watchdog_cancels >= 1);
+      (* the engine serves correct answers afterwards *)
+      match Aeq.Engine.query_concurrent engine "select count(*) as n from lineitem" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "clean query after timeout: %s" (QE.to_string e))
+
+(* the acceptance scenario: concurrent clients, probabilistic faults on
+   the compile and morsel paths; no hangs, no leaks, every response is
+   correct rows or a structured error, and the breaker observably trips
+   and recovers *)
+let test_chaos_soak () =
+  with_engine ~cost_model:eager_model (fun engine ->
+      Aeq.Engine.set_scheduler_config engine
+        {
+          Sched.default_config with
+          Sched.queue_capacity = 32;
+          shed_queue_depth = 24;
+          breaker_threshold = 3;
+          breaker_cooldown = 0.1;
+          breaker_cooldown_max = 0.4;
+          max_retries = 2;
+          retry_backoff = 0.005;
+          seed = 0xC4A05L;
+        };
+      let stmts = Array.of_list soak_statements in
+      let reference = Array.map (fun sql -> (Aeq.Engine.query engine sql).Driver.rows) stmts in
+      let arena = Aeq_storage.Catalog.arena (Aeq.Engine.catalog engine) in
+      let chunks_baseline = Aeq_mem.Arena.mark_chunks arena in
+      with_clean_failpoints (fun () ->
+          FP.set_seed 0xC4A05L;
+          FP.activate "compile.unopt" (FP.Prob_fail 0.3);
+          FP.activate "compile.opt" (FP.Prob_fail 0.3);
+          FP.activate "driver.morsel" (FP.Prob_fail 0.005);
+          let wrong = Atomic.make 0 and errs = Atomic.make 0 in
+          let client c () =
+            for i = 0 to 11 do
+              let k = (c + i) mod Array.length stmts in
+              match Aeq.Engine.query_concurrent engine stmts.(k) with
+              | Ok r -> if r.Driver.rows <> reference.(k) then Atomic.incr wrong
+              | Error (QE.Trap _ | QE.Compile_failed _ | QE.Overloaded _ | QE.Rejected _) ->
+                Atomic.incr errs
+              | Error e ->
+                Alcotest.failf "unexpected error class under chaos: %s" (QE.to_string e)
+            done
+          in
+          let domains = List.init 8 (fun c -> Domain.spawn (client c)) in
+          List.iter Domain.join domains;
+          Alcotest.(check int) "every Ok response had correct rows" 0 (Atomic.get wrong);
+          Alcotest.(check int) "no arena chunk leak across 96 chaotic queries"
+            chunks_baseline
+            (Aeq_mem.Arena.mark_chunks arena);
+          let st = Aeq.Engine.scheduler_stats engine in
+          Alcotest.(check int) "all submissions accounted for"
+            (8 * 12)
+            (st.Sched.completed + st.Sched.failed + st.Sched.rejected
+            + st.Sched.shed + st.Sched.expired));
+      (* breaker trips: force the compile path hard down and burn it
+         with fresh statements (fresh text = not yet blacklisted) *)
+      with_clean_failpoints (fun () ->
+          FP.activate "compile.unopt" FP.Fail;
+          FP.activate "compile.opt" FP.Fail;
+          let i = ref 0 in
+          while
+            (Aeq.Engine.scheduler_stats engine).Sched.breaker_trips = 0 && !i < 8
+          do
+            incr i;
+            let sql =
+              Printf.sprintf
+                "select sum(l_quantity) as s from lineitem where l_orderkey > %d" (- !i)
+            in
+            match Aeq.Engine.query_concurrent engine sql with
+            | Ok _ | Error _ -> ()
+          done;
+          Alcotest.(check bool) "breaker tripped" true
+            ((Aeq.Engine.scheduler_stats engine).Sched.breaker_trips >= 1));
+      (* ... and recovers once the path heals: half-open probes succeed
+         and close it *)
+      let i = ref 0 in
+      while
+        Sched.breaker_state_name
+          (Aeq.Engine.scheduler_stats engine).Sched.breaker_state
+        <> "closed"
+        && !i < 12
+      do
+        incr i;
+        Unix.sleepf 0.15;
+        let sql =
+          Printf.sprintf
+            "select sum(l_quantity) as s from lineitem where l_partkey > %d" (- !i)
+        in
+        match Aeq.Engine.query_concurrent engine sql with Ok _ | Error _ -> ()
+      done;
+      Alcotest.(check string) "breaker recovered" "closed"
+        (Sched.breaker_state_name
+           (Aeq.Engine.scheduler_stats engine).Sched.breaker_state);
+      match Aeq.Engine.query_concurrent engine "select count(*) as n from lineitem" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "healthy after chaos: %s" (QE.to_string e))
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "failpoints",
+        [
+          Alcotest.test_case "probabilistic" `Quick test_prob_failpoints;
+          Alcotest.test_case "probabilistic parse" `Quick test_prob_failpoints_parse;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "priority order" `Quick test_priority_order;
+          Alcotest.test_case "reject and shed" `Quick test_overload_reject_and_shed;
+          Alcotest.test_case "overload degrades" `Quick test_overload_degrades_to_bytecode;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "trip and recover" `Quick test_breaker_trip_and_recover ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient" `Quick test_retry_transient;
+          Alcotest.test_case "deadline bound" `Quick test_retry_bounded_by_deadline;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "watchdog cancel" `Quick test_watchdog_cancels_overdue;
+          Alcotest.test_case "queue expiry" `Quick test_deadline_expires_in_queue;
+          Alcotest.test_case "client cancel" `Quick test_client_cancel_queued;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains ] );
+      ( "engine",
+        [
+          Alcotest.test_case "concurrent plan cache" `Quick test_engine_concurrent_cache;
+          Alcotest.test_case "scheduler deadline" `Quick test_engine_scheduler_deadline;
+          Alcotest.test_case "chaos soak" `Slow test_chaos_soak;
+        ] );
+    ]
