@@ -61,11 +61,13 @@ let serve_clients engine ~clients ~iters ~mode ~deadline sql =
     s.Aeq_exec.Scheduler.max_queue_depth
     (s.Aeq_exec.Scheduler.avg_wait_seconds *. 1e3)
 
-let run sf threads mode explain trace tpch_n timeout mem_budget failpoints strict_compile
-    clients iters sql =
+let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoints
+    strict_compile clients iters sql =
   (match failpoints with
   | Some spec -> Aeq_util.Failpoints.set_from_string spec
   | None -> ());
+  if verify then Aeq_util.Verify_mode.set (Stdlib.max 1 (Aeq_util.Verify_mode.get ()));
+  let failed = ref false in
   let engine = Aeq.Engine.create ~n_threads:threads () in
   Printf.printf "loading TPC-H sf=%.3f ...\n%!" sf;
   Aeq.Engine.load_tpch engine ~scale_factor:sf;
@@ -76,6 +78,19 @@ let run sf threads mode explain trace tpch_n timeout mem_budget failpoints stric
     | None, None -> "select count(*) as lineitems from lineitem"
   in
   if explain then print_endline (Aeq.Engine.explain engine sql)
+  else if verify then begin
+    (* translation validation: the verify level armed above makes every
+       pass and every bytecode translation self-check on the way, and
+       the engine then diffs the four execution modes' results *)
+    Printf.printf "verifying across execution modes (verify level %d) ...\n%!"
+      (Aeq_util.Verify_mode.get ());
+    match Aeq.Engine.verify_query engine sql with
+    | Ok () ->
+      print_endline "verification passed: bytecode, unopt, opt and adaptive agree"
+    | Error report ->
+      Printf.printf "verification FAILED:\n%s\n" report;
+      failed := true
+  end
   else if clients > 0 then
     serve_clients engine ~clients ~iters ~mode ~deadline:timeout sql
   else begin
@@ -107,7 +122,8 @@ let run sf threads mode explain trace tpch_n timeout mem_budget failpoints stric
     | exception Aeq_plan.Planner.Plan_error m -> Printf.printf "planning error: %s\n" m
     | exception Aeq_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   end;
-  Aeq.Engine.close engine
+  Aeq.Engine.close engine;
+  if !failed then exit 1
 
 let cmd =
   let sf = Arg.(value & opt float 0.01 & info [ "sf" ] ~doc:"TPC-H scale factor.") in
@@ -120,6 +136,16 @@ let cmd =
   in
   let explain = Arg.(value & flag & info [ "explain" ] ~doc:"Print the plan, do not run.") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Render the execution trace.") in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Translation validation: arm the static verifiers (as if \
+             \\$(b,AEQ_VERIFY=1)) so every optimization pass and bytecode \
+             translation self-checks, run the query in all four execution modes \
+             and require identical results. Exits nonzero on divergence.")
+  in
   let tpch_n =
     Arg.(value & opt (some int) None & info [ "tpch" ] ~doc:"Run TPC-H query N (1..22).")
   in
@@ -172,7 +198,7 @@ let cmd =
   Cmd.v
     (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
     Term.(
-      const run $ sf $ threads $ mode $ explain $ trace $ tpch_n $ timeout $ mem_budget
-      $ failpoints $ strict_compile $ clients $ iters $ sql)
+      const run $ sf $ threads $ mode $ explain $ trace $ verify $ tpch_n $ timeout
+      $ mem_budget $ failpoints $ strict_compile $ clients $ iters $ sql)
 
 let () = exit (Cmd.eval cmd)

@@ -204,6 +204,55 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_s
         r
       end)
 
+(* Translation validation at the whole-query level: the same statement
+   through every execution mode (interpreter-only, both up-front
+   compilers, adaptive) must produce the same bag of rows — or fail
+   identically. Rows are sorted because morsel scheduling makes the
+   output order nondeterministic across threads. *)
+let verify_query t sql =
+  let run mode =
+    match query ~mode t sql with
+    | r ->
+      Ok
+        ( List.sort Stdlib.compare r.Aeq_exec.Driver.rows,
+          r.Aeq_exec.Driver.names )
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let reference = run Aeq_exec.Driver.Bytecode in
+  let check problems (name, mode) =
+    match (reference, run mode) with
+    | Ok (ref_rows, ref_names), Ok (rows, names) ->
+      if names <> ref_names then
+        Printf.sprintf "mode %s: column names diverge from bytecode" name
+        :: problems
+      else if rows <> ref_rows then
+        Printf.sprintf
+          "mode %s: result diverges from bytecode (%d vs %d sorted rows)" name
+          (List.length rows) (List.length ref_rows)
+        :: problems
+      else problems
+    | Error _, Error _ ->
+      (* both modes reject the query; agreement is what we verify *)
+      problems
+    | Ok _, Error e ->
+      Printf.sprintf "mode %s fails where bytecode succeeds: %s" name e
+      :: problems
+    | Error e, Ok _ ->
+      Printf.sprintf "mode %s succeeds where bytecode fails: %s" name e
+      :: problems
+  in
+  let problems =
+    List.fold_left check []
+      [
+        ("unopt", Aeq_exec.Driver.Unopt);
+        ("opt", Aeq_exec.Driver.Opt);
+        ("adaptive", Aeq_exec.Driver.Adaptive);
+      ]
+  in
+  match problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "\n" (List.rev ps))
+
 (* ---- concurrent serving --------------------------------------------- *)
 
 let set_scheduler_config t config =

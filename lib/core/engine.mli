@@ -87,6 +87,16 @@ val query :
     compiled without ever paying an up-front compilation on a cold
     path. *)
 
+val verify_query : t -> string -> (unit, string) result
+(** Translation validation at the query level: run [sql] in every
+    execution mode ([Bytecode], [Unopt], [Opt], [Adaptive]) and check
+    that all agree with the bytecode interpreter — same column names
+    and the same sorted bag of rows, or the same refusal to execute.
+    [Error report] describes each diverging mode. Combine with
+    [Pass_manager.set_verify_level] (or [AEQ_VERIFY=1]) to also run
+    the SSA and bytecode verifiers on every artifact built along the
+    way. *)
+
 val submit :
   ?mode:Aeq_exec.Driver.mode ->
   ?priority:Aeq_exec.Scheduler.priority ->

@@ -1,0 +1,134 @@
+(* Generic worklist dataflow over the CFG.
+
+   Analyses are expressed as a join-semilattice plus a block transfer
+   function; the solver iterates to a fixpoint, seeding the worklist
+   in (reverse) RPO so that typical analyses converge in one or two
+   sweeps on the reducible CFGs the builder produces. Transfer
+   functions at instruction granularity are composed into block
+   transfers with [of_sites]. *)
+
+module Bitset = struct
+  type t = int array
+
+  (* 32 bits per word keeps [1 lsl (i land mask)] well inside OCaml's
+     63-bit native int on every platform. *)
+  let shift = 5
+
+  let mask = 31
+
+  let create n = Array.make ((Stdlib.max n 0 + mask) lsr shift) 0
+
+  let mem t i = (t.(i lsr shift) lsr (i land mask)) land 1 = 1
+
+  let add t i =
+    let w = i lsr shift in
+    t.(w) <- t.(w) lor (1 lsl (i land mask))
+
+  let remove t i =
+    let w = i lsr shift in
+    t.(w) <- t.(w) land lnot (1 lsl (i land mask))
+
+  let copy = Array.copy
+
+  let equal (a : t) b = a = b
+
+  let union_into ~into src =
+    let changed = ref false in
+    for w = 0 to Array.length src - 1 do
+      let v = into.(w) lor src.(w) in
+      if v <> into.(w) then begin
+        into.(w) <- v;
+        changed := true
+      end
+    done;
+    !changed
+
+  let iter f t =
+    Array.iteri
+      (fun w word ->
+        if word <> 0 then
+          for b = 0 to mask do
+            if (word lsr b) land 1 = 1 then f ((w lsl shift) lor b)
+          done)
+      t
+
+  let cardinal t =
+    let n = ref 0 in
+    iter (fun _ -> incr n) t;
+    !n
+
+  let elements t =
+    let acc = ref [] in
+    iter (fun i -> acc := i :: !acc) t;
+    List.rev !acc
+end
+
+type direction = Forward | Backward
+
+type site = At_phis | At_instr of int | At_term
+
+let sites direction (b : Block.t) =
+  let n = Array.length b.Block.instrs in
+  let fwd = (At_phis :: List.init n (fun i -> At_instr i)) @ [ At_term ] in
+  match direction with Forward -> fwd | Backward -> List.rev fwd
+
+module type LATTICE = sig
+  type t
+
+  val bottom : unit -> t
+
+  val copy : t -> t
+
+  val join_into : into:t -> t -> bool
+  (** [join_into ~into v] sets [into := into ⊔ v]; returns whether
+      [into] changed. *)
+end
+
+module Make (L : LATTICE) = struct
+  type result = { block_in : L.t array; block_out : L.t array }
+
+  let run direction (f : Func.t) ~transfer =
+    let n = Func.n_blocks f in
+    let block_in = Array.init n (fun _ -> L.bottom ()) in
+    let block_out = Array.init n (fun _ -> L.bottom ()) in
+    let preds = Cfg.predecessors f in
+    let succs = Array.map Block.successors f.Func.blocks in
+    let on_list = Array.make n false in
+    let queue = Queue.create () in
+    let push b =
+      if not on_list.(b) then begin
+        on_list.(b) <- true;
+        Queue.add b queue
+      end
+    in
+    (* Blocks are RPO-numbered by repo convention; seeding in analysis
+       order makes the common case a single sweep. Unreachable blocks
+       are still visited (their solution is the transfer of bottom). *)
+    (match direction with
+    | Forward -> for b = 0 to n - 1 do push b done
+    | Backward -> for b = n - 1 downto 0 do push b done);
+    while not (Queue.is_empty queue) do
+      let b = Queue.take queue in
+      on_list.(b) <- false;
+      match direction with
+      | Forward ->
+        List.iter (fun p -> ignore (L.join_into ~into:block_in.(b) block_out.(p))) preds.(b);
+        if L.join_into ~into:block_out.(b) (transfer b block_in.(b)) then
+          List.iter push succs.(b)
+      | Backward ->
+        List.iter (fun s -> ignore (L.join_into ~into:block_out.(b) block_in.(s))) succs.(b);
+        if L.join_into ~into:block_in.(b) (transfer b block_out.(b)) then
+          List.iter push preds.(b)
+    done;
+    { block_in; block_out }
+
+  let of_sites direction (f : Func.t) ~site_transfer =
+    let transfer b v =
+      let acc = ref (L.copy v) in
+      List.iter
+        (fun s -> acc := site_transfer b s !acc)
+        (sites direction (Func.block f b));
+      !acc
+    in
+    run direction f ~transfer
+end

@@ -1,0 +1,75 @@
+(** Generic worklist dataflow framework.
+
+    An analysis is a join-semilattice ({!LATTICE}) plus a transfer
+    function; {!Make.run} solves it to a fixpoint over the CFG in
+    either direction. Block-granularity transfers are the primitive;
+    {!Make.of_sites} composes instruction-granularity transfers (one
+    per φ bundle / instruction / terminator {!site}) into a block
+    transfer. Liveness ({!Analysis.liveness}) and the verifier's
+    checks are built on top of this. *)
+
+(** Dense mutable bit sets, the workhorse lattice carrier for
+    value-indexed analyses. *)
+module Bitset : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is the empty set over universe [0..n-1]. *)
+
+  val mem : t -> int -> bool
+
+  val add : t -> int -> unit
+
+  val remove : t -> int -> unit
+
+  val copy : t -> t
+
+  val equal : t -> t -> bool
+
+  val union_into : into:t -> t -> bool
+  (** Destructive union; returns whether [into] grew. *)
+
+  val iter : (int -> unit) -> t -> unit
+
+  val cardinal : t -> int
+
+  val elements : t -> int list
+end
+
+type direction = Forward | Backward
+
+(** A program point within a block: the φ bundle, one instruction, or
+    the terminator. *)
+type site = At_phis | At_instr of int | At_term
+
+val sites : direction -> Block.t -> site list
+(** The block's sites in the order the given direction visits them. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : unit -> t
+
+  val copy : t -> t
+
+  val join_into : into:t -> t -> bool
+  (** [join_into ~into v] sets [into := into ⊔ v]; returns whether
+      [into] changed. *)
+end
+
+module Make (L : LATTICE) : sig
+  type result = { block_in : L.t array; block_out : L.t array }
+  (** For [Forward], [block_in] is the join over predecessors and
+      [block_out] its transfer; for [Backward] the roles flip
+      ([block_out] joins successor [block_in]s). *)
+
+  val run : direction -> Func.t -> transfer:(int -> L.t -> L.t) -> result
+  (** [transfer b v] must be monotone and must not mutate [v]. *)
+
+  val of_sites :
+    direction -> Func.t -> site_transfer:(int -> site -> L.t -> L.t) -> result
+  (** Builds the block transfer by folding [site_transfer b site] over
+      the block's sites in direction order, starting from a copy of
+      the edge value (so site transfers may mutate their accumulator
+      in place). *)
+end

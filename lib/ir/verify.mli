@@ -1,13 +1,49 @@
-(** Structural and SSA well-formedness checks.
+(** Deep structural and SSA well-formedness checks.
 
-    Run in tests and (cheaply) after code generation: every branch
-    target exists, every used value is defined exactly once, operand
-    types agree with instruction types, and φ incoming edges exactly
-    match the block's predecessors. *)
+    {!diagnostics} collects {e every} violation — with (function,
+    block, instruction) context — instead of stopping at the first:
+    unique definitions, branch targets, block numbering, φ incoming
+    edges matching predecessors, operand/result type agreement,
+    dominance of every use by its definition (φ incoming values are
+    checked against the end of their edge's source block, where the
+    copy executes), translator preconditions (RPO numbering, no
+    same-block φ-to-φ reads), trap-block placement, and unreachable
+    blocks.
+
+    Findings that do not make the function wrong but defeat a
+    downstream mechanism (unreachable blocks pending a
+    [Layout.normalize], a trap block whose extra instructions disable
+    checked-arithmetic fusion) are {!Warning}s; {!run}/{!check} fail
+    only on {!Error}s. *)
 
 exception Ill_formed of string
 
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  func_name : string;
+  block : int option;
+  instr : int option;  (** index into the block's instruction array *)
+  message : string;
+}
+
+val diagnostic_to_string : diagnostic -> string
+
+val diagnostics : Func.t -> diagnostic list
+(** All findings, in program order (structural phases first). Never
+    raises: if the structure is too broken for the CFG/dominance
+    phases to run safely, those phases are skipped and the structural
+    findings are returned. *)
+
+val errors : diagnostic list -> diagnostic list
+(** Just the [Error]-severity findings. *)
+
+val report : diagnostic list -> string
+(** One rendered diagnostic per line. *)
+
 val run : Func.t -> unit
-(** @raise Ill_formed with a diagnostic on the first violation. *)
+(** @raise Ill_formed with the full error report if any
+    [Error]-severity diagnostic is found. *)
 
 val check : Func.t -> (unit, string) result

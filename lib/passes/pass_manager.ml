@@ -2,16 +2,26 @@ type level = O0 | O2
 
 let max_rounds = 4
 
+let set_verify_level = Aeq_util.Verify_mode.set
+let verify_level = Aeq_util.Verify_mode.get
+
+let verify_after ~check name (f : Func.t) =
+  if check || Aeq_util.Verify_mode.enabled () then
+    match Verify.check f with
+    | Ok () -> ()
+    | Error m ->
+      invalid_arg (Printf.sprintf "pass %s broke %s: %s" name f.Func.name m)
+
+let run_pass ~name pass (f : Func.t) =
+  let changed = pass f in
+  verify_after ~check:false name f;
+  changed
+
 let optimize ?(check = false) level (f : Func.t) =
   match level with
   | O0 -> ()
   | O2 ->
-    let verify_after name =
-      if check then
-        match Verify.check f with
-        | Ok () -> ()
-        | Error m -> invalid_arg (Printf.sprintf "pass %s broke %s: %s" name f.Func.name m)
-    in
+    let verify_after name = verify_after ~check name f in
     let rec rounds n =
       if n > 0 then begin
         let c1 = Const_fold.run f in

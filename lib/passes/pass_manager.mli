@@ -10,7 +10,27 @@
 
 type level = O0 | O2
 
+val set_verify_level : int -> unit
+(** Set the process-wide verification level (see
+    [Aeq_util.Verify_mode]; also settable via the [AEQ_VERIFY]
+    environment variable). At level ≥ 1, {!optimize} runs the deep SSA
+    verifier between every pass — reporting which pass broke which
+    invariant — and [Translate.translate] verifies its own bytecode
+    output. *)
+
+val verify_level : unit -> int
+
 val optimize : ?check:bool -> level -> Func.t -> unit
 (** Run the pipeline in place. The function is re-laid-out
-    ({!Layout.normalize}) afterwards. [check] (default false) verifies
-    well-formedness after every pass — used in tests. *)
+    ({!Layout.normalize}) afterwards. Well-formedness is verified
+    after every pass when [check] is true (default false) or the
+    process verify level is ≥ 1; a failure raises [Invalid_argument]
+    with the offending pass's name and the full diagnostic report.
+
+    @raise Invalid_argument ["pass <name> broke <func>: <report>"] *)
+
+val run_pass : name:string -> (Func.t -> bool) -> Func.t -> bool
+(** [run_pass ~name pass f] runs an arbitrary pass under the same
+    verification regime as {!optimize}: when the verify level is ≥ 1,
+    the deep SSA verifier runs afterwards and a violation is
+    attributed to [name]. Returns the pass's changed flag. *)

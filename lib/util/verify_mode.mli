@@ -1,0 +1,15 @@
+(** Process-wide verification level.
+
+    [0] (the default) disables the deep verifiers; any positive level
+    makes the pass manager run the SSA verifier between passes and the
+    translator run the bytecode verifier on its output. Initialised
+    from the [AEQ_VERIFY] environment variable ([AEQ_VERIFY=1], or any
+    non-numeric non-empty value, means level 1). *)
+
+val set : int -> unit
+(** Clamped at 0 from below. *)
+
+val get : unit -> int
+
+val enabled : unit -> bool
+(** [get () > 0]. *)

@@ -280,3 +280,10 @@ let to_string = function
   | CallR2 -> "call_r2"
   | CallR3 -> "call_r3"
   | CallR4 -> "call_r4"
+
+(* All constructors are constant, so their runtime representation is a
+   dense range of ints; enumerating through it keeps [all] complete by
+   construction. CallR4 must remain the last constructor. *)
+let count = 1 + (Obj.magic CallR4 : int)
+
+let all : t list = List.init count (fun i : t -> Obj.magic i)

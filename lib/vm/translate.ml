@@ -469,13 +469,26 @@ let translate ?(strategy = Regalloc.Loop_aware) ?(fuse = true) ~symbols (f : Fun
         | `C -> { i with Bytecode.c = t }
         | `D -> { i with Bytecode.d = t }))
     !fixups;
-  {
-    Bytecode.name = f.Func.name;
-    code;
-    n_reg_bytes = alloc.Regalloc.n_reg_bytes;
-    const_pool;
-    param_offsets;
-    rt_table = Array.of_list (List.rev !rt_fns);
-    messages = Array.of_list (List.rev !msgs);
-    src_instr_count = Func.n_instrs f;
-  }
+  let prog =
+    {
+      Bytecode.name = f.Func.name;
+      code;
+      n_reg_bytes = alloc.Regalloc.n_reg_bytes;
+      const_pool;
+      param_offsets;
+      rt_table = Array.of_list (List.rev !rt_fns);
+      messages = Array.of_list (List.rev !msgs);
+      src_instr_count = Func.n_instrs f;
+    }
+  in
+  (* Under AEQ_VERIFY, certify our own output: structural/type-state
+     checks on the emitted program plus the liveness cross-check on
+     the allocation we actually used. *)
+  if Aeq_util.Verify_mode.enabled () then begin
+    let ds =
+      Bc_verify.check_program prog
+      @ Bc_verify.check_allocation f ~slot_offset:alloc.Regalloc.slot_offset
+    in
+    if ds <> [] then raise (Bc_verify.Rejected (Bc_verify.report f.Func.name ds))
+  end;
+  prog
