@@ -601,9 +601,93 @@ let concurrency () =
   close_out out;
   Printf.printf "wrote BENCH_concurrency.json\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* Observability: emit trace.json + metrics.prom, validate them, and   *)
+(* smoke-check the enabled-vs-disabled overhead                        *)
+(* ------------------------------------------------------------------ *)
+let obs () =
+  header "OBS: observability artifacts (trace.json, metrics.prom) + overhead smoke";
+  let sf = Stdlib.min base_sf 0.01 in
+  (* artifacts: a fresh engine with observability on from birth, so the
+     engine/scheduler gauges register and the spans cover the whole
+     lifecycle *)
+  Aeq_obs.Control.with_enabled true (fun () ->
+      let e = Aeq.Engine.create ~n_threads () in
+      Aeq.Engine.load_tpch e ~scale_factor:sf;
+      let sql = Aeq_workload.Queries.tpch_q 1 in
+      let r = Aeq.Engine.query e ~mode:Driver.Adaptive ~collect_trace:true sql in
+      Aeq_exec.Trace_export.write_file ?trace:r.Driver.trace "trace.json";
+      Aeq.Engine.dump_metrics "metrics.prom";
+      (* validate the Chrome trace: well-formed JSON with morsel, span
+         and adaptive-decision events on board *)
+      let ic = open_in "trace.json" in
+      let len = in_channel_length ic in
+      let doc = really_input_string ic len in
+      close_in ic;
+      (match Aeq_obs.Json.parse doc with
+      | Error m -> failwith ("obs: trace.json does not parse: " ^ m)
+      | Ok j ->
+        let events =
+          match Aeq_obs.Json.member "traceEvents" j with
+          | Some arr -> Aeq_obs.Json.to_list arr
+          | None -> []
+        in
+        let has cat =
+          List.exists
+            (fun ev ->
+              match Aeq_obs.Json.member "cat" ev with
+              | Some (Aeq_obs.Json.Str c) -> c = cat
+              | _ -> false)
+            events
+        in
+        Printf.printf
+          "trace.json: %d events | morsel %b | span %b | adaptive %b\n"
+          (List.length events) (has "morsel") (has "span") (has "adaptive");
+        if not (has "morsel" && has "span" && has "adaptive") then
+          failwith "obs: trace.json is missing an event class");
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      let metrics = Aeq.Engine.render_metrics () in
+      if not (contains metrics "aeq_morsels_total") then
+        failwith "obs: metrics.prom lacks aeq_morsels_total";
+      Printf.printf "metrics.prom: %d bytes, %d series\n%!"
+        (String.length metrics)
+        (List.length (Aeq.Engine.metrics ()));
+      Aeq.Engine.close e);
+  (* overhead smoke: the same warmed statement in a steady loop, with
+     the subsystem off and on. Loose thresholds — this guards against
+     regressions that make "disabled" expensive, not micro-noise. *)
+  let e = Aeq.Engine.create ~n_threads () in
+  Aeq.Engine.load_tpch e ~scale_factor:sf;
+  let sql = Aeq_workload.Queries.tpch_q 6 in
+  ignore (Aeq.Engine.query e sql);
+  let iters = 15 in
+  let measure () =
+    let t0 = Clock.now () in
+    for _ = 1 to iters do
+      ignore (Aeq.Engine.query e sql)
+    done;
+    Clock.now () -. t0
+  in
+  ignore (measure ());
+  let t_off = measure () in
+  let t_on = Aeq_obs.Control.with_enabled true measure in
+  let overhead = 100.0 *. ((t_on -. t_off) /. t_off) in
+  Printf.printf
+    "overhead smoke: disabled %.1f ms | enabled %.1f ms | %+.1f%% (%d iters)\n"
+    (ms t_off) (ms t_on) overhead iters;
+  if overhead > 5.0 then
+    Printf.printf "WARNING: enabled-observability overhead above the 5%% target\n";
+  if overhead > 50.0 then failwith "obs: observability overhead out of bounds";
+  Aeq.Engine.close e;
+  Printf.printf "wrote trace.json and metrics.prom\n%!"
+
 let all =
   [ "fig1"; "fig2"; "fig6"; "fig13"; "fig14"; "fig15"; "table1"; "table2"; "regalloc";
-    "ablation"; "prepared"; "micro"; "concurrency" ]
+    "ablation"; "prepared"; "micro"; "concurrency"; "obs" ]
 
 let run_one = function
   | "fig1" -> fig1 ()
@@ -619,6 +703,7 @@ let run_one = function
   | "prepared" -> prepared ()
   | "micro" -> micro ()
   | "concurrency" -> concurrency ()
+  | "obs" -> obs ()
   | other -> Printf.printf "unknown experiment %s (available: %s)\n" other (String.concat " " all)
 
 let () =

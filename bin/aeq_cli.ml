@@ -62,11 +62,18 @@ let serve_clients engine ~clients ~iters ~mode ~deadline sql =
     (s.Aeq_exec.Scheduler.avg_wait_seconds *. 1e3)
 
 let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoints
-    strict_compile clients iters sql =
+    strict_compile clients iters obs trace_out metrics_out sql =
   (match failpoints with
   | Some spec -> Aeq_util.Failpoints.set_from_string spec
   | None -> ());
   if verify then Aeq_util.Verify_mode.set (Stdlib.max 1 (Aeq_util.Verify_mode.get ()));
+  (* exporters need the spans/decisions/metrics recorded, so the flags
+     imply observability; turn it on before the engine registers its
+     instruments *)
+  if obs || trace_out <> None || metrics_out <> None then
+    Aeq_obs.Control.set_enabled true;
+  (* a Chrome trace needs the per-morsel event stream too *)
+  let trace = trace || trace_out <> None in
   let failed = ref false in
   let engine = Aeq.Engine.create ~n_threads:threads () in
   Printf.printf "loading TPC-H sf=%.3f ...\n%!" sf;
@@ -114,7 +121,14 @@ let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoint
       Printf.printf "-- pipeline modes: %s\n"
         (String.concat ", " st.Aeq_exec.Driver.final_modes);
       (match result.Aeq_exec.Driver.trace with
-      | Some tr -> print_string (Aeq_exec.Trace.render tr ~n_threads:threads)
+      | Some tr ->
+        if trace_out = None then
+          print_string (Aeq_exec.Trace.render tr ~n_threads:threads)
+      | None -> ());
+      (match trace_out with
+      | Some path ->
+        Aeq_exec.Trace_export.write_file ?trace:result.Aeq_exec.Driver.trace path;
+        Printf.printf "-- wrote Chrome trace to %s (chrome://tracing, Perfetto)\n" path
       | None -> ())
     | exception Aeq_exec.Query_error.Error e ->
       Printf.printf "query error: %s\n" (Aeq_exec.Query_error.to_string e)
@@ -122,6 +136,11 @@ let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoint
     | exception Aeq_plan.Planner.Plan_error m -> Printf.printf "planning error: %s\n" m
     | exception Aeq_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   end;
+  (match metrics_out with
+  | Some path ->
+    Aeq.Engine.dump_metrics path;
+    Printf.printf "-- wrote Prometheus metrics to %s\n" path
+  | None -> ());
   Aeq.Engine.close engine;
   if !failed then exit 1
 
@@ -194,11 +213,40 @@ let cmd =
       value & opt int 20
       & info [ "iters" ] ~doc:"Queries per client in $(b,--clients) mode.")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Enable the observability subsystem (metrics, lifecycle spans, \
+             adaptive decision log) as if \\$(b,AEQ_OBS=1). Implied by \
+             $(b,--trace-out) and $(b,--metrics-out).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file merging morsel/compile events, \
+             query lifecycle spans and adaptive decisions; open it in \
+             chrome://tracing or Perfetto. Implies $(b,--trace) and $(b,--obs).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry in Prometheus text exposition format on \
+             exit. Implies $(b,--obs).")
+  in
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
   Cmd.v
     (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
     Term.(
       const run $ sf $ threads $ mode $ explain $ trace $ verify $ tpch_n $ timeout
-      $ mem_budget $ failpoints $ strict_compile $ clients $ iters $ sql)
+      $ mem_budget $ failpoints $ strict_compile $ clients $ iters $ obs $ trace_out
+      $ metrics_out $ sql)
 
 let () = exit (Cmd.eval cmd)

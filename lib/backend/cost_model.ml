@@ -36,6 +36,11 @@ let with_speedups t ~unopt ~opt = { t with speedup_unopt = unopt; speedup_opt = 
 
 type mode = Bytecode | Unopt | Opt
 
+let mode_name = function
+  | Bytecode -> "bytecode"
+  | Unopt -> "unoptimized"
+  | Opt -> "optimized"
+
 let compile_time t mode n =
   let n = float_of_int n in
   match mode with

@@ -45,6 +45,10 @@ val with_speedups : t -> unopt:float -> opt:float -> t
 
 type mode = Bytecode | Unopt | Opt
 
+val mode_name : mode -> string
+(** ["bytecode"] / ["unoptimized"] / ["optimized"] — the label used in
+    traces, metrics and the decision log. *)
+
 val compile_time : t -> mode -> int -> float
 (** [compile_time t mode n_instrs] — the modelled latency in seconds
     for one function of the given size. *)

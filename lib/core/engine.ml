@@ -1,3 +1,5 @@
+module Obs = Aeq_obs
+
 type cache_entry = {
   ce_prepared : Aeq_exec.Driver.prepared;
   mutable ce_modes : Aeq_backend.Cost_model.mode list;
@@ -35,6 +37,27 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* Engine-level gauges: polled at scrape time, so a fresh engine simply
+   re-registers the callbacks and takes the series over from a closed
+   one (the registry is process-wide). *)
+let register_gauges t =
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.gauge_fn "aeq_arena_resident_bytes"
+      ~help:"Arena high-water mark: bytes resident across chunks."
+      (fun () ->
+        Aeq_mem.Arena.resident_bytes (Aeq_storage.Catalog.arena t.catalog));
+    Obs.Metrics.gauge_fn "aeq_pool_busy"
+      ~help:"1 while the worker pool is executing a job, else 0."
+      (fun () -> if Aeq_exec.Pool.busy t.pool then 1 else 0);
+    Obs.Metrics.gauge_fn "aeq_plan_cache_entries"
+      ~help:"Prepared statements resident in the plan cache."
+      (fun () ->
+        Mutex.lock t.cache_lock;
+        let n = Hashtbl.length t.plan_cache in
+        Mutex.unlock t.cache_lock;
+        n)
+  end
+
 let create ?n_threads ?cost_model ?chunk_size () =
   let n_threads =
     match n_threads with
@@ -53,23 +76,27 @@ let create ?n_threads ?cost_model ?chunk_size () =
         ~unopt:cal.Aeq_backend.Calibration.speedup_unopt
         ~opt:cal.Aeq_backend.Calibration.speedup_opt
   in
-  {
-    catalog = Aeq_storage.Catalog.create ?chunk_size ();
-    pool = Aeq_exec.Pool.create ~n_threads;
-    cost_model;
-    plan_cache = Hashtbl.create 64;
-    cache_lock = Mutex.create ();
-    exec_lock = Mutex.create ();
-    sched_lock = Mutex.create ();
-    scheduler = None;
-    sched_config = Aeq_exec.Scheduler.default_config;
-    cache_enabled = true;
-    cache_capacity = default_cache_capacity;
-    cache_tick = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_evictions = 0;
-  }
+  let t =
+    {
+      catalog = Aeq_storage.Catalog.create ?chunk_size ();
+      pool = Aeq_exec.Pool.create ~n_threads;
+      cost_model;
+      plan_cache = Hashtbl.create 64;
+      cache_lock = Mutex.create ();
+      exec_lock = Mutex.create ();
+      sched_lock = Mutex.create ();
+      scheduler = None;
+      sched_config = Aeq_exec.Scheduler.default_config;
+      cache_enabled = true;
+      cache_capacity = default_cache_capacity;
+      cache_tick = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      cache_evictions = 0;
+    }
+  in
+  register_gauges t;
+  t
 
 let load_tpch ?seed t ~scale_factor = Aeq_workload.Tpch.load ?seed ~scale_factor t.catalog
 
@@ -81,7 +108,9 @@ let n_threads t = Aeq_exec.Pool.n_threads t.pool
 
 let cost_model t = t.cost_model
 
-let plan t sql = Aeq_plan.Planner.plan_sql t.catalog sql
+let plan t sql =
+  let ast = Obs.Span.with_span "parse" (fun () -> Aeq_sql.Parser.parse sql) in
+  Obs.Span.with_span "plan" (fun () -> Aeq_plan.Planner.plan t.catalog ast)
 
 let explain t sql = Aeq_plan.Explain.to_string (plan t sql)
 
@@ -101,7 +130,11 @@ let evict_down_to t capacity =
     match !victim with
     | Some (sql, _) ->
       Hashtbl.remove t.plan_cache sql;
-      t.cache_evictions <- t.cache_evictions + 1
+      t.cache_evictions <- t.cache_evictions + 1;
+      if Obs.Control.enabled () then
+        Obs.Metrics.inc
+          (Obs.Metrics.counter "aeq_plan_cache_evictions_total"
+             ~help:"Prepared statements evicted from the plan cache (LRU).")
     | None -> ()
   done
 
@@ -133,10 +166,18 @@ let prepare_entry t sql =
         match Hashtbl.find_opt t.plan_cache sql with
         | Some e ->
           t.cache_hits <- t.cache_hits + 1;
+          if Obs.Control.enabled () then
+            Obs.Metrics.inc
+              (Obs.Metrics.counter "aeq_plan_cache_hits_total"
+                 ~help:"Plan-cache lookups that reused a prepared statement.");
           touch t e;
           Some e
         | None ->
           t.cache_misses <- t.cache_misses + 1;
+          if Obs.Control.enabled () then
+            Obs.Metrics.inc
+              (Obs.Metrics.counter "aeq_plan_cache_misses_total"
+                 ~help:"Plan-cache lookups that had to prepare from scratch.");
           None)
   in
   match cached with
@@ -164,8 +205,53 @@ let cached_executions t sql =
   | Some e -> Aeq_exec.Driver.prepared_executions e.ce_prepared
   | None -> 0
 
+let error_label = function
+  | Aeq_exec.Query_error.Trap _ -> "trap"
+  | Aeq_exec.Query_error.Compile_failed _ -> "compile_failed"
+  | Aeq_exec.Query_error.Timeout _ -> "timeout"
+  | Aeq_exec.Query_error.Cancelled -> "cancelled"
+  | Aeq_exec.Query_error.Memory_budget_exceeded _ -> "memory_budget"
+  | Aeq_exec.Query_error.Overloaded _ -> "overloaded"
+  | Aeq_exec.Query_error.Rejected _ -> "rejected"
+
+(* Per-query accounting around the exec-lock critical section: a
+   completed-query counter per requested mode, an end-to-end latency
+   histogram (lock wait included — that is what a client experiences),
+   and an error counter per failure class. *)
+let with_query_obs mode f =
+  if not (Obs.Control.enabled ()) then f ()
+  else begin
+    let t0 = Aeq_util.Clock.now () in
+    let finish outcome =
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram "aeq_query_seconds"
+           ~help:"End-to-end query latency as seen by the caller.")
+        (Aeq_util.Clock.now () -. t0);
+      Obs.Metrics.inc
+        (Obs.Metrics.counter "aeq_queries_total"
+           ~help:"Queries executed, by requested mode and outcome."
+           ~labels:
+             [ ("mode", Aeq_exec.Driver.mode_name mode); ("outcome", outcome) ])
+    in
+    match f () with
+    | r ->
+      finish "ok";
+      r
+    | exception e ->
+      finish "error";
+      (match e with
+      | Aeq_exec.Query_error.Error qe ->
+        Obs.Metrics.inc
+          (Obs.Metrics.counter "aeq_query_errors_total"
+             ~help:"Query failures by structured error class."
+             ~labels:[ ("error", error_label qe) ])
+      | _ -> ());
+      raise e
+  end
+
 let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_seconds
     ?cancel ?memory_budget_bytes ?on_compile_failure t sql =
+  with_query_obs mode @@ fun () ->
   with_lock t.exec_lock (fun () ->
       let cache_enabled =
         with_lock t.cache_lock (fun () -> t.cache_enabled)
@@ -294,6 +380,30 @@ let render_rows t (r : Aeq_exec.Driver.result) =
   List.map
     (fun row -> String.concat "\t" (Aeq_exec.Driver.row_to_strings t.catalog r.Aeq_exec.Driver.dtypes row))
     r.Aeq_exec.Driver.rows
+
+(* ---- observability --------------------------------------------------- *)
+
+let metrics () = Obs.Metrics.snapshot ()
+
+let render_metrics () = Obs.Metrics.render_prometheus ()
+
+let dump_metrics path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Metrics.render_prometheus ()))
+
+let reset_stats t =
+  Obs.Metrics.reset ();
+  Obs.Span.clear ();
+  Obs.Decision_log.clear ();
+  with_lock t.cache_lock (fun () ->
+      t.cache_hits <- 0;
+      t.cache_misses <- 0;
+      t.cache_evictions <- 0);
+  match with_lock t.sched_lock (fun () -> t.scheduler) with
+  | Some s -> Aeq_exec.Scheduler.reset_stats s
+  | None -> ()
 
 (* Scheduler first (drains queued clients, finishes the in-flight
    query), then the pool. Both are idempotent, so close is. *)

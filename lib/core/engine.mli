@@ -163,6 +163,36 @@ val cache_stats : t -> cache_stats
 val render_rows : t -> Aeq_exec.Driver.result -> string list
 (** Result rows as tab-separated strings (dictionary decoded). *)
 
+(** {1 Observability}
+
+    The engine reports into the process-wide {!Aeq_obs} registry
+    (metrics, lifecycle spans, adaptive decision log) when
+    observability is enabled — [AEQ_OBS=1] in the environment, or
+    [Aeq_obs.Control.set_enabled true] before the engine is created.
+    When disabled, the per-morsel hot path pays a single branch. *)
+
+val metrics : unit -> Aeq_obs.Metrics.sample list
+(** Snapshot of the process-wide metrics registry (counters, gauges,
+    histograms from every engine, scheduler and pass pipeline in the
+    process). *)
+
+val render_metrics : unit -> string
+(** The registry in Prometheus text exposition format v0.0.4. *)
+
+val dump_metrics : string -> unit
+(** Write {!render_metrics} to a file (e.g. for a textfile-collector
+    scrape). *)
+
+val reset_stats : t -> unit
+(** Start a fresh observation window: zero all registry counters and
+    histograms (gauges keep their value — they describe current state),
+    clear the span ring buffers and the decision log, zero this
+    engine's plan-cache hit/miss/eviction counters, and zero the
+    scheduler's serving counters if a scheduler is running. Cached
+    prepared statements, breaker state and queued work are untouched —
+    this resets measurement, not behavior. Intended for windowed
+    scraping of long-running serves: scrape, reset, serve, scrape. *)
+
 val close : t -> unit
 (** Shut down: the scheduler first (queued queries complete with
     [Rejected], the in-flight one finishes), then the worker pool.

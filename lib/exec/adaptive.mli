@@ -22,10 +22,49 @@
 
 type decision = Do_nothing | Compile of Aeq_backend.Cost_model.mode
 
+type candidate = {
+  cand_mode : Aeq_backend.Cost_model.mode;
+  cand_seconds : float;
+      (** extrapolated total remaining-pipeline seconds if this mode
+          were compiled now; [infinity] when blacklisted *)
+  cand_blacklisted : bool;
+}
+
+type eval = {
+  ev_stay_seconds : float;
+      (** projected remaining seconds at the current mode's measured
+          rate; [infinity] when no rate sample exists yet *)
+  ev_candidates : candidate list;
+  ev_decision : decision;
+}
+
 type t
 
 val create :
-  model:Aeq_backend.Cost_model.t -> handle:Handle.t -> progress:Progress.t -> n_threads:int -> t
+  ?pipeline:int ->
+  model:Aeq_backend.Cost_model.t ->
+  handle:Handle.t ->
+  progress:Progress.t ->
+  n_threads:int ->
+  unit ->
+  t
+(** [pipeline] (default 0) tags this controller's entries in the
+    observability decision log ({!Aeq_obs.Decision_log}). *)
+
+val evaluate :
+  ?allow_unopt:bool ->
+  ?allow_opt:bool ->
+  model:Aeq_backend.Cost_model.t ->
+  current_mode:Aeq_backend.Cost_model.mode ->
+  n_instrs:int ->
+  remaining:int ->
+  rate:float ->
+  n_threads:int ->
+  unit ->
+  eval
+(** The pure extrapolation with its full working shown: the
+    stay-the-course projection and every candidate's projected total,
+    alongside the decision. This is what the decision log records. *)
 
 val extrapolate :
   ?allow_unopt:bool ->

@@ -43,17 +43,16 @@ type prepared = {
   pr_handles : Handle.compiled array;
   pr_codegen_seconds : float;
   pr_bc_seconds : float;
-  mutable pr_executions : int;
+  pr_executions : int Atomic.t;
+      (* read by cache bookkeeping on other threads (Engine.cached_executions)
+         while the exec lock holder bumps it *)
 }
 
-let prepared_executions p = p.pr_executions
+let prepared_executions p = Atomic.get p.pr_executions
 
 let prepared_modes p = Array.to_list (Array.map Handle.mode_of_compiled p.pr_handles)
 
-let cm_mode_name = function
-  | CM.Bytecode -> "bytecode"
-  | CM.Unopt -> "unoptimized"
-  | CM.Opt -> "optimized"
+let cm_mode_name = CM.mode_name
 
 (* dynamically growing morsel size: small at first for dense rate
    samples, larger later to cut scheduling overhead *)
@@ -76,14 +75,21 @@ let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
   let symbols = Aeq_rt.Symbols.resolver ctx in
   let layout = P.layout plan in
   let workers, codegen_seconds =
-    Aeq_util.Clock.time_it (fun () -> Aeq_codegen.Codegen.all_workers plan layout)
+    Aeq_util.Clock.time_it (fun () ->
+        Aeq_obs.Span.with_span "codegen" (fun () ->
+            Aeq_codegen.Codegen.all_workers plan layout))
   in
   let handles =
+    (* per-worker "translate" spans come from Compiler.translate_bytecode *)
     Array.of_list (List.map (Handle.compile_worker ~cost_model ~symbols) workers)
   in
   let bc_seconds =
     Array.fold_left (fun acc c -> acc +. c.Handle.bc_translate_seconds) 0.0 handles
   in
+  Aeq_obs.Metrics.observe
+    (Aeq_obs.Metrics.histogram "aeq_codegen_seconds"
+       ~help:"IR code generation time per prepared statement")
+    codegen_seconds;
   {
     pr_catalog = catalog;
     pr_plan = plan;
@@ -94,7 +100,7 @@ let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
     pr_handles = handles;
     pr_codegen_seconds = codegen_seconds;
     pr_bc_seconds = bc_seconds;
-    pr_executions = 0;
+    pr_executions = Atomic.make 0;
   }
 
 let error_of_exn = function
@@ -151,12 +157,43 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
   let trace = if collect_trace then Some (Trace.create ()) else None in
   let record_compile_failure ~pipeline m =
     Atomic.incr compile_failures;
+    Aeq_obs.Metrics.inc
+      (Aeq_obs.Metrics.counter "aeq_compile_failures_total"
+         ~help:"Failed machine-code promotions (degraded or blacklisted)"
+         ~labels:[ ("mode", cm_mode_name m) ]);
     match trace with
     | Some tr ->
       let t = Aeq_util.Clock.now () in
       Trace.record tr ~pipeline ~tid:0 ~t0:t ~t1:t (Trace.Ev_compile_failed m)
     | None -> ()
   in
+  let record_compile ~pipeline ~t0 ~t1 m =
+    match trace with
+    | Some tr when t1 > t0 -> Trace.record tr ~pipeline ~tid:0 ~t0 ~t1 (Trace.Ev_compile m)
+    | _ -> ()
+  in
+  (* per-morsel instrumentation: pre-registered so the hot loop pays
+     one atomic bump per morsel — and nothing at all (a single branch)
+     when observability is disabled *)
+  let obs_on = Aeq_obs.Control.enabled () in
+  let morsel_counter =
+    if not obs_on then [||]
+    else
+      Array.map
+        (fun m ->
+          Aeq_obs.Metrics.counter "aeq_morsels_total"
+            ~help:"Morsels executed, by the mode they ran in"
+            ~labels:[ ("mode", cm_mode_name m) ])
+        [| CM.Bytecode; CM.Unopt; CM.Opt |]
+  in
+  let morsel_hist =
+    if not obs_on then None
+    else
+      Some
+        (Aeq_obs.Metrics.histogram "aeq_morsel_seconds"
+           ~help:"Wall time per morsel across all worker domains")
+  in
+  let mode_index = function CM.Bytecode -> 0 | CM.Unopt -> 1 | CM.Opt -> 2 in
   let body () =
     (* rebind the long-lived context to this execution: fresh registries
        (ids re-issued in planning order) and fresh allocators *)
@@ -169,7 +206,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
     in
     (* codegen and bytecode translation were paid by [prepare]; account
        them to the first execution only *)
-    let first_execution = p.pr_executions = 0 in
+    let first_execution = Atomic.get p.pr_executions = 0 in
     let codegen_seconds = if first_execution then p.pr_codegen_seconds else 0.0 in
     let bc_seconds = if first_execution then p.pr_bc_seconds else 0.0 in
     (* --- runtime objects (ids match planning order) ------------------ *)
@@ -217,10 +254,14 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         | `Degrade -> record_compile_failure ~pipeline m
       in
       if Handle.blacklisted h m then degrade "blacklisted after an earlier failure"
-      else
+      else begin
+        let c0 = Aeq_util.Clock.now () in
         match Handle.promote h ~mode:m with
-        | dt -> atomic_add_float compile_seconds dt
+        | dt ->
+          record_compile ~pipeline ~t0:c0 ~t1:(Aeq_util.Clock.now ()) m;
+          atomic_add_float compile_seconds dt
         | exception e -> degrade (Printexc.to_string e)
+      end
     in
     (match mode with
     | Bytecode ->
@@ -273,7 +314,8 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         let progress = Progress.create ~total_rows:total ~n_threads in
         let controller =
           match mode with
-          | Adaptive -> Some (Adaptive.create ~model:cost_model ~handle ~progress ~n_threads)
+          | Adaptive ->
+            Some (Adaptive.create ~pipeline:pi ~model:cost_model ~handle ~progress ~n_threads ())
           | Bytecode | Unopt | Opt -> None
         in
         let next = Atomic.make 0 in
@@ -306,6 +348,13 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
                 | () -> (
                   let t1 = Aeq_util.Clock.now () in
                   Progress.note_morsel progress ~tid ~rows:(e - b) ~seconds:(t1 -. t0);
+                  if obs_on then begin
+                    Aeq_obs.Metrics.inc
+                      morsel_counter.(mode_index (Handle.mode handle));
+                    match morsel_hist with
+                    | Some h -> Aeq_obs.Metrics.observe h (t1 -. t0)
+                    | None -> ()
+                  end;
                   (match trace with
                   | Some tr ->
                     Trace.record tr ~pipeline:pi ~tid ~t0 ~t1
@@ -343,7 +392,11 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
             end
           done
         in
-        let (), dt = Aeq_util.Clock.time_it (fun () -> if total > 0 then Pool.run pool job) in
+        let (), dt =
+          Aeq_util.Clock.time_it (fun () ->
+              if total > 0 then
+                Aeq_obs.Span.with_span ~pipeline:pi "execute" (fun () -> Pool.run pool job))
+        in
         atomic_add_float exec_seconds dt;
         raise_if_failed ())
       plan.P.pl_pipelines;
@@ -379,7 +432,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
       | Some n -> List.filteri (fun i _ -> i < n) rows
       | None -> rows
     in
-    p.pr_executions <- p.pr_executions + 1;
+    Atomic.incr p.pr_executions;
     (* the up-front preparation cost belongs to the cold run's total *)
     let total_seconds =
       Aeq_util.Clock.now () -. t_start +. codegen_seconds +. bc_seconds

@@ -2,7 +2,11 @@ type t = {
   total_rows : int;
   start : float;
   done_rows : int Atomic.t;
-  rates : float array; (* per-thread last-morsel rate; 0 = no sample *)
+  rates : float Atomic.t array;
+      (* per-thread last-morsel rate; 0 = no sample. Written by each
+         worker domain and read by whichever domain wins the adaptive
+         evaluation — a plain float array would be a data race under
+         the multicore memory model. *)
 }
 
 let create ~total_rows ~n_threads =
@@ -10,14 +14,14 @@ let create ~total_rows ~n_threads =
     total_rows;
     start = Aeq_util.Clock.now ();
     done_rows = Atomic.make 0;
-    rates = Array.make (Stdlib.max 1 n_threads) 0.0;
+    rates = Array.init (Stdlib.max 1 n_threads) (fun _ -> Atomic.make 0.0);
   }
 
 let start_time t = t.start
 
 let note_morsel t ~tid ~rows ~seconds =
   ignore (Atomic.fetch_and_add t.done_rows rows);
-  if seconds > 0.0 then t.rates.(tid) <- float_of_int rows /. seconds
+  if seconds > 0.0 then Atomic.set t.rates.(tid) (float_of_int rows /. seconds)
 
 let processed t = Atomic.get t.done_rows
 
@@ -26,7 +30,8 @@ let remaining t = Stdlib.max 0 (t.total_rows - processed t)
 let avg_rate t =
   let sum = ref 0.0 and n = ref 0 in
   Array.iter
-    (fun r ->
+    (fun cell ->
+      let r = Atomic.get cell in
       if r > 0.0 then begin
         sum := !sum +. r;
         incr n
@@ -34,4 +39,4 @@ let avg_rate t =
     t.rates;
   if !n = 0 then 0.0 else !sum /. float_of_int !n
 
-let reset_rates t = Array.fill t.rates 0 (Array.length t.rates) 0.0
+let reset_rates t = Array.iter (fun cell -> Atomic.set cell 0.0) t.rates

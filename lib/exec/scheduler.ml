@@ -1,6 +1,15 @@
 module Clock = Aeq_util.Clock
 module Prng = Aeq_util.Prng
 module QE = Query_error
+module Obs = Aeq_obs
+
+(* Event counters mirrored into the metrics registry. Registration is
+   get-or-create and these fire at most once per query, so the lookup
+   cost is irrelevant; the registry mutex is a leaf lock, safe to take
+   under [t.lock]. *)
+let obs_bump name ~help =
+  if Obs.Control.enabled () then
+    Obs.Metrics.inc (Obs.Metrics.counter ("aeq_scheduler_" ^ name ^ "_total") ~help)
 
 type priority = Low | Normal | High
 
@@ -200,6 +209,7 @@ let breaker_trip t now =
   t.brk <- Open;
   t.probe <- None;
   t.n_breaker_trips <- t.n_breaker_trips + 1;
+  obs_bump "breaker_trips" ~help:"Circuit-breaker transitions to open.";
   let cap =
     Stdlib.min t.cfg.breaker_cooldown_max
       (t.cfg.breaker_cooldown *. (2.0 ** float_of_int t.brk_consecutive))
@@ -290,6 +300,7 @@ let attempt_loop t tk eff_mode =
           let jitter =
             Mutex.lock t.lock;
             t.n_retried <- t.n_retried + 1;
+            obs_bump "retried" ~help:"Transient-failure retry attempts.";
             let j = Prng.float t.prng backoff_cap in
             Mutex.unlock t.lock;
             j
@@ -330,6 +341,7 @@ let serve t tk =
   | Some d when now > d ->
     (* expired while queued (between watchdog sweeps) *)
     t.n_expired <- t.n_expired + 1;
+    obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
     complete tk (Error (QE.Rejected "deadline expired in admission queue"))
   | _ ->
     let wait = now -. tk.tk_submitted in
@@ -349,7 +361,10 @@ let serve t tk =
       || ((not overloaded) && breaker_allow t tk.tk_id now)
     in
     let eff_mode = if compile_allowed then tk.tk_mode else Driver.Bytecode in
-    if eff_mode <> tk.tk_mode then t.n_degraded <- t.n_degraded + 1;
+    if eff_mode <> tk.tk_mode then begin
+      t.n_degraded <- t.n_degraded + 1;
+      obs_bump "degraded" ~help:"Executions forced to bytecode-only."
+    end;
     t.current <- Some tk;
     Mutex.unlock t.lock;
     Mutex.lock tk.tk_lock;
@@ -365,8 +380,12 @@ let serve t tk =
     t.current <- None;
     breaker_feed t tk outcome n_cf;
     (match outcome with
-    | Ok _ -> t.n_completed <- t.n_completed + 1
-    | Error _ -> t.n_failed <- t.n_failed + 1);
+    | Ok _ ->
+      t.n_completed <- t.n_completed + 1;
+      obs_bump "completed" ~help:"Queries finished with rows."
+    | Error _ ->
+      t.n_failed <- t.n_failed + 1;
+      obs_bump "failed" ~help:"Queries finished with a structured error.");
     Mutex.unlock t.lock;
     complete tk outcome;
     Mutex.lock t.lock
@@ -387,6 +406,7 @@ let dispatcher_loop t () =
             (fun tk ->
               if not (is_done tk) then begin
                 t.n_rejected <- t.n_rejected + 1;
+                obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
                 complete tk (Error (QE.Rejected "scheduler is shut down"))
               end)
             q;
@@ -426,7 +446,8 @@ let watchdog_loop t () =
           Mutex.unlock tk.tk_lock;
           if fresh then begin
             Cancel.cancel tk.tk_cancel;
-            t.n_watchdog_cancels <- t.n_watchdog_cancels + 1
+            t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
+            obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
           end
         | _ -> ())
       | None -> ());
@@ -439,6 +460,7 @@ let watchdog_loop t () =
               match tk.tk_deadline with
               | Some d when now > d && not (is_done tk) ->
                 t.n_expired <- t.n_expired + 1;
+                obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
                 t.queued <- t.queued - 1;
                 complete tk (Error (QE.Rejected "deadline expired in admission queue"))
               | _ -> ())
@@ -501,12 +523,14 @@ let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?can
       match shed_victim t priority with
       | Some v ->
         t.n_shed <- t.n_shed + 1;
+        obs_bump "shed" ~help:"Queued queries evicted to admit higher priority.";
         t.queued <- t.queued - 1;
         Some v
       | None ->
         (* full, nothing sheddable: fail fast *)
         let depth = t.queued in
         t.n_rejected <- t.n_rejected + 1;
+        obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
         Mutex.unlock t.lock;
         QE.raise_error
           (QE.Overloaded { queue_depth = depth; capacity = t.cfg.queue_capacity })
@@ -514,6 +538,7 @@ let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?can
   Queue.push tk t.queues.(queue_index priority);
   t.queued <- t.queued + 1;
   t.n_admitted <- t.n_admitted + 1;
+  obs_bump "admitted" ~help:"Queries accepted into the admission queue.";
   if t.queued > t.max_depth then t.max_depth <- t.queued;
   Condition.signal t.work;
   Mutex.unlock t.lock;
@@ -582,6 +607,21 @@ let create ?(config = default_config) ?arena ~exec () =
   in
   t.domains <-
     [ Domain.spawn (dispatcher_loop t); Domain.spawn (watchdog_loop t) ];
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.gauge_fn "aeq_scheduler_queue_depth"
+      ~help:"Queries queued right now." (fun () ->
+        Mutex.lock t.lock;
+        let d = t.queued in
+        Mutex.unlock t.lock;
+        d);
+    Obs.Metrics.gauge_fn "aeq_scheduler_breaker_state"
+      ~help:"Compile-path circuit breaker: 0 closed, 1 half-open, 2 open."
+      (fun () ->
+        Mutex.lock t.lock;
+        let b = match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2 in
+        Mutex.unlock t.lock;
+        b)
+  end;
   t
 
 let stats t =
@@ -607,6 +647,24 @@ let stats t =
   in
   Mutex.unlock t.lock;
   s
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.n_admitted <- 0;
+  t.n_rejected <- 0;
+  t.n_shed <- 0;
+  t.n_expired <- 0;
+  t.n_retried <- 0;
+  t.n_completed <- 0;
+  t.n_failed <- 0;
+  t.n_degraded <- 0;
+  t.n_watchdog_cancels <- 0;
+  t.n_breaker_trips <- 0;
+  t.max_depth <- t.queued;
+  t.total_wait <- 0.0;
+  t.n_waits <- 0;
+  t.max_wait <- 0.0;
+  Mutex.unlock t.lock
 
 let shutdown t =
   Mutex.lock t.lock;

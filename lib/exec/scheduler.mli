@@ -172,6 +172,12 @@ val zero_stats : stats
 
 val stats : t -> stats
 
+val reset_stats : t -> unit
+(** Zero the accumulated counters ([admitted] … [breaker_trips], wait
+    statistics, [max_queue_depth] — which restarts from the current
+    depth). Live state — breaker state/cooldown, the queue itself — is
+    untouched. Used by [Engine.reset_stats] for windowed scraping. *)
+
 val shutdown : t -> unit
 (** Stop serving: every still-queued query completes with [Rejected],
     the in-flight query (if any) finishes, then the dispatcher and

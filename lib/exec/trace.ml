@@ -5,28 +5,75 @@ type kind =
 
 type event = { pipeline : int; tid : int; t0 : float; t1 : float; kind : kind }
 
-type t = { epoch : float; lock : Mutex.t; mutable events : event list }
+type t = {
+  epoch : float;
+  capacity : int;
+  lock : Mutex.t;
+  mutable events : event list;
+  mutable n_events : int;
+  mutable n_dropped : int;
+  mutable sorted : event list option; (* cache; invalidated by [record] *)
+}
 
-let create () = { epoch = Aeq_util.Clock.now (); lock = Mutex.create (); events = [] }
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  {
+    epoch = Aeq_util.Clock.now ();
+    capacity = Stdlib.max 1 capacity;
+    lock = Mutex.create ();
+    events = [];
+    n_events = 0;
+    n_dropped = 0;
+    sorted = None;
+  }
 
 let epoch t = t.epoch
 
 let record t ~pipeline ~tid ~t0 ~t1 kind =
   let ev = { pipeline; tid; t0 = t0 -. t.epoch; t1 = t1 -. t.epoch; kind } in
   Mutex.lock t.lock;
-  t.events <- ev :: t.events;
+  (* bounded: a long-running serve must not grow a trace without limit;
+     overflow is counted instead of silently lost *)
+  if t.n_events >= t.capacity then t.n_dropped <- t.n_dropped + 1
+  else begin
+    t.events <- ev :: t.events;
+    t.n_events <- t.n_events + 1;
+    t.sorted <- None
+  end;
   Mutex.unlock t.lock
 
 let events t =
   Mutex.lock t.lock;
-  let evs = t.events in
+  let evs =
+    match t.sorted with
+    | Some evs -> evs (* sorted once on demand, reused until the next record *)
+    | None ->
+      let evs = List.sort (fun a b -> compare a.t0 b.t0) t.events in
+      t.sorted <- Some evs;
+      evs
+  in
   Mutex.unlock t.lock;
-  List.sort (fun a b -> compare a.t0 b.t0) evs
+  evs
+
+let dropped t =
+  Mutex.lock t.lock;
+  let d = t.n_dropped in
+  Mutex.unlock t.lock;
+  d
+
+let n_events t =
+  Mutex.lock t.lock;
+  let n = t.n_events in
+  Mutex.unlock t.lock;
+  n
 
 let mode_char = function
   | Aeq_backend.Cost_model.Bytecode -> 'b'
   | Aeq_backend.Cost_model.Unopt -> 'u'
   | Aeq_backend.Cost_model.Opt -> 'o'
+
+let mode_name = Aeq_backend.Cost_model.mode_name
 
 let render t ~n_threads =
   let evs = events t in

@@ -20,7 +20,10 @@ type event = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained event count (default 65536): a
+    trace left attached to a long-running serve stays bounded. Events
+    past the cap are dropped and counted, not silently lost. *)
 
 val epoch : t -> float
 
@@ -29,7 +32,16 @@ val record : t -> pipeline:int -> tid:int -> t0:float -> t1:float -> kind -> uni
     relative to the epoch. *)
 
 val events : t -> event list
-(** Sorted by start time. *)
+(** Sorted by start time. The sort runs once per mutation and is
+    cached, so repeated calls (rendering + exporting the same trace)
+    do not re-sort. *)
+
+val n_events : t -> int
+
+val dropped : t -> int
+(** Events discarded because the trace was at capacity. *)
+
+val mode_name : Aeq_backend.Cost_model.mode -> string
 
 val render : t -> n_threads:int -> string
 (** ASCII lanes, one per thread. *)

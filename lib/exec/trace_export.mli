@@ -1,0 +1,24 @@
+(** Chrome trace-event export: the paper's Fig. 14 timeline as a
+    [chrome://tracing] / Perfetto document instead of ASCII lanes.
+
+    Merges three sources onto one timeline:
+    - the execution {!Trace} (morsel intervals and compile bursts, one
+      lane per worker thread, pid 0);
+    - the {!Aeq_obs.Span} lifecycle spans (parse → plan → codegen →
+      optimize → translate → compile → execute, one lane per domain,
+      pid 1);
+    - the {!Aeq_obs.Decision_log} (one instant event per adaptive
+      controller evaluation, with the extrapolated totals in [args]).
+
+    All timestamps are rebased to the earliest event so the document
+    starts at t=0. *)
+
+val chrome_events : ?trace:Trace.t -> unit -> Aeq_obs.Chrome_trace.event list
+(** The merged event list (spans and decisions are read from the
+    global observability buffers). *)
+
+val chrome_json : ?trace:Trace.t -> unit -> string
+(** {!chrome_events} rendered as a complete JSON document. *)
+
+val write_file : ?trace:Trace.t -> string -> unit
+(** [write_file path] — {!chrome_json} to [path]. *)

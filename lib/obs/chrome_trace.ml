@@ -1,0 +1,57 @@
+type event = { ev_sort : float; ev_meta : bool; ev_json : Json.t }
+
+let base ~name ~ph ?cat ~pid ~tid ~ts_us ?(args = []) extra =
+  let fields =
+    [ ("name", Json.Str name); ("ph", Json.Str ph); ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid)); ("ts", Json.Num ts_us) ]
+    @ (match cat with Some c -> [ ("cat", Json.Str c) ] | None -> [])
+    @ extra
+    @ (match args with [] -> [] | l -> [ ("args", Json.Obj l) ])
+  in
+  Json.Obj fields
+
+let complete ~name ?cat ~pid ~tid ~ts_us ~dur_us ?args () =
+  {
+    ev_sort = ts_us;
+    ev_meta = false;
+    ev_json =
+      base ~name ~ph:"X" ?cat ~pid ~tid ~ts_us ?args
+        [ ("dur", Json.Num (Stdlib.max 0.0 dur_us)) ];
+  }
+
+let instant ~name ?cat ~pid ~tid ~ts_us ?args () =
+  {
+    ev_sort = ts_us;
+    ev_meta = false;
+    ev_json = base ~name ~ph:"i" ?cat ~pid ~tid ~ts_us ?args [ ("s", Json.Str "t") ];
+  }
+
+let metadata ~name ~pid ~tid args =
+  {
+    ev_sort = neg_infinity;
+    ev_meta = true;
+    ev_json = base ~name ~ph:"M" ~pid ~tid ~ts_us:0.0 ~args [];
+  }
+
+let process_name ~pid name =
+  metadata ~name:"process_name" ~pid ~tid:0 [ ("name", Json.Str name) ]
+
+let thread_name ~pid ~tid name =
+  metadata ~name:"thread_name" ~pid ~tid [ ("name", Json.Str name) ]
+
+let render events =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match (a.ev_meta, b.ev_meta) with
+        | true, false -> -1
+        | false, true -> 1
+        | _ -> compare a.ev_sort b.ev_sort)
+      events
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.Arr (List.map (fun e -> e.ev_json) sorted));
+         ("displayTimeUnit", Json.Str "ms");
+       ])

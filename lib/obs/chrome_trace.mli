@@ -1,0 +1,45 @@
+(** Chrome trace-event JSON builder ([chrome://tracing] /
+    [ui.perfetto.dev], "JSON Array Format" with a [traceEvents]
+    wrapper).
+
+    This module is format-only: callers map their morsels, compile
+    bursts, spans and decisions into {!event}s (complete ["X"] slices,
+    instant ["i"] marks, process/thread-name metadata) and {!render}
+    emits one well-formed document. Timestamps are microseconds on a
+    caller-chosen epoch. *)
+
+type event
+
+val complete :
+  name:string ->
+  ?cat:string ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  event
+(** A duration slice (["ph":"X"]). Slices on the same [pid]/[tid] that
+    nest by time containment render as a flame graph. *)
+
+val instant :
+  name:string ->
+  ?cat:string ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  event
+(** A point event (["ph":"i"], thread scope). *)
+
+val process_name : pid:int -> string -> event
+
+val thread_name : pid:int -> tid:int -> string -> event
+
+val render : event list -> string
+(** The full document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Events are
+    sorted by timestamp (metadata first) — viewers require
+    monotonicity per thread lane. *)

@@ -1,0 +1,14 @@
+let flag =
+  Atomic.make
+    (match Sys.getenv_opt "AEQ_OBS" with
+    | Some "0" | None -> false
+    | Some _ -> true)
+
+let enabled () = Atomic.get flag
+
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let prev = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f

@@ -1,0 +1,58 @@
+type action = Stay | Promote of string
+
+type candidate = { c_mode : string; c_total_seconds : float; c_blacklisted : bool }
+
+type entry = {
+  d_time : float;
+  d_pipeline : int;
+  d_mode : string;
+  d_processed : int;
+  d_remaining : int;
+  d_rate : float;
+  d_stay_seconds : float;
+  d_candidates : candidate list;
+  d_action : action;
+  d_reason : string;
+}
+
+(* A single mutex-guarded ring is enough: at most one worker per
+   pipeline wins the evaluation slot at a time, so logging pressure is
+   per-morsel at worst and uncontended in practice. *)
+let lock = Mutex.create ()
+
+let capacity = ref 8192
+
+let entries : entry Queue.t = Queue.create ()
+
+let dropped_count = ref 0
+
+let log e =
+  if Control.enabled () then begin
+    Mutex.lock lock;
+    if Queue.length entries >= !capacity then incr dropped_count
+    else Queue.push e entries;
+    Mutex.unlock lock
+  end
+
+let snapshot () =
+  Mutex.lock lock;
+  let l = List.of_seq (Queue.to_seq entries) in
+  Mutex.unlock lock;
+  l
+
+let clear () =
+  Mutex.lock lock;
+  Queue.clear entries;
+  dropped_count := 0;
+  Mutex.unlock lock
+
+let dropped () =
+  Mutex.lock lock;
+  let d = !dropped_count in
+  Mutex.unlock lock;
+  d
+
+let set_capacity n =
+  Mutex.lock lock;
+  capacity := Stdlib.max 16 n;
+  Mutex.unlock lock

@@ -1,0 +1,51 @@
+(** The adaptive decision log: one entry per controller evaluation
+    (the paper's Fig. 7 extrapolation), so a trace explains *why* each
+    mode switch — or non-switch — happened.
+
+    Each entry captures what the controller saw (processed/remaining
+    morsel counts, the measured tuple rate), what it extrapolated (the
+    projected total seconds for staying put and for every candidate
+    mode, with blacklisted candidates priced at infinity and flagged),
+    and what it chose. Entries go into one bounded ring with a dropped
+    counter; logging is gated on {!Control.enabled} so the disabled
+    cost at a morsel boundary is a single branch. *)
+
+type action = Stay | Promote of string  (** target mode name *)
+
+type candidate = {
+  c_mode : string;  (** "unoptimized" | "optimized" *)
+  c_total_seconds : float;
+      (** extrapolated total remaining-pipeline seconds if this mode
+          were compiled now (compile latency included); [infinity] for
+          blacklisted candidates *)
+  c_blacklisted : bool;
+}
+
+type entry = {
+  d_time : float;  (** absolute seconds ({!Aeq_util.Clock.now}) *)
+  d_pipeline : int;
+  d_mode : string;  (** mode the rate was measured in *)
+  d_processed : int;  (** tuples processed so far *)
+  d_remaining : int;  (** tuples left *)
+  d_rate : float;  (** measured tuples/second (per thread average) *)
+  d_stay_seconds : float;  (** projected remaining seconds if no switch *)
+  d_candidates : candidate list;
+  d_action : action;
+  d_reason : string;
+      (** why: "extrapolated win", "status quo optimal",
+          "already optimized", ... *)
+}
+
+val log : entry -> unit
+(** Gated on {!Control.enabled}; bounded (drops and counts overflow). *)
+
+val snapshot : unit -> entry list
+(** Retained entries in logging order. *)
+
+val clear : unit -> unit
+
+val dropped : unit -> int
+
+val set_capacity : int -> unit
+(** Ring capacity (default 8192, minimum 16); applies on next {!clear}
+    or immediately for an empty log. *)

@@ -1,0 +1,36 @@
+(** Minimal JSON tree, printer and parser.
+
+    The repo deliberately carries no third-party JSON dependency; this
+    module is just enough for the Chrome-trace exporter to emit
+    well-formed documents and for tests to parse them back
+    (round-trip validation). Numbers are [float]s; exotic inputs
+    (surrogate pairs, 1e400) are handled the pragmatic way: decoded
+    escapes are kept as replacement bytes, overflowing numbers become
+    [infinity] and are rejected by the printer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering. Integral numbers print without a decimal point
+    (Chrome's trace viewer is picky about [ts]).
+    @raise Invalid_argument on NaN/infinite numbers. *)
+
+val parse : string -> (t, string) result
+(** Strict-enough parser: one value, trailing whitespace allowed,
+    anything else is an [Error] with position info. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — field lookup; [None] on non-objects. *)
+
+val to_list : t -> t list
+(** The elements of an [Arr]; [] on anything else. *)
+
+val to_float : t -> float option
+
+val to_str : t -> string option

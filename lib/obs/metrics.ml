@@ -1,0 +1,274 @@
+type counter = int Atomic.t
+
+type gauge = int Atomic.t
+
+type histogram = {
+  h_bounds : float array; (* upper bounds, excluding the implicit +Inf *)
+  h_counts : int Atomic.t array; (* one per bound, plus the +Inf slot *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_gauge_fn of (unit -> int) ref
+  | I_histogram of histogram
+
+type entry = {
+  e_name : string;
+  e_labels : (string * string) list; (* sorted by key *)
+  mutable e_help : string;
+  e_instrument : instrument;
+}
+
+type registry = { lock : Mutex.t; table : (string * (string * string) list, entry) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
+
+let default = create ()
+
+let default_buckets =
+  (* log-spaced for timings: 1µs × 4^k, k = 0..14 (≈268 s) *)
+  Array.init 15 (fun k -> 1e-6 *. (4.0 ** float_of_int k))
+
+let norm_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let rec atomic_add_float a d =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
+
+(* Get-or-create under the registry lock. [make] builds the instrument
+   on first registration; [select] projects the expected kind out (a
+   name reused with a different kind is a programming error). *)
+let register registry ?(help = "") ?(labels = []) name ~make ~select =
+  let labels = norm_labels labels in
+  let key = (name, labels) in
+  Mutex.lock registry.lock;
+  let e =
+    match Hashtbl.find_opt registry.table key with
+    | Some e ->
+      if help <> "" && e.e_help = "" then e.e_help <- help;
+      e
+    | None ->
+      let e = { e_name = name; e_labels = labels; e_help = help; e_instrument = make () } in
+      Hashtbl.replace registry.table key e;
+      e
+  in
+  Mutex.unlock registry.lock;
+  select e
+
+let kind_error name what =
+  invalid_arg (Printf.sprintf "Metrics: %s is already registered as a %s" name what)
+
+let counter ?(registry = default) ?help ?labels name =
+  register registry ?help ?labels name
+    ~make:(fun () -> I_counter (Atomic.make 0))
+    ~select:(fun e ->
+      match e.e_instrument with
+      | I_counter c -> c
+      | _ -> kind_error name "non-counter")
+
+let gauge ?(registry = default) ?help ?labels name =
+  register registry ?help ?labels name
+    ~make:(fun () -> I_gauge (Atomic.make 0))
+    ~select:(fun e ->
+      match e.e_instrument with
+      | I_gauge g -> g
+      | _ -> kind_error name "non-gauge")
+
+let gauge_fn ?(registry = default) ?help ?labels name f =
+  let cell =
+    register registry ?help ?labels name
+      ~make:(fun () -> I_gauge_fn (ref f))
+      ~select:(fun e ->
+        match e.e_instrument with
+        | I_gauge_fn r -> r
+        | _ -> kind_error name "non-callback-gauge")
+  in
+  (* last registration wins: a fresh engine takes over the gauge *)
+  cell := f
+
+let histogram ?(registry = default) ?help ?labels ?(buckets = default_buckets) name =
+  register registry ?help ?labels name
+    ~make:(fun () ->
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= buckets.(i - 1) then
+            invalid_arg "Metrics.histogram: buckets must be strictly increasing";
+          if Float.abs b = Float.infinity then
+            invalid_arg "Metrics.histogram: +Inf bucket is implicit")
+        buckets;
+      I_histogram
+        {
+          h_bounds = Array.copy buckets;
+          h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_count = Atomic.make 0;
+        })
+    ~select:(fun e ->
+      match e.e_instrument with
+      | I_histogram h -> h
+      | _ -> kind_error name "non-histogram")
+
+let inc c = Atomic.incr c
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let value c = Atomic.get c
+
+let set g v = Atomic.set g v
+
+let gauge_value g = Atomic.get g
+
+let observe h x =
+  (* linear scan: bucket counts are tiny (16 by default) and bounds are
+     in cache; binary search would not pay for itself *)
+  let n = Array.length h.h_bounds in
+  let rec slot i = if i >= n || x <= h.h_bounds.(i) then i else slot (i + 1) in
+  Atomic.incr h.h_counts.(slot 0);
+  atomic_add_float h.h_sum x;
+  Atomic.incr h.h_count
+
+let observe_seconds h f =
+  let t0 = Aeq_util.Clock.now () in
+  Fun.protect ~finally:(fun () -> observe h (Aeq_util.Clock.now () -. t0)) f
+
+(* ---- snapshot & exposition ------------------------------------------ *)
+
+type value_kind =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { buckets : (float * int) array; sum : float; count : int }
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : value_kind;
+}
+
+let snapshot ?(registry = default) () =
+  let entries =
+    Mutex.lock registry.lock;
+    let es = Hashtbl.fold (fun _ e acc -> e :: acc) registry.table [] in
+    Mutex.unlock registry.lock;
+    es
+  in
+  let sample e =
+    let v =
+      match e.e_instrument with
+      | I_counter c -> Counter (Atomic.get c)
+      | I_gauge g -> Gauge (Atomic.get g)
+      | I_gauge_fn f -> Gauge (!f ())
+      | I_histogram h ->
+        (* cumulative counts, Prometheus style; the last bound is +Inf *)
+        let n = Array.length h.h_bounds in
+        let acc = ref 0 in
+        let buckets =
+          Array.init (n + 1) (fun i ->
+              acc := !acc + Atomic.get h.h_counts.(i);
+              ((if i < n then h.h_bounds.(i) else infinity), !acc))
+        in
+        Histogram { buckets; sum = Atomic.get h.h_sum; count = Atomic.get h.h_count }
+    in
+    { s_name = e.e_name; s_help = e.e_help; s_labels = e.e_labels; s_value = v }
+  in
+  List.map sample entries
+  |> List.sort (fun a b ->
+         match String.compare a.s_name b.s_name with
+         | 0 -> Stdlib.compare a.s_labels b.s_labels
+         | c -> c)
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+    ^ "}"
+
+let render_bound b =
+  if Float.abs b = Float.infinity then "+Inf"
+  else if Float.is_integer b && Float.abs b < 1e15 then Printf.sprintf "%.0f" b
+  else Printf.sprintf "%g" b
+
+let render_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let render_prometheus ?(registry = default) () =
+  let samples = snapshot ~registry () in
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun s ->
+      if s.s_name <> !last_family then begin
+        last_family := s.s_name;
+        if s.s_help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.s_name (escape_help s.s_help));
+        let ty =
+          match s.s_value with
+          | Counter _ -> "counter"
+          | Gauge _ -> "gauge"
+          | Histogram _ -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" s.s_name ty)
+      end;
+      match s.s_value with
+      | Counter v | Gauge v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" s.s_name (render_labels s.s_labels) v)
+      | Histogram { buckets; sum; count } ->
+        Array.iter
+          (fun (le, c) ->
+            let labels = s.s_labels @ [ ("le", render_bound le) ] in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.s_name (render_labels labels) c))
+          buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" s.s_name (render_labels s.s_labels)
+             (render_float sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" s.s_name (render_labels s.s_labels) count))
+    samples;
+  Buffer.contents buf
+
+let reset ?(registry = default) () =
+  Mutex.lock registry.lock;
+  Hashtbl.iter
+    (fun _ e ->
+      match e.e_instrument with
+      | I_counter c -> Atomic.set c 0
+      | I_gauge _ | I_gauge_fn _ -> ()
+      | I_histogram h ->
+        Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+        Atomic.set h.h_sum 0.0;
+        Atomic.set h.h_count 0)
+    registry.table;
+  Mutex.unlock registry.lock

@@ -1,0 +1,121 @@
+(** The metrics registry: named counters, gauges and log-bucketed
+    histograms, all safe to bump from worker domains, with snapshotting
+    and Prometheus text exposition.
+
+    A metric's identity is its name plus its label set; registering the
+    same identity twice returns the same instrument, so instrumented
+    code can call [counter]/[histogram] at use sites without plumbing
+    handles around. Counters and histograms are [Atomic]-based — a bump
+    is one [fetch_and_add] (or a CAS loop for float sums), never a
+    lock. The registry table itself is mutex-guarded; registration is
+    expected off the hot path.
+
+    The process-wide {!default} registry is what the engine, scheduler,
+    pass manager and driver report into, mirroring Prometheus'
+    process-level model: multiple engines in one process share it. *)
+
+type registry
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> registry
+
+val default : registry
+
+(* ---- registration (get-or-create) ----------------------------------- *)
+
+val counter :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  counter
+(** Monotonic counter. By Prometheus convention the name should end in
+    [_total]. *)
+
+val gauge :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  gauge
+(** Settable point-in-time value. *)
+
+val gauge_fn :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  (unit -> int) ->
+  unit
+(** Callback gauge, polled at snapshot/render time (e.g. arena resident
+    bytes). Re-registering the same identity replaces the callback, so
+    a fresh engine can take over a stale engine's gauge. *)
+
+val histogram :
+  ?registry:registry ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** Cumulative histogram. The default buckets are log-spaced for
+    timings in seconds: 1µs × 4^k for k = 0..14 (≈268s), plus +Inf.
+    [buckets] must be strictly increasing; a trailing +Inf is implied
+    and must not be passed. Bucket shape is fixed at first
+    registration; later calls with a different [buckets] return the
+    existing instrument unchanged. *)
+
+(* ---- instrument operations ------------------------------------------ *)
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val set : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> float -> unit
+(** Record one observation (for timings: seconds). *)
+
+val observe_seconds : histogram -> (unit -> 'a) -> 'a
+(** Time [f] and record its duration, also when it raises. *)
+
+(* ---- snapshot & exposition ------------------------------------------ *)
+
+type value_kind =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { buckets : (float * int) array; sum : float; count : int }
+      (** [buckets] pairs each upper bound (the last is [infinity])
+          with its cumulative count, Prometheus style. *)
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : value_kind;
+}
+
+val snapshot : ?registry:registry -> unit -> sample list
+(** All metrics, callbacks polled, sorted by name then labels.
+    Concurrent bumps may or may not be included — each atomic cell is
+    read once, so a counter never goes backwards across snapshots. *)
+
+val render_prometheus : ?registry:registry -> unit -> string
+(** Prometheus text exposition format v0.0.4: [# HELP]/[# TYPE]
+    headers once per family, histograms as [_bucket{le=...}]/
+    [_sum]/[_count] series. *)
+
+val reset : ?registry:registry -> unit -> unit
+(** Zero all counters and histograms, for windowed scraping of
+    long-running serves ([Engine.reset_stats]). Gauges keep their
+    value (they describe current state, not accumulation) and callback
+    gauges stay registered. *)

@@ -1,0 +1,95 @@
+type span = {
+  sp_name : string;
+  sp_domain : int;
+  sp_pipeline : int;
+  sp_t0 : float;
+  sp_t1 : float;
+}
+
+(* One ring per slot; a domain hashes onto a slot by id. Collisions
+   just share a ring (and its mutex) — correctness never depends on
+   exclusivity, only the common case is contention-free. *)
+let n_slots = 64
+
+type ring = {
+  lock : Mutex.t;
+  mutable buf : span array; (* length = capacity once initialised *)
+  mutable size : int; (* live spans (≤ capacity) *)
+}
+
+let capacity = Atomic.make 8192
+
+let dropped_count = Atomic.make 0
+
+let rings =
+  Array.init n_slots (fun _ -> { lock = Mutex.create (); buf = [||]; size = 0 })
+
+let set_capacity n = Atomic.set capacity (Stdlib.max 16 n)
+
+let dummy =
+  { sp_name = ""; sp_domain = 0; sp_pipeline = -1; sp_t0 = 0.0; sp_t1 = 0.0 }
+
+let push sp =
+  let slot = ((Domain.self () :> int) land max_int) mod n_slots in
+  let r = rings.(slot) in
+  Mutex.lock r.lock;
+  let cap = Atomic.get capacity in
+  if Array.length r.buf <> cap then begin
+    (* first use, or capacity changed: start a fresh ring *)
+    r.buf <- Array.make cap dummy;
+    r.size <- 0
+  end;
+  if r.size >= cap then
+    (* full: drop the new span rather than the old ones — early spans
+       (parse/plan/codegen) are the rare, interesting ones; late morsel
+       wraps would otherwise erase them. The drop is counted. *)
+    Atomic.incr dropped_count
+  else begin
+    r.buf.(r.size) <- sp;
+    r.size <- r.size + 1
+  end;
+  Mutex.unlock r.lock
+
+let record ?(pipeline = -1) name ~t0 ~t1 =
+  if Control.enabled () then
+    push
+      {
+        sp_name = name;
+        sp_domain = (Domain.self () :> int);
+        sp_pipeline = pipeline;
+        sp_t0 = t0;
+        sp_t1 = t1;
+      }
+
+let with_span ?pipeline name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let t0 = Aeq_util.Clock.now () in
+    Fun.protect
+      ~finally:(fun () -> record ?pipeline name ~t0 ~t1:(Aeq_util.Clock.now ()))
+      f
+  end
+
+let snapshot () =
+  let acc = ref [] in
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      for i = 0 to r.size - 1 do
+        acc := r.buf.(i) :: !acc
+      done;
+      Mutex.unlock r.lock)
+    rings;
+  List.sort (fun a b -> compare a.sp_t0 b.sp_t0) !acc
+
+let clear () =
+  Array.iter
+    (fun r ->
+      Mutex.lock r.lock;
+      r.buf <- [||];
+      r.size <- 0;
+      Mutex.unlock r.lock)
+    rings;
+  Atomic.set dropped_count 0
+
+let dropped () = Atomic.get dropped_count

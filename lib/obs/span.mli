@@ -1,0 +1,42 @@
+(** Query-lifecycle spans: parse → plan → codegen → optimize →
+    translate → compile → execute, nested per pipeline.
+
+    Spans are recorded into per-domain ring buffers — no shared lock on
+    the recording path beyond the (uncontended) per-slot mutex, bounded
+    memory, and an explicit dropped counter once a ring fills (the
+    early lifecycle spans are kept, later arrivals are dropped and
+    counted). With
+    observability disabled ({!Control.enabled} = [false]) {!with_span}
+    is a single branch around calling [f].
+
+    Nesting needs no explicit parent pointers: spans on the same domain
+    that overlap in time render as a flame graph in the Chrome trace
+    viewer (slices nest by containment). *)
+
+type span = {
+  sp_name : string;
+  sp_domain : int;  (** the recording domain's id *)
+  sp_pipeline : int;  (** -1 when the span is not pipeline-scoped *)
+  sp_t0 : float;  (** absolute seconds ({!Aeq_util.Clock.now}) *)
+  sp_t1 : float;
+}
+
+val with_span : ?pipeline:int -> string -> (unit -> 'a) -> 'a
+(** Run [f], recording the interval under [name]. Records also when
+    [f] raises (the span covers the failed attempt). No-op (one
+    branch) when observability is disabled. *)
+
+val record : ?pipeline:int -> string -> t0:float -> t1:float -> unit
+(** Record an explicit interval (gated like {!with_span}). *)
+
+val snapshot : unit -> span list
+(** All retained spans across domains, sorted by start time. *)
+
+val clear : unit -> unit
+
+val dropped : unit -> int
+(** Spans discarded because a ring was full since the last {!clear}. *)
+
+val set_capacity : int -> unit
+(** Per-domain ring capacity (default 8192, minimum 16). Takes effect
+    for rings created after the call; {!clear} recreates all rings. *)

@@ -1,0 +1,455 @@
+(* Tests for the observability subsystem: the JSON codec, the metrics
+   registry (including its Prometheus exposition and multi-domain
+   safety), lifecycle spans, the adaptive decision log, the Chrome
+   trace exporter, and the engine-level reset semantics. *)
+
+module M = Aeq_obs.Metrics
+module J = Aeq_obs.Json
+module Span = Aeq_obs.Span
+module DL = Aeq_obs.Decision_log
+module Control = Aeq_obs.Control
+module CM = Aeq_backend.Cost_model
+module Driver = Aeq_exec.Driver
+
+(* ---- JSON codec --------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd\tü");
+        ("n", J.Num 3.25);
+        ("i", J.Num 42.0);
+        ("neg", J.Num (-17.0));
+        ("b", J.Bool true);
+        ("z", J.Null);
+        ("arr", J.Arr [ J.Num 1.0; J.Str ""; J.Obj []; J.Arr [] ]);
+      ]
+  in
+  match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error m -> Alcotest.fail ("parse failed: " ^ m)
+
+let test_json_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_json_unicode_escape () =
+  match J.parse {|"Aé"|} with
+  | Ok (J.Str s) -> Alcotest.(check string) "decoded" "A\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error m -> Alcotest.fail m
+
+let test_json_rejects_nonfinite () =
+  Alcotest.check_raises "nan" (Invalid_argument "Json.to_string: non-finite number")
+    (fun () -> ignore (J.to_string (J.Num Float.nan)))
+
+(* ---- metrics registry --------------------------------------------- *)
+
+let test_counter_gauge_histogram () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "c_total" in
+  M.inc c;
+  M.add c 4;
+  Alcotest.(check int) "counter" 5 (M.value c);
+  (* get-or-create: same identity, same cell *)
+  M.inc (M.counter ~registry:r "c_total");
+  Alcotest.(check int) "shared" 6 (M.value c);
+  (* distinct labels are distinct series *)
+  let c2 = M.counter ~registry:r ~labels:[ ("k", "v") ] "c_total" in
+  M.inc c2;
+  Alcotest.(check int) "unlabelled untouched" 6 (M.value c);
+  let g = M.gauge ~registry:r "g" in
+  M.set g 42;
+  Alcotest.(check int) "gauge" 42 (M.gauge_value g);
+  let h = M.histogram ~registry:r ~buckets:[| 0.1; 1.0 |] "h_seconds" in
+  M.observe h 0.0625;
+  M.observe h 0.5;
+  M.observe h 5.0;
+  let samples = M.snapshot ~registry:r () in
+  let hist = List.find (fun s -> s.M.s_name = "h_seconds") samples in
+  (match hist.M.s_value with
+  | M.Histogram { buckets; sum; count } ->
+    Alcotest.(check int) "count" 3 count;
+    Alcotest.(check (float 1e-9)) "sum" 5.5625 sum;
+    Alcotest.(check int) "bucket count" 3 (Array.length buckets);
+    Alcotest.(check int) "cumulative le=0.1" 1 (snd buckets.(0));
+    Alcotest.(check int) "cumulative le=1" 2 (snd buckets.(1));
+    Alcotest.(check int) "cumulative +Inf" 3 (snd buckets.(2))
+  | _ -> Alcotest.fail "expected a histogram sample")
+
+let test_prometheus_exposition_golden () =
+  let r = M.create () in
+  let c =
+    M.counter ~registry:r ~help:"Requests served."
+      ~labels:[ ("mode", "a\"b\\c\nd") ]
+      "req_total"
+  in
+  M.add c 3;
+  M.set (M.gauge ~registry:r ~help:"Queue depth." "depth") 7;
+  let h = M.histogram ~registry:r ~help:"Latency." ~buckets:[| 0.1; 1.0 |] "lat_seconds" in
+  M.observe h 0.0625;
+  M.observe h 0.5;
+  M.observe h 5.0;
+  let expected =
+    String.concat ""
+      [
+        "# HELP depth Queue depth.\n";
+        "# TYPE depth gauge\n";
+        "depth 7\n";
+        "# HELP lat_seconds Latency.\n";
+        "# TYPE lat_seconds histogram\n";
+        "lat_seconds_bucket{le=\"0.1\"} 1\n";
+        "lat_seconds_bucket{le=\"1\"} 2\n";
+        "lat_seconds_bucket{le=\"+Inf\"} 3\n";
+        "lat_seconds_sum 5.5625\n";
+        "lat_seconds_count 3\n";
+        "# HELP req_total Requests served.\n";
+        "# TYPE req_total counter\n";
+        "req_total{mode=\"a\\\"b\\\\c\\nd\"} 3\n";
+      ]
+  in
+  Alcotest.(check string) "exposition" expected (M.render_prometheus ~registry:r ())
+
+let test_metrics_multi_domain_hammer () =
+  (* satellite (a): telemetry bumped from worker domains must not lose
+     updates — 4 domains hammer one counter and one histogram *)
+  let r = M.create () in
+  let c = M.counter ~registry:r "hammer_total" in
+  let h = M.histogram ~registry:r ~buckets:[| 1.0 |] "hammer_seconds" in
+  let per_domain = 50_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      M.inc c;
+      M.observe h 0.5
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "counter" (4 * per_domain) (M.value c);
+  match
+    (List.find (fun s -> s.M.s_name = "hammer_seconds") (M.snapshot ~registry:r ()))
+      .M.s_value
+  with
+  | M.Histogram { buckets; sum; count } ->
+    Alcotest.(check int) "histogram count" (4 * per_domain) count;
+    Alcotest.(check (float 1e-6)) "histogram sum" (0.5 *. float_of_int (4 * per_domain)) sum;
+    Alcotest.(check int) "first bucket" (4 * per_domain) (snd buckets.(0))
+  | _ -> Alcotest.fail "expected a histogram sample"
+
+let test_metrics_reset () =
+  let r = M.create () in
+  let c = M.counter ~registry:r "c_total" in
+  M.add c 9;
+  let g = M.gauge ~registry:r "g" in
+  M.set g 5;
+  M.gauge_fn ~registry:r "g_fn" (fun () -> 11);
+  let h = M.histogram ~registry:r ~buckets:[| 1.0 |] "h_seconds" in
+  M.observe h 0.5;
+  M.reset ~registry:r ();
+  Alcotest.(check int) "counter zeroed" 0 (M.value c);
+  Alcotest.(check int) "gauge kept" 5 (M.gauge_value g);
+  let samples = M.snapshot ~registry:r () in
+  (match (List.find (fun s -> s.M.s_name = "g_fn") samples).M.s_value with
+  | M.Gauge v -> Alcotest.(check int) "callback gauge still registered" 11 v
+  | _ -> Alcotest.fail "expected gauge");
+  match (List.find (fun s -> s.M.s_name = "h_seconds") samples).M.s_value with
+  | M.Histogram { sum; count; _ } ->
+    Alcotest.(check int) "histogram count zeroed" 0 count;
+    Alcotest.(check (float 0.0)) "histogram sum zeroed" 0.0 sum
+  | _ -> Alcotest.fail "expected histogram"
+
+(* ---- spans -------------------------------------------------------- *)
+
+let test_spans_record_and_drop () =
+  Control.with_enabled true (fun () ->
+      Span.set_capacity 16;
+      Span.clear ();
+      for i = 1 to 40 do
+        Span.record "s" ~t0:(float_of_int i) ~t1:(float_of_int i +. 0.5)
+      done;
+      let spans = Span.snapshot () in
+      Alcotest.(check int) "ring keeps capacity" 16 (List.length spans);
+      Alcotest.(check int) "drops counted" 24 (Span.dropped ());
+      (* early spans are the retained ones, sorted by start *)
+      (match spans with
+      | first :: _ -> Alcotest.(check (float 0.0)) "earliest kept" 1.0 first.Span.sp_t0
+      | [] -> Alcotest.fail "no spans");
+      Span.set_capacity 8192;
+      Span.clear ())
+
+let test_spans_disabled_noop () =
+  Control.with_enabled false (fun () ->
+      Span.clear ();
+      let r = Span.with_span "x" (fun () -> 41 + 1) in
+      Alcotest.(check int) "value passes through" 42 r;
+      Span.record "x" ~t0:0.0 ~t1:1.0;
+      Alcotest.(check int) "nothing recorded" 0 (List.length (Span.snapshot ())))
+
+let test_spans_record_on_raise () =
+  Control.with_enabled true (fun () ->
+      Span.clear ();
+      (try Span.with_span "fails" (fun () -> failwith "boom") with Failure _ -> ());
+      match Span.snapshot () with
+      | [ sp ] ->
+        Alcotest.(check string) "span name" "fails" sp.Span.sp_name;
+        Alcotest.(check bool) "positive duration" true (sp.Span.sp_t1 >= sp.Span.sp_t0);
+        Span.clear ()
+      | l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l)))
+
+(* ---- decision log ------------------------------------------------- *)
+
+let entry_at t =
+  {
+    DL.d_time = t;
+    d_pipeline = 0;
+    d_mode = "bytecode";
+    d_processed = 100;
+    d_remaining = 900;
+    d_rate = 1e6;
+    d_stay_seconds = 0.9;
+    d_candidates = [];
+    d_action = DL.Stay;
+    d_reason = "test";
+  }
+
+let test_decision_log_bounded () =
+  Control.with_enabled true (fun () ->
+      DL.clear ();
+      DL.set_capacity 16;
+      for i = 1 to 40 do
+        DL.log (entry_at (float_of_int i))
+      done;
+      Alcotest.(check int) "bounded" 16 (List.length (DL.snapshot ()));
+      Alcotest.(check int) "drops counted" 24 (DL.dropped ());
+      DL.clear ();
+      DL.set_capacity 8192);
+  Control.with_enabled false (fun () ->
+      DL.log (entry_at 0.0);
+      Alcotest.(check int) "disabled: no entry" 0 (List.length (DL.snapshot ())))
+
+(* The Fig. 7 evaluation with its working shown: stay-projection and
+   candidate totals must follow the paper's formulas, and the decision
+   must pick the cheapest projection. *)
+let test_evaluate_shows_its_working () =
+  let model = CM.default in
+  let remaining = 10_000_000 and rate = 1e6 and w = 4 and n_instrs = 1000 in
+  let ev =
+    Aeq_exec.Adaptive.evaluate ~model ~current_mode:CM.Bytecode ~n_instrs ~remaining
+      ~rate ~n_threads:w ()
+  in
+  let fw = float_of_int w in
+  Alcotest.(check (float 1e-9))
+    "stay projection"
+    (float_of_int remaining /. rate /. fw)
+    ev.Aeq_exec.Adaptive.ev_stay_seconds;
+  let check_candidate mode =
+    let c =
+      List.find
+        (fun c -> c.Aeq_exec.Adaptive.cand_mode = mode)
+        ev.Aeq_exec.Adaptive.ev_candidates
+    in
+    let compile = CM.compile_time model mode n_instrs in
+    let during = (fw -. 1.0) *. rate *. compile in
+    let leftover = Stdlib.max (float_of_int remaining -. during) 0.0 in
+    let cand_rate = rate *. CM.speedup model mode /. CM.speedup model CM.Bytecode in
+    let expected = compile +. (leftover /. cand_rate /. fw) in
+    Alcotest.(check (float 1e-9))
+      (CM.mode_name mode ^ " projection")
+      expected c.Aeq_exec.Adaptive.cand_seconds;
+    Alcotest.(check bool)
+      (CM.mode_name mode ^ " not blacklisted")
+      false c.Aeq_exec.Adaptive.cand_blacklisted;
+    c
+  in
+  let cu = check_candidate CM.Unopt in
+  let co = check_candidate CM.Opt in
+  (* 10 s of bytecode work: some compiled candidate must win, and the
+     decision must be the argmin of the projections *)
+  match ev.Aeq_exec.Adaptive.ev_decision with
+  | Aeq_exec.Adaptive.Compile m ->
+    let best =
+      if co.Aeq_exec.Adaptive.cand_seconds <= cu.Aeq_exec.Adaptive.cand_seconds then CM.Opt
+      else CM.Unopt
+    in
+    Alcotest.(check string) "argmin chosen" (CM.mode_name best) (CM.mode_name m)
+  | Aeq_exec.Adaptive.Do_nothing -> Alcotest.fail "10 s of work must trigger compilation"
+
+let test_decision_log_records_promotion () =
+  (* satellite (d): a forced bytecode→compiled promotion must land in
+     the decision log with the extrapolation that justified it *)
+  Control.with_enabled true (fun () ->
+      DL.clear ();
+      Span.clear ();
+      (* huge claimed speedups, real (unsimulated) compile latencies:
+         the first evaluation with a rate sample promotes *)
+      let cost_model = CM.with_speedups CM.off ~unopt:50.0 ~opt:100.0 in
+      let e = Aeq.Engine.create ~n_threads:2 ~cost_model () in
+      Aeq.Engine.load_tpch e ~scale_factor:0.01;
+      let _r =
+        Aeq.Engine.query e ~mode:Driver.Adaptive "select count(*) from lineitem"
+      in
+      let entries = DL.snapshot () in
+      Alcotest.(check bool) "controller evaluations logged" true (entries <> []);
+      let promotions =
+        List.filter
+          (fun d -> match d.DL.d_action with DL.Promote _ -> true | DL.Stay -> false)
+          entries
+      in
+      Alcotest.(check bool) "a promotion was logged" true (promotions <> []);
+      List.iter
+        (fun d ->
+          Alcotest.(check string) "reason" "extrapolated win" d.DL.d_reason;
+          Alcotest.(check bool) "had a rate sample" true (d.DL.d_rate > 0.0);
+          let target =
+            match d.DL.d_action with DL.Promote m -> m | DL.Stay -> assert false
+          in
+          let cand =
+            List.find (fun c -> c.DL.c_mode = target) d.DL.d_candidates
+          in
+          (* the log must show the win it claims: the chosen candidate's
+             projected total beats staying put and every rival *)
+          Alcotest.(check bool)
+            "candidate beats staying" true
+            (cand.DL.c_total_seconds < d.DL.d_stay_seconds);
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "candidate is argmin" true
+                (cand.DL.c_total_seconds <= c.DL.c_total_seconds))
+            d.DL.d_candidates)
+        promotions;
+      DL.clear ();
+      Span.clear ();
+      Aeq.Engine.close e)
+
+(* ---- Chrome trace export ------------------------------------------ *)
+
+let test_chrome_trace_roundtrip () =
+  Control.with_enabled true (fun () ->
+      DL.clear ();
+      Span.clear ();
+      let cost_model = CM.with_speedups CM.off ~unopt:50.0 ~opt:100.0 in
+      let e = Aeq.Engine.create ~n_threads:2 ~cost_model () in
+      Aeq.Engine.load_tpch e ~scale_factor:0.01;
+      let r =
+        Aeq.Engine.query e ~mode:Driver.Adaptive ~collect_trace:true
+          "select count(*) from lineitem"
+      in
+      let doc = Aeq_exec.Trace_export.chrome_json ?trace:r.Driver.trace () in
+      (match J.parse doc with
+      | Error m -> Alcotest.fail ("trace does not parse: " ^ m)
+      | Ok j ->
+        let events =
+          match J.member "traceEvents" j with
+          | Some arr -> J.to_list arr
+          | None -> []
+        in
+        Alcotest.(check bool) "has events" true (events <> []);
+        let cat ev = Option.bind (J.member "cat" ev) J.to_str in
+        let has c = List.exists (fun ev -> cat ev = Some c) events in
+        Alcotest.(check bool) "morsel events" true (has "morsel");
+        Alcotest.(check bool) "lifecycle spans" true (has "span");
+        Alcotest.(check bool) "adaptive decisions" true (has "adaptive");
+        Alcotest.(check bool) "compile bursts" true (has "compile");
+        (* timestamps are rebased: all non-negative *)
+        List.iter
+          (fun ev ->
+            match Option.bind (J.member "ts" ev) J.to_float with
+            | Some ts -> if ts < -1e-6 then Alcotest.fail "negative timestamp"
+            | None -> Alcotest.fail "event without ts")
+          events);
+      DL.clear ();
+      Span.clear ();
+      Aeq.Engine.close e)
+
+(* ---- execution trace bounds (satellite b) ------------------------- *)
+
+let test_trace_capped_with_dropped_counter () =
+  let tr = Aeq_exec.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    let t = float_of_int i in
+    Aeq_exec.Trace.record tr ~pipeline:0 ~tid:0 ~t0:t ~t1:(t +. 0.5)
+      (Aeq_exec.Trace.Ev_morsel CM.Bytecode)
+  done;
+  Alcotest.(check int) "kept" 4 (Aeq_exec.Trace.n_events tr);
+  Alcotest.(check int) "dropped" 6 (Aeq_exec.Trace.dropped tr);
+  let evs = Aeq_exec.Trace.events tr in
+  Alcotest.(check int) "events list capped" 4 (List.length evs);
+  let sorted = List.sort (fun a b -> compare a.Aeq_exec.Trace.t0 b.Aeq_exec.Trace.t0) evs in
+  Alcotest.(check bool) "events come out sorted" true (evs = sorted)
+
+(* ---- engine-level reset (satellite c) ----------------------------- *)
+
+let test_engine_reset_stats () =
+  Control.with_enabled true (fun () ->
+      M.reset ();
+      let e = Aeq.Engine.create ~n_threads:2 ~cost_model:CM.off () in
+      Aeq.Engine.load_tpch e ~scale_factor:0.002;
+      let sql = "select count(*) from region" in
+      ignore (Aeq.Engine.query e sql);
+      ignore (Aeq.Engine.query e sql);
+      let count_queries () =
+        List.fold_left
+          (fun acc s ->
+            match (s.M.s_name, s.M.s_value) with
+            | "aeq_queries_total", M.Counter v -> acc + v
+            | _ -> acc)
+          0
+          (Aeq.Engine.metrics ())
+      in
+      Alcotest.(check int) "queries counted" 2 (count_queries ());
+      Alcotest.(check int) "cache hit counted" 1 (Aeq.Engine.cache_stats e).Aeq.Engine.hits;
+      Aeq.Engine.reset_stats e;
+      Alcotest.(check int) "query counter zeroed" 0 (count_queries ());
+      let cs = Aeq.Engine.cache_stats e in
+      Alcotest.(check int) "cache hits zeroed" 0 cs.Aeq.Engine.hits;
+      Alcotest.(check int) "cache misses zeroed" 0 cs.Aeq.Engine.misses;
+      (* the cache itself survives the reset: re-running is still a hit *)
+      ignore (Aeq.Engine.query e sql);
+      Alcotest.(check int) "entry survived reset" 1 (Aeq.Engine.cache_stats e).Aeq.Engine.hits;
+      Aeq.Engine.close e)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_parse_rejects_garbage;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "rejects non-finite" `Quick test_json_rejects_nonfinite;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge/histogram" `Quick test_counter_gauge_histogram;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_exposition_golden;
+          Alcotest.test_case "multi-domain hammer" `Quick test_metrics_multi_domain_hammer;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "record and drop" `Quick test_spans_record_and_drop;
+          Alcotest.test_case "disabled no-op" `Quick test_spans_disabled_noop;
+          Alcotest.test_case "records on raise" `Quick test_spans_record_on_raise;
+        ] );
+      ( "decision-log",
+        [
+          Alcotest.test_case "bounded" `Quick test_decision_log_bounded;
+          Alcotest.test_case "evaluate shows its working" `Quick
+            test_evaluate_shows_its_working;
+          Alcotest.test_case "records promotion" `Quick test_decision_log_records_promotion;
+        ] );
+      ( "chrome-trace",
+        [ Alcotest.test_case "roundtrip" `Quick test_chrome_trace_roundtrip ] );
+      ( "trace-bounds",
+        [
+          Alcotest.test_case "capped with dropped counter" `Quick
+            test_trace_capped_with_dropped_counter;
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "reset_stats" `Quick test_engine_reset_stats ] );
+    ]
