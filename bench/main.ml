@@ -293,7 +293,7 @@ let regalloc () =
   Printf.printf "%-5s %10s %10s %10s\n" "query" "loop-aware" "window(4)" "no-reuse";
   let no_symbols = Aeq_rt.Symbols.resolver
       (Aeq_rt.Context.create ~arena:(Aeq_storage.Catalog.arena (Aeq.Engine.catalog e))
-         ~dict:(Aeq_storage.Catalog.dict (Aeq.Engine.catalog e)) ~n_threads:1)
+         ~dict:(Aeq_storage.Catalog.dict (Aeq.Engine.catalog e)) ~n_threads:1 ())
   in
   List.iter
     (fun qn ->
@@ -590,7 +590,7 @@ let concurrency () =
           Printf.printf "%-10s %8d %10.1f %9.2f %9.2f %7d %5d %7d %9d\n%!"
             (if admission then "scheduler" else "direct") clients thru (ms p50)
             (ms p99) failed shed rejected degraded)
-        [ 1; 4; 16 ])
+        [ 1; 4; 8; 16 ])
     [ false; true ];
   let out = open_out "BENCH_concurrency.json" in
   Printf.fprintf out

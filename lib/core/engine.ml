@@ -9,17 +9,20 @@ type cache_entry = {
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
 
-(* Lock order: exec_lock -> cache_lock (query/prepare take both).
-   sched_lock is leaf-only and never held across either. *)
+(* No execution lock: queries run concurrently over per-execution
+   contexts and arena leases (the driver owns that isolation). The
+   only serialized section is plan-cache lookup/prepare, guarded by
+   cache_lock with single-flight de-duplication of concurrent misses
+   on the same text. sched_lock is leaf-only and never held across
+   cache_lock. *)
 type t = {
   catalog : Aeq_storage.Catalog.t;
   pool : Aeq_exec.Pool.t;
   cost_model : Aeq_backend.Cost_model.t;
   plan_cache : (string, cache_entry) Hashtbl.t;
-  cache_lock : Mutex.t; (* guards plan_cache, its counters, and ce_* fields *)
-  exec_lock : Mutex.t;
-      (* the execution core (arena, pool, per-statement contexts) is
-         single-writer; concurrent [query] callers serialize here *)
+  cache_lock : Mutex.t; (* guards plan_cache, its counters, ce_* fields, preparing *)
+  prep_done : Condition.t; (* signalled when a single-flight prepare finishes *)
+  preparing : (string, unit) Hashtbl.t; (* texts with a prepare in flight *)
   sched_lock : Mutex.t; (* guards lazy scheduler creation/config *)
   mutable scheduler : Aeq_exec.Scheduler.t option;
   mutable sched_config : Aeq_exec.Scheduler.config;
@@ -37,26 +40,29 @@ let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* Engine-level gauges: polled at scrape time, so a fresh engine simply
-   re-registers the callbacks and takes the series over from a closed
-   one (the registry is process-wide). *)
+(* Engine-level gauges: registered unconditionally — the registry is
+   cheap and process-wide, and rendering is what observability gates.
+   Registering only when enabled-at-create silently lost the gauges
+   for engines created before AEQ_OBS / Control.set_enabled turned
+   observability on. *)
 let register_gauges t =
-  if Obs.Control.enabled () then begin
-    Obs.Metrics.gauge_fn "aeq_arena_resident_bytes"
-      ~help:"Arena high-water mark: bytes resident across chunks."
-      (fun () ->
-        Aeq_mem.Arena.resident_bytes (Aeq_storage.Catalog.arena t.catalog));
-    Obs.Metrics.gauge_fn "aeq_pool_busy"
-      ~help:"1 while the worker pool is executing a job, else 0."
-      (fun () -> if Aeq_exec.Pool.busy t.pool then 1 else 0);
-    Obs.Metrics.gauge_fn "aeq_plan_cache_entries"
-      ~help:"Prepared statements resident in the plan cache."
-      (fun () ->
-        Mutex.lock t.cache_lock;
-        let n = Hashtbl.length t.plan_cache in
-        Mutex.unlock t.cache_lock;
-        n)
-  end
+  Obs.Metrics.gauge_fn "aeq_arena_resident_bytes"
+    ~help:"Arena high-water mark: bytes resident across chunks."
+    (fun () ->
+      Aeq_mem.Arena.resident_bytes (Aeq_storage.Catalog.arena t.catalog));
+  Obs.Metrics.gauge_fn "aeq_pool_active_jobs"
+    ~help:"Pipeline jobs currently in flight on the worker pool."
+    (fun () -> Aeq_exec.Pool.active_jobs t.pool);
+  Obs.Metrics.gauge_fn "aeq_pool_busy"
+    ~help:"1 while the worker pool is executing at least one job, else 0."
+    (fun () -> if Aeq_exec.Pool.busy t.pool then 1 else 0);
+  Obs.Metrics.gauge_fn "aeq_plan_cache_entries"
+    ~help:"Prepared statements resident in the plan cache."
+    (fun () ->
+      Mutex.lock t.cache_lock;
+      let n = Hashtbl.length t.plan_cache in
+      Mutex.unlock t.cache_lock;
+      n)
 
 let create ?n_threads ?cost_model ?chunk_size () =
   let n_threads =
@@ -83,10 +89,14 @@ let create ?n_threads ?cost_model ?chunk_size () =
       cost_model;
       plan_cache = Hashtbl.create 64;
       cache_lock = Mutex.create ();
-      exec_lock = Mutex.create ();
+      prep_done = Condition.create ();
+      preparing = Hashtbl.create 8;
       sched_lock = Mutex.create ();
       scheduler = None;
-      sched_config = Aeq_exec.Scheduler.default_config;
+      sched_config =
+        (* several dispatcher domains so the admission path keeps
+           multiple accepted queries in flight at once *)
+        { Aeq_exec.Scheduler.default_config with dispatchers = n_threads };
       cache_enabled = true;
       cache_capacity = default_cache_capacity;
       cache_tick = 0;
@@ -157,45 +167,72 @@ let touch t entry =
   t.cache_tick <- t.cache_tick + 1;
   entry.ce_last_used <- t.cache_tick
 
-(* Look the statement up, preparing (and possibly evicting) on miss.
-   Caller holds exec_lock (Driver.prepare touches the shared
-   catalog/arena); the cache structure itself is guarded here. *)
-let prepare_entry t sql =
-  let cached =
-    with_lock t.cache_lock (fun () ->
-        match Hashtbl.find_opt t.plan_cache sql with
-        | Some e ->
-          t.cache_hits <- t.cache_hits + 1;
-          if Obs.Control.enabled () then
-            Obs.Metrics.inc
-              (Obs.Metrics.counter "aeq_plan_cache_hits_total"
-                 ~help:"Plan-cache lookups that reused a prepared statement.");
-          touch t e;
-          Some e
-        | None ->
-          t.cache_misses <- t.cache_misses + 1;
-          if Obs.Control.enabled () then
-            Obs.Metrics.inc
-              (Obs.Metrics.counter "aeq_plan_cache_misses_total"
-                 ~help:"Plan-cache lookups that had to prepare from scratch.");
-          None)
-  in
-  match cached with
-  | Some e -> e
-  | None ->
-    let prepared =
-      Aeq_exec.Driver.prepare ~cost_model:t.cost_model t.catalog (plan t sql)
-        ~n_threads:(n_threads t)
-    in
-    let e = { ce_prepared = prepared; ce_modes = []; ce_last_used = 0 } in
-    with_lock t.cache_lock (fun () ->
-        touch t e;
-        Hashtbl.replace t.plan_cache sql e;
-        evict_down_to t t.cache_capacity);
-    e
+let note_hit t e =
+  t.cache_hits <- t.cache_hits + 1;
+  if Obs.Control.enabled () then
+    Obs.Metrics.inc
+      (Obs.Metrics.counter "aeq_plan_cache_hits_total"
+         ~help:"Plan-cache lookups that reused a prepared statement.");
+  touch t e
 
-let prepare t sql =
-  with_lock t.exec_lock (fun () -> ignore (prepare_entry t sql))
+(* Look the statement up, preparing (and possibly evicting) on miss.
+   Planning and codegen run OUTSIDE cache_lock — they are the
+   expensive part and touch only thread-safe state (catalog reads,
+   dictionary encode under its own lock). Concurrent misses on the
+   same text single-flight: the first caller prepares, the rest wait
+   on [prep_done] and then take the cache hit. *)
+let prepare_entry t sql =
+  let rec lookup () =
+    Mutex.lock t.cache_lock;
+    match Hashtbl.find_opt t.plan_cache sql with
+    | Some e ->
+      note_hit t e;
+      Mutex.unlock t.cache_lock;
+      e
+    | None ->
+      if Hashtbl.mem t.preparing sql then begin
+        (* another caller is preparing this text; joining the wait
+           (rather than preparing twice) keeps the cache single-entry
+           and the duplicated codegen cost off the serving path *)
+        Condition.wait t.prep_done t.cache_lock;
+        Mutex.unlock t.cache_lock;
+        lookup ()
+      end
+      else begin
+        t.cache_misses <- t.cache_misses + 1;
+        if Obs.Control.enabled () then
+          Obs.Metrics.inc
+            (Obs.Metrics.counter "aeq_plan_cache_misses_total"
+               ~help:"Plan-cache lookups that had to prepare from scratch.");
+        Hashtbl.replace t.preparing sql ();
+        Mutex.unlock t.cache_lock;
+        let finish () =
+          with_lock t.cache_lock (fun () ->
+              Hashtbl.remove t.preparing sql;
+              Condition.broadcast t.prep_done)
+        in
+        match
+          Aeq_exec.Driver.prepare ~cost_model:t.cost_model t.catalog (plan t sql)
+            ~n_threads:(n_threads t)
+        with
+        | prepared ->
+          let e = { ce_prepared = prepared; ce_modes = []; ce_last_used = 0 } in
+          with_lock t.cache_lock (fun () ->
+              touch t e;
+              Hashtbl.replace t.plan_cache sql e;
+              evict_down_to t t.cache_capacity);
+          finish ();
+          e
+        | exception exn ->
+          (* unparseable/unplannable text: wake waiters so they retry,
+             fail, and don't hang on a prepare that will never land *)
+          finish ();
+          raise exn
+      end
+  in
+  lookup ()
+
+let prepare t sql = ignore (prepare_entry t sql)
 
 let cached_executions t sql =
   let entry =
@@ -214,10 +251,9 @@ let error_label = function
   | Aeq_exec.Query_error.Overloaded _ -> "overloaded"
   | Aeq_exec.Query_error.Rejected _ -> "rejected"
 
-(* Per-query accounting around the exec-lock critical section: a
-   completed-query counter per requested mode, an end-to-end latency
-   histogram (lock wait included — that is what a client experiences),
-   and an error counter per failure class. *)
+(* Per-query accounting: a completed-query counter per requested mode,
+   an end-to-end latency histogram, and an error counter per failure
+   class. *)
 let with_query_obs mode f =
   if not (Obs.Control.enabled ()) then f ()
   else begin
@@ -252,43 +288,43 @@ let with_query_obs mode f =
 let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_seconds
     ?cancel ?memory_budget_bytes ?on_compile_failure t sql =
   with_query_obs mode @@ fun () ->
-  with_lock t.exec_lock (fun () ->
-      let cache_enabled =
-        with_lock t.cache_lock (fun () -> t.cache_enabled)
-      in
-      if not cache_enabled then begin
-        let p = plan t sql in
-        Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
-          ?cancel ?memory_budget_bytes ?on_compile_failure t.catalog p ~mode ~pool:t.pool
-      end
-      else begin
-        (* prepared-statement cache with per-pipeline mode memory (the
-           paper's Sec. VI extension): repeated executions of the same
-           text reuse the plan AND the compiled artifacts — codegen,
-           bytecode translation and machine-code variants are paid once.
-           In adaptive mode, pipelines start in the mode they had
-           converged to last time. A failed execution leaves the entry
-           cached and reusable (the driver guarantees cleanup); only a
-           successful adaptive run updates the mode memory. *)
-        let entry = prepare_entry t sql in
-        let initial_modes =
-          with_lock t.cache_lock (fun () ->
-              if
-                Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
-                && mode = Aeq_exec.Driver.Adaptive
-              then Some entry.ce_modes
-              else None)
-        in
-        let r =
-          Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes ?timeout_seconds
-            ?cancel ?memory_budget_bytes ?on_compile_failure entry.ce_prepared ~mode
-            ~pool:t.pool
-        in
-        if mode = Aeq_exec.Driver.Adaptive then
-          with_lock t.cache_lock (fun () ->
-              entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes);
-        r
-      end)
+  let cache_enabled = with_lock t.cache_lock (fun () -> t.cache_enabled) in
+  if not cache_enabled then begin
+    let p = plan t sql in
+    Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
+      ?cancel ?memory_budget_bytes ?on_compile_failure t.catalog p ~mode ~pool:t.pool
+  end
+  else begin
+    (* prepared-statement cache with per-pipeline mode memory (the
+       paper's Sec. VI extension): repeated executions of the same
+       text reuse the plan AND the compiled artifacts — codegen,
+       bytecode translation and machine-code variants are paid once.
+       In adaptive mode, pipelines start in the mode they had
+       converged to last time. Execution itself takes no engine-wide
+       lock: concurrent callers — even of the same cached entry — run
+       in parallel over private contexts and arena leases. A failed
+       execution leaves the entry cached and reusable (the driver
+       guarantees cleanup); only a successful adaptive run updates
+       the mode memory. *)
+    let entry = prepare_entry t sql in
+    let initial_modes =
+      with_lock t.cache_lock (fun () ->
+          if
+            Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
+            && mode = Aeq_exec.Driver.Adaptive
+          then Some entry.ce_modes
+          else None)
+    in
+    let r =
+      Aeq_exec.Driver.execute_prepared ~collect_trace ?initial_modes ?timeout_seconds
+        ?cancel ?memory_budget_bytes ?on_compile_failure entry.ce_prepared ~mode
+        ~pool:t.pool
+    in
+    if mode = Aeq_exec.Driver.Adaptive then
+      with_lock t.cache_lock (fun () ->
+          entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes);
+    r
+  end
 
 (* Translation validation at the whole-query level: the same statement
    through every execution mode (interpreter-only, both up-front
@@ -405,8 +441,8 @@ let reset_stats t =
   | Some s -> Aeq_exec.Scheduler.reset_stats s
   | None -> ()
 
-(* Scheduler first (drains queued clients, finishes the in-flight
-   query), then the pool. Both are idempotent, so close is. *)
+(* Scheduler first (drains queued clients, finishes in-flight
+   queries), then the pool. Both are idempotent, so close is. *)
 let close t =
   let s = with_lock t.sched_lock (fun () -> t.scheduler) in
   (match s with Some s -> Aeq_exec.Scheduler.shutdown s | None -> ());

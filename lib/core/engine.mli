@@ -58,12 +58,15 @@ val query :
   Aeq_exec.Driver.result
 (** Plan + execute. [mode] defaults to [Adaptive].
 
-    Thread-safe: the execution core (shared arena, worker pool,
-    per-statement contexts) is single-writer, so concurrent callers
-    serialize on an internal lock and the plan cache is guarded
-    separately. For serving many clients with admission control and
-    backpressure instead of an unbounded lock convoy, use {!submit} /
-    {!query_concurrent}.
+    Thread-safe and concurrent: each execution runs over its own
+    runtime context and a private arena lease, so any number of
+    callers execute simultaneously — including re-executions of the
+    same cached statement. Callers contend only on the plan-cache
+    lookup; compiling a statement not yet cached is single-flighted
+    (concurrent callers of the same new text wait for the one
+    compilation, then all proceed on the cached plan). For serving
+    many clients with admission control, fairness, deadlines and
+    backpressure, use {!submit} / {!query_concurrent}.
 
     Guardrails (see {!Aeq_exec.Driver.execute_prepared} for the full
     contract): [timeout_seconds] and [cancel] stop the query at the

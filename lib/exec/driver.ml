@@ -38,14 +38,14 @@ type prepared = {
   pr_plan : P.t;
   pr_layout : P.layout;
   pr_cost_model : CM.t;
-  pr_ctx : Aeq_rt.Context.t;
+  pr_n_threads : int;
   pr_symbols : Aeq_vm.Rt_fn.resolver;
   pr_handles : Handle.compiled array;
   pr_codegen_seconds : float;
   pr_bc_seconds : float;
   pr_executions : int Atomic.t;
-      (* read by cache bookkeeping on other threads (Engine.cached_executions)
-         while the exec lock holder bumps it *)
+      (* read by cache bookkeeping on other threads
+         (Engine.cached_executions) while executions bump it *)
 }
 
 let prepared_executions p = Atomic.get p.pr_executions
@@ -68,11 +68,14 @@ let rec atomic_add_float a d =
 
 let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
   let arena = Aeq_storage.Catalog.arena catalog in
-  let ctx =
-    Aeq_rt.Context.create ~arena ~dict:(Aeq_storage.Catalog.dict catalog)
-      ~n_threads:(Stdlib.max 1 n_threads)
+  let n_threads = Stdlib.max 1 n_threads in
+  (* The fallback context for the resolver: per-execution contexts are
+     installed domain-locally by pipeline workers, so the compiled
+     artifacts themselves are execution-independent and cacheable. *)
+  let fallback_ctx =
+    Aeq_rt.Context.create ~arena ~dict:(Aeq_storage.Catalog.dict catalog) ~n_threads ()
   in
-  let symbols = Aeq_rt.Symbols.resolver ctx in
+  let symbols = Aeq_rt.Symbols.resolver fallback_ctx in
   let layout = P.layout plan in
   let workers, codegen_seconds =
     Aeq_util.Clock.time_it (fun () ->
@@ -95,7 +98,7 @@ let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
     pr_plan = plan;
     pr_layout = layout;
     pr_cost_model = cost_model;
-    pr_ctx = ctx;
+    pr_n_threads = n_threads;
     pr_symbols = symbols;
     pr_handles = handles;
     pr_codegen_seconds = codegen_seconds;
@@ -109,17 +112,22 @@ let error_of_exn = function
   | Aeq_util.Failpoints.Injected site -> Query_error.Trap ("injected fault at " ^ site)
   | e -> Query_error.Trap (Printexc.to_string e)
 
+(* rows small enough that pool wakeups cost more than they buy *)
+let inline_threshold = 512
+
 let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?cancel
     ?memory_budget_bytes ?(on_compile_failure = `Degrade) p ~mode ~pool =
   let t_start = Aeq_util.Clock.now () in
   let catalog = p.pr_catalog and plan = p.pr_plan and layout = p.pr_layout in
   let cost_model = p.pr_cost_model in
-  let n_threads = Pool.n_threads pool in
-  if n_threads > p.pr_ctx.Aeq_rt.Context.n_threads then
-    invalid_arg "Driver.execute_prepared: pool is wider than the prepared statement";
+  let n_threads = Stdlib.min (Pool.n_threads pool) p.pr_n_threads in
   let arena = Aeq_storage.Catalog.arena catalog in
-  let mark = A.mark_chunks arena in
-  let mem_baseline = A.used arena in
+  (* Everything this execution allocates — hash tables, aggregation
+     state, output rows, the state area — goes into its own scratch
+     lease, released on every exit path. Concurrent executions (even
+     of the same cached plan) therefore never share mutable arena
+     state; the shared base chunks (loaded columns) are read-only. *)
+  let lease = A.lease arena in
   let deadline = Option.map (fun s -> t_start +. s) timeout_seconds in
   (* --- query guardrails --------------------------------------------- *)
   (* The first error (worker trap, cancellation, deadline, budget
@@ -140,10 +148,10 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         fail (Query_error.Timeout (Option.get timeout_seconds))
       | _ -> ());
       match memory_budget_bytes with
-      | Some b when A.used arena - mem_baseline > b ->
+      | Some b when A.lease_used lease > b ->
         fail
           (Query_error.Memory_budget_exceeded
-             { budget_bytes = b; used_bytes = A.used arena - mem_baseline })
+             { budget_bytes = b; used_bytes = A.lease_used lease })
       | _ -> ()));
     Atomic.get failed <> None
   in
@@ -195,10 +203,13 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
   in
   let mode_index = function CM.Bytecode -> 0 | CM.Unopt -> 1 | CM.Opt -> 2 in
   let body () =
-    (* rebind the long-lived context to this execution: fresh registries
-       (ids re-issued in planning order) and fresh allocators *)
-    Aeq_rt.Context.reset p.pr_ctx;
-    let ctx = p.pr_ctx in
+    (* per-execution context: fresh registries (ids issued in planning
+       order) and per-worker allocators drawing from this execution's
+       lease *)
+    let ctx =
+      Aeq_rt.Context.create ~lease ~arena ~dict:(Aeq_storage.Catalog.dict catalog)
+        ~n_threads ()
+    in
     let handles =
       Array.map
         (fun c -> Handle.bind c ~cost_model ~symbols:p.pr_symbols ~mem:arena)
@@ -264,9 +275,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
       end
     in
     (match mode with
-    | Bytecode ->
-      (* re-executions may start on a cached compiled variant *)
-      Array.iter (fun h -> ignore (Handle.promote h ~mode:CM.Bytecode)) handles
+    | Bytecode -> ()
     | Unopt -> Array.iteri (fun i h -> static_promote ~pipeline:i h CM.Unopt) handles
     | Opt -> Array.iteri (fun i h -> static_promote ~pipeline:i h CM.Opt) handles
     | Adaptive -> ());
@@ -320,6 +329,10 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         in
         let next = Atomic.make 0 in
         let job ~tid =
+          (* compiled code resolves runtime objects through the
+             domain-current context; install ours for the duration *)
+          Aeq_rt.Context.set_current ctx;
+          Fun.protect ~finally:Aeq_rt.Context.clear_current @@ fun () ->
           let regs = ref (Bytes.make 256 '\000') in
           let continue_ = ref true in
           while !continue_ do
@@ -395,7 +408,13 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         let (), dt =
           Aeq_util.Clock.time_it (fun () ->
               if total > 0 then
-                Aeq_obs.Span.with_span ~pipeline:pi "execute" (fun () -> Pool.run pool job))
+                Aeq_obs.Span.with_span ~pipeline:pi "execute" (fun () ->
+                    (* tiny pipelines run inline: one morsel's worth of
+                       rows is not worth waking pool domains for, and
+                       under high query concurrency the wakeup storm is
+                       pure overhead *)
+                    if total <= inline_threshold || n_threads = 1 then job ~tid:0
+                    else Pool.run ~max_tids:n_threads pool job))
         in
         atomic_add_float exec_seconds dt;
         raise_if_failed ())
@@ -457,12 +476,14 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
       trace;
     }
   in
-  (* Guaranteed cleanup: whatever happens above, the query scratch is
-     released so the arena, the shared context (reset at the start of
-     the next execution) and therefore the cached prepared statement
-     stay reusable. Failures surface as structured [Query_error]s. *)
+  (* Guaranteed cleanup: whatever happens above, this execution's
+     scratch lease goes back to the arena's free pool, so concurrent
+     and future queries see the memory again and the cached prepared
+     statement stays reusable. Failures surface as structured
+     [Query_error]s. All output rows were copied out of the arena
+     before this point. *)
   Fun.protect
-    ~finally:(fun () -> A.truncate arena mark)
+    ~finally:(fun () -> A.release lease)
     (fun () ->
       try body () with
       | Query_error.Error _ as e -> raise e

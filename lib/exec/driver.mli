@@ -58,11 +58,12 @@ type result = {
 }
 
 type prepared
-(** A compiled plan: worker IR, translated bytecode, promoted
-    machine-code variants, and the runtime context the code was
-    resolved against. Re-executable any number of times (not
-    concurrently with itself — each execution resets and re-populates
-    the shared context). *)
+(** A compiled plan: worker IR, translated bytecode, and promoted
+    machine-code variants. Re-executable any number of times,
+    including concurrently with itself — each execution builds its own
+    runtime context over a private arena lease, and the compiled
+    artifacts resolve runtime objects through the domain-current
+    context rather than a baked-in one. *)
 
 val prepare :
   ?cost_model:Aeq_backend.Cost_model.t ->
@@ -85,9 +86,12 @@ val execute_prepared :
   mode:mode ->
   pool:Pool.t ->
   result
-(** Execute a prepared statement. Pipelines start in the variant left
-    installed by the previous execution (warm start); static modes
-    install their variant first, reusing cached compilations.
+(** Execute a prepared statement. Each execution is self-contained: a
+    scratch arena lease, a fresh runtime context, and per-execution
+    handle bindings, so concurrent executions (of this or other
+    statements) share only immutable state. Static modes install
+    their variant first, reusing cached compilations; adaptive
+    executions can warm-start from [initial_modes].
 
     Guardrails (all cooperative, checked at morsel boundaries):
     - [timeout_seconds] bounds the execution's wall time;
@@ -102,20 +106,24 @@ val execute_prepared :
 
     On any failure the query raises [Query_error.Error] {e after}
     cleanup: the first worker error stops the remaining domains at
-    their next morsel boundary, arena scratch is truncated back, and
-    the prepared statement stays reusable — the next execution (of
-    this or any other statement) is unaffected.
+    their next morsel boundary, the scratch lease is released back to
+    the arena, and the prepared statement stays reusable — concurrent
+    and future executions (of this or any other statement) are
+    unaffected.
+
+    The execution runs at [min (Pool.n_threads pool) n_threads]
+    workers, where [n_threads] is the width the statement was
+    prepared with.
 
     @raise Query_error.Error on trap / timeout / cancellation /
-    budget breach / non-degraded compile failure.
-    @raise Invalid_argument if [pool] is wider than the [n_threads]
-    the statement was prepared with. *)
+    budget breach / non-degraded compile failure. *)
 
 val prepared_executions : prepared -> int
 (** How many times the statement has executed. *)
 
 val prepared_modes : prepared -> Aeq_backend.Cost_model.mode list
-(** Currently-installed variant of each pipeline. *)
+(** Best cached variant of each pipeline (what the next execution can
+    start in for free). *)
 
 val execute :
   ?cost_model:Aeq_backend.Cost_model.t ->
@@ -131,9 +139,9 @@ val execute :
   pool:Pool.t ->
   result
 (** [prepare] + [execute_prepared]: plan-to-rows in one call, nothing
-    cached afterwards. Query scratch memory is released (arena
-    truncation) before returning; result rows are decoded into OCaml
-    arrays first.
+    cached afterwards. Query scratch memory is released (the arena
+    lease returns to the free pool) before returning; result rows are
+    decoded into OCaml arrays first.
 
     [initial_modes] (adaptive mode only) pre-compiles the listed
     pipelines before execution starts — the plan-caching extension of

@@ -7,8 +7,6 @@ type variant =
 type compiled = {
   func : Func.t;
   bytecode : Aeq_vm.Bytecode.t;
-  current : variant Atomic.t;
-  compiling : bool Atomic.t;
   n_instrs : int;
   bc_translate_seconds : float;
   unopt : Aeq_backend.Closure_compile.t option Atomic.t;
@@ -23,6 +21,8 @@ type t = {
   cost_model : CM.t;
   symbols : Aeq_vm.Rt_fn.resolver;
   mem : Aeq_mem.Arena.t;
+  current : variant Atomic.t;
+  compiling : bool Atomic.t;
 }
 
 let compile_worker ~cost_model ~symbols func =
@@ -32,8 +32,6 @@ let compile_worker ~cost_model ~symbols func =
   {
     func;
     bytecode;
-    current = Atomic.make (V_bytecode bytecode);
-    compiling = Atomic.make false;
     n_instrs = Func.n_instrs func;
     bc_translate_seconds = bc_seconds;
     unopt = Atomic.make None;
@@ -43,33 +41,48 @@ let compile_worker ~cost_model ~symbols func =
     opt_blacklisted = Atomic.make false;
   }
 
-let bind c ~cost_model ~symbols ~mem = { c; cost_model; symbols; mem }
+let bind c ~cost_model ~symbols ~mem =
+  {
+    c;
+    cost_model;
+    symbols;
+    mem;
+    current = Atomic.make (V_bytecode c.bytecode);
+    compiling = Atomic.make false;
+  }
 
 let create ~cost_model ~symbols ~mem func =
   bind (compile_worker ~cost_model ~symbols func) ~cost_model ~symbols ~mem
 
 let compiled_part t = t.c
 
+(* The best variant the artifact has cached: what a fresh execution of
+   the prepared statement can promote to for free. (The installed
+   variant is per-binding now — concurrent executions of one cached
+   plan each adapt independently.) *)
 let mode_of_compiled c =
-  match Atomic.get c.current with
+  if Atomic.get c.opt <> None then CM.Opt
+  else if Atomic.get c.unopt <> None then CM.Unopt
+  else CM.Bytecode
+
+let mode t =
+  match Atomic.get t.current with
   | V_bytecode _ -> CM.Bytecode
   | V_compiled (m, _) -> m
 
-let mode t = mode_of_compiled t.c
-
-let compiling t = t.c.compiling
+let compiling t = t.compiling
 
 let n_instrs t = t.c.n_instrs
 
 let total_compile_seconds c = Atomic.get c.compile_seconds
 
-let install t v = Atomic.set t.c.current v
+let install t v = Atomic.set t.current v
 
 let ensure_regs regs n =
   if Bytes.length !regs < n then regs := Bytes.make (Stdlib.max n (2 * Bytes.length !regs)) '\000'
 
 let run_morsel t ~regs ~args =
-  match Atomic.get t.c.current with
+  match Atomic.get t.current with
   | V_bytecode bc ->
     ensure_regs regs bc.Aeq_vm.Bytecode.n_reg_bytes;
     ignore (Aeq_vm.Interp.run bc t.mem ~regs:!regs ~args ())
@@ -99,29 +112,29 @@ let failpoint_of_mode = function
   | CM.Opt -> "compile.opt"
   | CM.Bytecode -> "compile.bytecode"
 
-let promote t ~mode =
-  if mode = mode_of_compiled t.c then 0.0
+let promote t ~mode:m =
+  if m = mode t then 0.0
   else
-    match mode with
+    match m with
     | CM.Bytecode ->
       install t (V_bytecode t.c.bytecode);
       0.0
     | CM.Unopt | CM.Opt -> (
-      if blacklisted t mode then
+      if blacklisted t m then
         Query_error.raise_error
-          (Query_error.Compile_failed (mode, "blacklisted after an earlier failure"));
-      let slot = match mode with CM.Unopt -> t.c.unopt | _ -> t.c.opt in
+          (Query_error.Compile_failed (m, "blacklisted after an earlier failure"));
+      let slot = match m with CM.Unopt -> t.c.unopt | _ -> t.c.opt in
       match Atomic.get slot with
       | Some exec ->
         (* prepared-statement fast path: the variant survived an
            earlier execution, switching is a single store *)
-        install t (V_compiled (mode, exec));
+        install t (V_compiled (m, exec));
         0.0
       | None ->
         let compiled =
           try
-            Aeq_util.Failpoints.hit (failpoint_of_mode mode);
-            match mode with
+            Aeq_util.Failpoints.hit (failpoint_of_mode m);
+            match m with
             | CM.Unopt ->
               (* the bytecode program is already translated; closure-
                  compile it directly instead of re-walking the IR *)
@@ -129,15 +142,17 @@ let promote t ~mode =
                 ~mem:t.mem ~n_instrs:t.c.n_instrs t.c.bytecode
             | _ ->
               Aeq_backend.Compiler.compile ~cost_model:t.cost_model ~symbols:t.symbols
-                ~mem:t.mem ~mode t.c.func
+                ~mem:t.mem ~mode:m t.c.func
           with e ->
             (* a failed compilation is never retried: the mode is dead
                for the lifetime of the compiled artifact (and thus of
                the prepared statement caching it) *)
-            blacklist t mode;
+            blacklist t m;
             raise e
         in
+        (* another execution may have won the compile race; last store
+           wins — both artifacts are valid, one is dropped *)
         Atomic.set slot (Some compiled.Aeq_backend.Compiler.exec);
-        install t (V_compiled (mode, compiled.Aeq_backend.Compiler.exec));
+        install t (V_compiled (m, compiled.Aeq_backend.Compiler.exec));
         atomic_add_float t.c.compile_seconds compiled.Aeq_backend.Compiler.compile_seconds;
         compiled.Aeq_backend.Compiler.compile_seconds)

@@ -10,17 +10,20 @@
 
     - {!compiled} is execution-independent: the IR, the translated
       bytecode program, every machine-code (closure) variant built so
-      far, and the currently-installed variant. It is what a prepared
+      far, and the per-mode blacklists. It is what a prepared
       statement caches — surviving artifacts make re-executions skip
       codegen, bytecode translation and recompilation entirely.
-    - {!t} binds a [compiled] to one execution's environment (cost
-      model, symbol resolver, arena). Bindings are cheap throwaway
-      records created per execution.
+    - {!t} binds a [compiled] to one execution: cost model, symbol
+      resolver, arena, plus the {e installed} variant and the
+      compile-in-flight flag. Bindings are cheap throwaway records
+      created per execution, so two concurrent executions of the same
+      cached plan adapt independently — one promoting to Opt does not
+      yank the variant under the other mid-morsel.
 
-    Compiled artifacts stay valid across executions because they only
-    close over long-lived objects: the catalog arena and a runtime
-    context whose registries are re-populated (not replaced) each run
-    — see {!Aeq_rt.Context.reset}. *)
+    Compiled artifacts stay valid across executions because their
+    runtime closures resolve the {e domain-current}
+    {!Aeq_rt.Context.t} per call rather than closing over one
+    execution's tables. *)
 
 type variant =
   | V_bytecode of Aeq_vm.Bytecode.t
@@ -29,13 +32,11 @@ type variant =
 type compiled = {
   func : Func.t;
   bytecode : Aeq_vm.Bytecode.t;
-  current : variant Atomic.t;  (** the variant run_morsel dispatches to *)
-  compiling : bool Atomic.t;  (** a compile task is in flight *)
   n_instrs : int;
   bc_translate_seconds : float;
   unopt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Unopt variant *)
   opt : Aeq_backend.Closure_compile.t option Atomic.t;  (** cached Opt variant *)
-  compile_seconds : float Atomic.t;  (** compilation latency over the handle's lifetime *)
+  compile_seconds : float Atomic.t;  (** compilation latency over the artifact's lifetime *)
   unopt_blacklisted : bool Atomic.t;  (** Unopt compilation failed once; never retry *)
   opt_blacklisted : bool Atomic.t;  (** Opt compilation failed once; never retry *)
 }
@@ -45,6 +46,8 @@ type t = {
   cost_model : Aeq_backend.Cost_model.t;
   symbols : Aeq_vm.Rt_fn.resolver;
   mem : Aeq_mem.Arena.t;
+  current : variant Atomic.t;  (** the variant run_morsel dispatches to *)
+  compiling : bool Atomic.t;  (** a compile task is in flight for this execution *)
 }
 
 val compile_worker :
@@ -53,7 +56,7 @@ val compile_worker :
   Func.t ->
   compiled
 (** Translate to bytecode (always available, fast). The result starts
-    in the bytecode variant with no machine-code variants built. *)
+    with no machine-code variants built. *)
 
 val bind :
   compiled ->
@@ -61,6 +64,7 @@ val bind :
   symbols:Aeq_vm.Rt_fn.resolver ->
   mem:Aeq_mem.Arena.t ->
   t
+(** Fresh per-execution binding; starts in the bytecode variant. *)
 
 val create :
   cost_model:Aeq_backend.Cost_model.t ->
@@ -73,8 +77,11 @@ val create :
 val compiled_part : t -> compiled
 
 val mode : t -> Aeq_backend.Cost_model.mode
+(** The variant installed in this binding. *)
 
 val mode_of_compiled : compiled -> Aeq_backend.Cost_model.mode
+(** The best variant the artifact has cached (Opt > Unopt > Bytecode):
+    what a fresh execution can promote to without compiling. *)
 
 val compiling : t -> bool Atomic.t
 
@@ -99,7 +106,7 @@ val blacklist : t -> Aeq_backend.Cost_model.mode -> unit
 
 val promote : t -> mode:Aeq_backend.Cost_model.mode -> float
 (** Install the given mode's variant and return the compile latency
-    paid now: 0 if the handle is already in that mode or the variant
+    paid now: 0 if the binding is already in that mode or the variant
     was cached from an earlier execution; otherwise the variant is
     compiled (blocking; run it on the thread that volunteered),
     cached for future executions, and installed. [Bytecode] reinstalls
@@ -108,7 +115,7 @@ val promote : t -> mode:Aeq_backend.Cost_model.mode -> float
     Compilation is fallible: the failpoints ["compile.unopt"] /
     ["compile.opt"] are hit just before compiling, and any exception
     (injected or real) blacklists the mode before propagating — the
-    handle stays in its current variant and the mode is never
+    binding stays in its current variant and the mode is never
     attempted again.
     @raise Query_error.Error
       [(Compile_failed _)] when asked to promote to an

@@ -1,120 +1,153 @@
-type worker_state = {
-  mutex : Mutex.t;
-  cond : Condition.t;
-  mutable job : (tid:int -> unit) option;
-  mutable generation : int;
-  mutable stop : bool;
+(* Multi-tenant worker pool over OCaml domains.
+
+   The old pool was single-tenant: one job slot per worker and a
+   done-count barrier meant a second query's pipeline had to wait for
+   the first to finish entirely — the serialization the global exec
+   lock then cemented. Here jobs from several in-flight queries
+   coexist on one open-job list; each worker picks the job with the
+   fewest participants (spreading domains across queries instead of
+   ganging up on one), claims the next tid, and runs morsels until the
+   job's morsel supply is exhausted.
+
+   A job is a [fn : tid:int -> unit] that returns when it cannot get
+   more morsels; tids are claimed 0..max_tids-1 and never reused
+   within a job, so per-tid state (allocators, output buffers) stays
+   single-writer. The submitting caller always participates as tid 0 —
+   a query makes progress even when every worker domain is busy
+   elsewhere. *)
+
+type job = {
+  fn : tid:int -> unit;
+  max_tids : int;
+  mutable next_tid : int;
+  mutable active : int;
+  mutable closed_job : bool; (* caller finished; no new joiners *)
+  error : exn option Atomic.t;
 }
 
 type t = {
   n_threads : int;
-  states : worker_state array; (* one per extra worker (tids 1..n-1) *)
+  lock : Mutex.t;
+  work : Condition.t; (* new job posted / job list changed *)
+  quiet : Condition.t; (* a participant left some job *)
+  mutable jobs : job list;
+  mutable stop : bool;
   mutable domains : unit Domain.t array;
-  done_mutex : Mutex.t;
-  done_cond : Condition.t;
-  mutable done_count : int;
-  error : exn option Atomic.t;
   closed : bool Atomic.t;
-  busy : bool Atomic.t;
+  active_jobs : int Atomic.t;
 }
 
-let signal_done t =
-  Mutex.lock t.done_mutex;
-  t.done_count <- t.done_count + 1;
-  Condition.signal t.done_cond;
-  Mutex.unlock t.done_mutex
+(* under t.lock: the open job with the fewest claimed tids *)
+let pick_job t =
+  let best = ref None in
+  List.iter
+    (fun j ->
+      if (not j.closed_job) && j.next_tid < j.max_tids then
+        match !best with
+        | Some b when b.next_tid <= j.next_tid -> ()
+        | _ -> best := Some j)
+    t.jobs;
+  !best
 
-let worker_loop t state tid =
-  let gen = ref 0 in
+let run_participant j ~tid =
+  try j.fn ~tid
+  with e -> ignore (Atomic.compare_and_set j.error None (Some e))
+
+let worker_loop t =
   let running = ref true in
   while !running do
-    Mutex.lock state.mutex;
-    while state.generation = !gen && not state.stop do
-      Condition.wait state.cond state.mutex
-    done;
-    let job = state.job and stop = state.stop in
-    let this_gen = state.generation in
-    Mutex.unlock state.mutex;
-    if stop then running := false
-    else begin
-      gen := this_gen;
-      (match job with
-      | Some f -> (
-        try f ~tid with e -> ignore (Atomic.compare_and_set t.error None (Some e)))
-      | None -> ());
-      signal_done t
-    end
+    Mutex.lock t.lock;
+    let rec await () =
+      if t.stop then None
+      else
+        match pick_job t with
+        | Some j -> Some j
+        | None ->
+          Condition.wait t.work t.lock;
+          await ()
+    in
+    match await () with
+    | None ->
+      Mutex.unlock t.lock;
+      running := false
+    | Some j ->
+      let tid = j.next_tid in
+      j.next_tid <- tid + 1;
+      j.active <- j.active + 1;
+      Mutex.unlock t.lock;
+      run_participant j ~tid;
+      Mutex.lock t.lock;
+      j.active <- j.active - 1;
+      Condition.broadcast t.quiet;
+      Mutex.unlock t.lock
   done
 
 let create ~n_threads =
   let n_threads = Stdlib.max 1 n_threads in
-  let states =
-    Array.init (n_threads - 1) (fun _ ->
-        {
-          mutex = Mutex.create ();
-          cond = Condition.create ();
-          job = None;
-          generation = 0;
-          stop = false;
-        })
-  in
   let t =
     {
       n_threads;
-      states;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      quiet = Condition.create ();
+      jobs = [];
+      stop = false;
       domains = [||];
-      done_mutex = Mutex.create ();
-      done_cond = Condition.create ();
-      done_count = 0;
-      error = Atomic.make None;
       closed = Atomic.make false;
-      busy = Atomic.make false;
+      active_jobs = Atomic.make 0;
     }
   in
-  t.domains <-
-    Array.mapi (fun i state -> Domain.spawn (fun () -> worker_loop t state (i + 1))) states;
+  t.domains <- Array.init (n_threads - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let n_threads t = t.n_threads
 
 let closed t = Atomic.get t.closed
 
-let busy t = Atomic.get t.busy
+let active_jobs t = Atomic.get t.active_jobs
 
-let run t job =
-  (* a submission to dead workers would block forever on the barrier *)
+let busy t = active_jobs t > 0
+
+let run ?max_tids t fn =
+  (* a submission to dead workers would never gain helpers *)
   if closed t then invalid_arg "Pool.run: pool has been shut down";
-  Atomic.set t.busy true;
-  Mutex.lock t.done_mutex;
-  t.done_count <- 0;
-  Mutex.unlock t.done_mutex;
-  Atomic.set t.error None;
-  Array.iter
-    (fun state ->
-      Mutex.lock state.mutex;
-      state.job <- Some job;
-      state.generation <- state.generation + 1;
-      Condition.signal state.cond;
-      Mutex.unlock state.mutex)
-    t.states;
-  (* the caller is thread 0 *)
-  (try job ~tid:0 with e -> ignore (Atomic.compare_and_set t.error None (Some e)));
-  Mutex.lock t.done_mutex;
-  while t.done_count < Array.length t.states do
-    Condition.wait t.done_cond t.done_mutex
+  let max_tids =
+    match max_tids with
+    | Some m -> Stdlib.max 1 (Stdlib.min m t.n_threads)
+    | None -> t.n_threads
+  in
+  let j =
+    {
+      fn;
+      max_tids;
+      next_tid = 1; (* tid 0 is the caller's *)
+      active = 1;
+      closed_job = false;
+      error = Atomic.make None;
+    }
+  in
+  ignore (Atomic.fetch_and_add t.active_jobs 1);
+  Mutex.lock t.lock;
+  t.jobs <- j :: t.jobs;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  run_participant j ~tid:0;
+  Mutex.lock t.lock;
+  j.closed_job <- true;
+  t.jobs <- List.filter (fun j' -> j' != j) t.jobs;
+  j.active <- j.active - 1;
+  while j.active > 0 do
+    Condition.wait t.quiet t.lock
   done;
-  Mutex.unlock t.done_mutex;
-  Atomic.set t.busy false;
-  match Atomic.get t.error with Some e -> raise e | None -> ()
+  Mutex.unlock t.lock;
+  ignore (Atomic.fetch_and_add t.active_jobs (-1));
+  match Atomic.get j.error with Some e -> raise e | None -> ()
 
 let shutdown t =
   if Atomic.compare_and_set t.closed false true then begin
-    Array.iter
-      (fun state ->
-        Mutex.lock state.mutex;
-        state.stop <- true;
-        Condition.signal state.cond;
-        Mutex.unlock state.mutex)
-      t.states;
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
     Array.iter Domain.join t.domains
   end

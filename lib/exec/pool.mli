@@ -1,9 +1,13 @@
-(** Persistent worker pool over OCaml domains.
+(** Multi-tenant worker pool over OCaml domains.
 
-    One pool lives for the engine's lifetime; each pipeline execution
-    submits a job that every worker runs (with its thread id) and
-    barriers on completion. Thread 0 is the caller's thread, so a
-    1-thread pool runs entirely inline. *)
+    One pool lives for the engine's lifetime. Each pipeline execution
+    submits a job; worker domains join open jobs — least-staffed
+    first, so domains spread across concurrent queries — claim a
+    thread id, and run the job function until its morsel supply is
+    exhausted. The submitting caller always participates as tid 0, so
+    a query progresses even when all workers are busy elsewhere, and a
+    1-thread pool runs entirely inline. Unlike the old single-tenant
+    barrier pool, several queries' pipelines execute concurrently. *)
 
 type t
 
@@ -11,19 +15,27 @@ val create : n_threads:int -> t
 
 val n_threads : t -> int
 
-val run : t -> (tid:int -> unit) -> unit
-(** Execute [job ~tid] on every worker concurrently (the caller runs
-    tid 0); returns when all are done. Exceptions raised by workers
-    are re-raised in the caller (first one wins).
-    @raise Invalid_argument if the pool has been {!shutdown} (instead
-    of deadlocking on dead workers). *)
+val run : ?max_tids:int -> t -> (tid:int -> unit) -> unit
+(** Execute a job: the caller runs [fn ~tid:0]; idle workers join with
+    distinct tids [1..max_tids-1] (default [n_threads], clamped to
+    it). [fn] must return when it cannot obtain more work — a morsel
+    loop over a shared atomic cursor. Returns when the caller's run
+    and every joined worker's run have finished. Exceptions raised by
+    participants are re-raised in the caller (first one wins).
+
+    Workers may join at any point while the caller is still running;
+    after the caller's [fn] returns no new workers join, but the call
+    blocks until those already in flight drain.
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
 
 val closed : t -> bool
 
 val busy : t -> bool
-(** A job is currently executing (between {!run} entry and its
-    barrier). A monitoring gauge — racy by nature, do not synchronise
-    on it. *)
+(** At least one job is in flight. A monitoring gauge — racy by
+    nature, do not synchronise on it. *)
+
+val active_jobs : t -> int
+(** Number of jobs currently in flight (submitted, not yet drained). *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. *)

@@ -19,6 +19,7 @@ let priority_name = function Low -> "low" | Normal -> "normal" | High -> "high"
 let queue_index = function High -> 0 | Normal -> 1 | Low -> 2
 
 type config = {
+  dispatchers : int; (* dispatcher domains = queries concurrently in flight *)
   queue_capacity : int;
   shed_queue_depth : int;
   shed_resident_bytes : int option;
@@ -35,6 +36,7 @@ type config = {
 
 let default_config =
   {
+    dispatchers = 1;
     queue_capacity = 64;
     shed_queue_depth = 48;
     shed_resident_bytes = None;
@@ -84,6 +86,7 @@ type stats = {
   shed : int;
   expired : int;
   retried : int;
+  in_flight : int;
   completed : int;
   failed : int;
   degraded : int;
@@ -103,6 +106,7 @@ let zero_stats =
     shed = 0;
     expired = 0;
     retried = 0;
+    in_flight = 0;
     completed = 0;
     failed = 0;
     degraded = 0;
@@ -128,7 +132,9 @@ type t = {
   prng : Prng.t; (* jitter; drawn under [lock] *)
   mutable queued : int; (* live (state Queued) tickets across queues *)
   mutable stopped : bool;
-  mutable current : ticket option; (* what the watchdog supervises *)
+  running_tks : (int, ticket) Hashtbl.t;
+      (* in-flight tickets by id — what the watchdog supervises; with
+         several dispatchers there are up to [cfg.dispatchers] at once *)
   (* circuit breaker *)
   mutable brk : breaker_state;
   mutable brk_until : float; (* Open: earliest half-open probe *)
@@ -365,7 +371,7 @@ let serve t tk =
       t.n_degraded <- t.n_degraded + 1;
       obs_bump "degraded" ~help:"Executions forced to bytecode-only."
     end;
-    t.current <- Some tk;
+    Hashtbl.replace t.running_tks tk.tk_id tk;
     Mutex.unlock t.lock;
     Mutex.lock tk.tk_lock;
     tk.tk_state <- Running;
@@ -377,7 +383,7 @@ let serve t tk =
       else attempt_loop t tk eff_mode
     in
     Mutex.lock t.lock;
-    t.current <- None;
+    Hashtbl.remove t.running_tks tk.tk_id;
     breaker_feed t tk outcome n_cf;
     (match outcome with
     | Ok _ ->
@@ -435,22 +441,22 @@ let watchdog_loop t () =
     if t.stopped then running := false
     else begin
       let now = Clock.now () in
-      (* the in-flight query: cancel past deadline + grace *)
-      (match t.current with
-      | Some tk -> (
-        match tk.tk_deadline with
-        | Some d when now > d +. t.cfg.deadline_grace ->
-          Mutex.lock tk.tk_lock;
-          let fresh = not tk.tk_watchdog_fired in
-          if fresh then tk.tk_watchdog_fired <- true;
-          Mutex.unlock tk.tk_lock;
-          if fresh then begin
-            Cancel.cancel tk.tk_cancel;
-            t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
-            obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
-          end
-        | _ -> ())
-      | None -> ());
+      (* in-flight queries: cancel past deadline + grace *)
+      Hashtbl.iter
+        (fun _ tk ->
+          match tk.tk_deadline with
+          | Some d when now > d +. t.cfg.deadline_grace ->
+            Mutex.lock tk.tk_lock;
+            let fresh = not tk.tk_watchdog_fired in
+            if fresh then tk.tk_watchdog_fired <- true;
+            Mutex.unlock tk.tk_lock;
+            if fresh then begin
+              Cancel.cancel tk.tk_cancel;
+              t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
+              obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
+            end
+          | _ -> ())
+        t.running_tks;
       (* queued queries whose deadline already passed: answer now
          instead of wasting a dispatch slot later *)
       Array.iter
@@ -560,6 +566,8 @@ let run ?mode ?priority ?deadline_seconds ?cancel t sql =
 (* ---- lifecycle ------------------------------------------------------- *)
 
 let validate cfg =
+  if cfg.dispatchers < 1 then
+    invalid_arg "Scheduler: dispatchers must be >= 1";
   if cfg.queue_capacity < 1 then
     invalid_arg "Scheduler: queue_capacity must be >= 1";
   if cfg.breaker_threshold < 1 then
@@ -582,7 +590,7 @@ let create ?(config = default_config) ?arena ~exec () =
       prng = Prng.create config.seed;
       queued = 0;
       stopped = false;
-      current = None;
+      running_tks = Hashtbl.create 8;
       brk = Closed;
       brk_until = 0.0;
       brk_consecutive = 0;
@@ -606,22 +614,29 @@ let create ?(config = default_config) ?arena ~exec () =
     }
   in
   t.domains <-
-    [ Domain.spawn (dispatcher_loop t); Domain.spawn (watchdog_loop t) ];
-  if Obs.Control.enabled () then begin
-    Obs.Metrics.gauge_fn "aeq_scheduler_queue_depth"
-      ~help:"Queries queued right now." (fun () ->
-        Mutex.lock t.lock;
-        let d = t.queued in
-        Mutex.unlock t.lock;
-        d);
-    Obs.Metrics.gauge_fn "aeq_scheduler_breaker_state"
-      ~help:"Compile-path circuit breaker: 0 closed, 1 half-open, 2 open."
-      (fun () ->
-        Mutex.lock t.lock;
-        let b = match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2 in
-        Mutex.unlock t.lock;
-        b)
-  end;
+    Domain.spawn (watchdog_loop t)
+    :: List.init config.dispatchers (fun _ -> Domain.spawn (dispatcher_loop t));
+  (* gauges registered unconditionally; rendering is what the
+     observability switch gates *)
+  Obs.Metrics.gauge_fn "aeq_scheduler_queue_depth"
+    ~help:"Queries queued right now." (fun () ->
+      Mutex.lock t.lock;
+      let d = t.queued in
+      Mutex.unlock t.lock;
+      d);
+  Obs.Metrics.gauge_fn "aeq_scheduler_in_flight"
+    ~help:"Queries currently being served by dispatcher domains." (fun () ->
+      Mutex.lock t.lock;
+      let n = Hashtbl.length t.running_tks in
+      Mutex.unlock t.lock;
+      n);
+  Obs.Metrics.gauge_fn "aeq_scheduler_breaker_state"
+    ~help:"Compile-path circuit breaker: 0 closed, 1 half-open, 2 open."
+    (fun () ->
+      Mutex.lock t.lock;
+      let b = match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2 in
+      Mutex.unlock t.lock;
+      b);
   t
 
 let stats t =
@@ -633,6 +648,7 @@ let stats t =
       shed = t.n_shed;
       expired = t.n_expired;
       retried = t.n_retried;
+      in_flight = Hashtbl.length t.running_tks;
       completed = t.n_completed;
       failed = t.n_failed;
       degraded = t.n_degraded;

@@ -1,11 +1,11 @@
 (** Concurrent query serving: admission control, overload shedding,
     and a compile-path circuit breaker in front of the driver.
 
-    The execution core underneath (driver + worker pool + shared
-    arena/context) is deliberately single-writer: one query executes
-    at a time, morsel-parallel across the pool's domains. What a
-    server needs on top — and what this module provides — is a
-    defined behavior when clients outnumber capacity:
+    The execution core underneath (driver + multi-tenant worker pool +
+    per-query arena leases) runs queries concurrently; a configurable
+    number of dispatcher domains keep several admitted queries in
+    flight at once. What a server needs on top — and what this module
+    provides — is a defined behavior when clients outnumber capacity:
 
     - a {b bounded admission queue} with three priority classes and
       per-query deadlines. A full queue rejects immediately with
@@ -34,15 +34,19 @@
       queued, and keeps the health counters in {!stats} current.
 
     Clients call {!submit} (asynchronous; returns a {!ticket}) or
-    {!run} (submit + await) from any number of domains. A dispatcher
-    domain serves the queue highest-priority-first, FIFO within a
-    class. *)
+    {!run} (submit + await) from any number of domains. Dispatcher
+    domains serve the queue highest-priority-first, FIFO within a
+    class; with [dispatchers = 1] serving is fully serialized (the
+    deterministic mode the scheduler tests rely on). *)
 
 type priority = Low | Normal | High
 
 val priority_name : priority -> string
 
 type config = {
+  dispatchers : int;
+      (** dispatcher domains — the number of admitted queries served
+          concurrently (≥ 1; default 1) *)
   queue_capacity : int;  (** admission queue bound (≥ 1) *)
   shed_queue_depth : int;
       (** queue depth beyond which dispatched queries are forced to
@@ -85,12 +89,12 @@ val create :
   exec:(mode:Driver.mode -> cancel:Cancel.t -> string -> Driver.result) ->
   unit ->
   t
-(** Start a scheduler (spawns the dispatcher and watchdog domains).
-    [exec] runs one query to completion and is only ever called from
-    the dispatcher domain, one call at a time; it must raise
-    {!Query_error.Error} on failure (the engine's [query] does).
-    [arena], when given, feeds the [shed_resident_bytes] overload
-    gauge. *)
+(** Start a scheduler (spawns [config.dispatchers] dispatcher domains
+    and the watchdog domain). [exec] runs one query to completion and
+    is called from dispatcher domains — up to [dispatchers] calls
+    concurrently, so it must be thread-safe (the engine's [query] is);
+    it must raise {!Query_error.Error} on failure. [arena], when
+    given, feeds the [shed_resident_bytes] overload gauge. *)
 
 val submit :
   ?mode:Driver.mode ->
@@ -154,6 +158,7 @@ type stats = {
   shed : int;  (** evicted from the queue to admit higher priority *)
   expired : int;  (** deadline passed while still queued *)
   retried : int;  (** transient-failure retry attempts *)
+  in_flight : int;  (** gauge: queries being served right now *)
   completed : int;  (** finished with rows *)
   failed : int;  (** finished with a structured error *)
   degraded : int;  (** executions forced to bytecode-only *)
@@ -180,6 +185,5 @@ val reset_stats : t -> unit
 
 val shutdown : t -> unit
 (** Stop serving: every still-queued query completes with [Rejected],
-    the in-flight query (if any) finishes, then the dispatcher and
-    watchdog domains are joined. Idempotent. Later {!submit}s raise
-    [Rejected]. *)
+    in-flight queries finish, then the dispatcher and watchdog domains
+    are joined. Idempotent. Later {!submit}s raise [Rejected]. *)

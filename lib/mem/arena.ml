@@ -1,21 +1,42 @@
+exception Stale_allocator
+
+(* The chunk table is two-level: slots below the permanent base hold
+   loaded tables (the catalog's lease, never released), slots above are
+   scratch leased to one query at a time. A released slot drops its
+   bytes and its index goes to [free_slots] for the next lease, so the
+   table never grows past (base + peak-concurrent-scratch) — the
+   replacement for the old serialize-then-truncate reclamation that
+   forced single-writer execution. *)
 type t = {
   chunk_size : int;
   chunks : Bytes.t array; (* fixed-capacity table; slots filled under lock *)
-  mutable n_chunks : int;
+  mutable n_chunks : int; (* slot high-water mark *)
+  mutable free_slots : int list; (* released scratch slots, recyclable *)
+  mutable n_live : int; (* slots currently holding memory *)
+  resident : int Atomic.t;
+      (* running total of live chunk bytes; read lock-free on the
+         scheduler's per-submission overload check *)
   total_used : int Atomic.t;
-      (* bumped by concurrent allocators and read by the per-query
-         memory-budget guard; a plain ref would lose updates *)
+  generation : int Atomic.t; (* bumped by [reset]; staleness fences *)
   lock : Mutex.t;
+  mutable base : lease option; (* permanent lease for loaded tables *)
+}
+
+and lease = {
+  ls_arena : t;
+  ls_gen : int; (* arena generation at lease time *)
+  mutable ls_slots : int list; (* owned chunk slots; guarded by arena lock *)
+  ls_used : int Atomic.t; (* bytes handed out — the per-query budget meter *)
+  ls_stale : bool Atomic.t; (* set on release/reset; allocators fail fast *)
 }
 
 type ptr = int
 
 type allocator = {
-  arena : t;
+  lease : lease;
   mutable chunk : int; (* index of the chunk we bump into *)
   mutable cursor : int;
   mutable limit : int;
-  mutable generation : int;
 }
 
 let null = 0
@@ -28,50 +49,128 @@ let encode chunk off = (chunk lsl offset_bits) lor off
 
 let max_chunks = 1 lsl 16
 
+let make_lease t =
+  {
+    ls_arena = t;
+    ls_gen = Atomic.get t.generation;
+    ls_slots = [];
+    ls_used = Atomic.make 0;
+    ls_stale = Atomic.make false;
+  }
+
 let create ?(chunk_size = 1 lsl 20) () =
   let chunks = Array.make max_chunks Bytes.empty in
   chunks.(0) <- Bytes.make chunk_size '\000';
-  { chunk_size; chunks; n_chunks = 1; total_used = Atomic.make 0; lock = Mutex.create () }
+  let t =
+    {
+      chunk_size;
+      chunks;
+      n_chunks = 1;
+      free_slots = [];
+      n_live = 1;
+      resident = Atomic.make chunk_size;
+      total_used = Atomic.make 0;
+      generation = Atomic.make 0;
+      lock = Mutex.create ();
+      base = None;
+    }
+  in
+  t.base <- Some (make_lease t);
+  t
 
-(* Append a chunk of at least [size] bytes; returns its index. Slots
-   are filled left to right under the lock; a pointer into a chunk can
-   only reach another thread through a synchronising structure (the
-   scheduler or a locked hash table), which orders the slot write
-   before any access. *)
-let add_chunk t size =
+let base_lease t =
+  match t.base with Some l -> l | None -> assert false
+
+let lease t = make_lease t
+
+let lease_used l = Atomic.get l.ls_used
+
+let lease_stale l = Atomic.get l.ls_stale
+
+(* Take a slot for [lease] and install a chunk of at least [size]
+   bytes; returns the slot index. Slots are recycled indices — the
+   memory itself is always a fresh zeroed [Bytes.t], so a recycled
+   chunk carries no bytes from the query that released it. A pointer
+   into a chunk can only reach another thread through a synchronising
+   structure (the pool or a locked hash table), which orders the slot
+   write before any access. *)
+let lease_chunk ls size =
   (* simulated allocation failure: growing the arena is where a real
      OOM would strike *)
   Aeq_util.Failpoints.hit "arena.alloc";
+  let t = ls.ls_arena in
   Mutex.lock t.lock;
-  let n = t.n_chunks in
-  if n >= max_chunks then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Arena: chunk table exhausted"
-  end;
-  t.chunks.(n) <- Bytes.make size '\000';
-  t.n_chunks <- n + 1;
+  let slot =
+    match t.free_slots with
+    | s :: rest ->
+      t.free_slots <- rest;
+      s
+    | [] ->
+      let n = t.n_chunks in
+      if n >= max_chunks then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Arena: chunk table exhausted"
+      end;
+      t.n_chunks <- n + 1;
+      n
+  in
+  t.chunks.(slot) <- Bytes.make size '\000';
+  t.n_live <- t.n_live + 1;
+  ls.ls_slots <- slot :: ls.ls_slots;
   Mutex.unlock t.lock;
-  n
+  ignore (Atomic.fetch_and_add t.resident size);
+  slot
 
-let allocator t =
+(* Return every owned chunk to the free pool. Idempotent; a no-op if
+   the arena was [reset] since the lease was taken (the slots are
+   already recycled). Must not run while the lease's allocators are
+   still in use — the driver releases only after the pool barrier. *)
+let release ls =
+  let t = ls.ls_arena in
+  Mutex.lock t.lock;
+  if (not (Atomic.get ls.ls_stale)) && ls.ls_gen = Atomic.get t.generation
+  then begin
+    Atomic.set ls.ls_stale true;
+    List.iter
+      (fun s ->
+        ignore (Atomic.fetch_and_add t.resident (-Bytes.length t.chunks.(s)));
+        t.chunks.(s) <- Bytes.empty;
+        t.n_live <- t.n_live - 1;
+        t.free_slots <- s :: t.free_slots)
+      ls.ls_slots;
+    ls.ls_slots <- []
+  end
+  else Atomic.set ls.ls_stale true;
+  Mutex.unlock t.lock
+
+let lease_allocator ls =
   (* Fresh allocators start with no chunk; the first alloc grabs one.
      Offset 0 of chunk 0 is never handed out (null pointer). *)
-  { arena = t; chunk = -1; cursor = 0; limit = 0; generation = 0 }
+  { lease = ls; chunk = -1; cursor = 0; limit = 0 }
+
+let allocator t = lease_allocator (base_lease t)
 
 let align_up v align = (v + align - 1) land lnot (align - 1)
 
 let alloc a ?(align = 8) n =
   assert (n >= 0 && align > 0 && align land (align - 1) = 0);
-  let t = a.arena in
+  let ls = a.lease in
+  let t = ls.ls_arena in
+  (* fail fast on an allocator whose backing chunks were reclaimed —
+     bump-allocating into a freed (Bytes.empty) slot would corrupt
+     whichever query holds it now *)
+  if Atomic.get ls.ls_stale || ls.ls_gen <> Atomic.get t.generation then
+    raise Stale_allocator;
   let start = align_up a.cursor align in
   if a.chunk >= 0 && start + n <= a.limit then begin
     a.cursor <- start + n;
     ignore (Atomic.fetch_and_add t.total_used n);
+    ignore (Atomic.fetch_and_add ls.ls_used n);
     encode a.chunk start
   end
   else begin
     let size = Stdlib.max t.chunk_size (n + align + 16) in
-    let idx = add_chunk t size in
+    let idx = lease_chunk ls size in
     (* Never return offset 0: pointer 0 must stay null even though
        chunk indices > 0 would disambiguate; being strict is cheap. *)
     let start = align_up 8 align in
@@ -79,42 +178,38 @@ let alloc a ?(align = 8) n =
     a.cursor <- start + n;
     a.limit <- size;
     ignore (Atomic.fetch_and_add t.total_used n);
+    ignore (Atomic.fetch_and_add ls.ls_used n);
     encode idx start
   end
 
 let used t = Atomic.get t.total_used
 
-(* memory actually held right now — unlike [used] this shrinks on
-   [truncate], so it works as the overload/high-water gauge *)
-let resident_bytes t =
+(* memory actually held right now — maintained as a running total so
+   the scheduler's overload check is one atomic load, not an O(chunks)
+   scan under the arena mutex *)
+let resident_bytes t = Atomic.get t.resident
+
+let live_chunks t =
   Mutex.lock t.lock;
-  let sum = ref 0 in
-  for i = 0 to t.n_chunks - 1 do
-    sum := !sum + Bytes.length t.chunks.(i)
-  done;
+  let n = t.n_live in
   Mutex.unlock t.lock;
-  !sum
+  n
 
 let reset t =
   Mutex.lock t.lock;
+  (* invalidate every outstanding lease and allocator (base included) *)
+  ignore (Atomic.fetch_and_add t.generation 1);
+  (match t.base with Some b -> Atomic.set b.ls_stale true | None -> ());
   for i = 1 to t.n_chunks - 1 do
     t.chunks.(i) <- Bytes.empty
   done;
   Bytes.fill t.chunks.(0) 0 (Bytes.length t.chunks.(0)) '\000';
   t.n_chunks <- 1;
+  t.free_slots <- [];
+  t.n_live <- 1;
+  Atomic.set t.resident (Bytes.length t.chunks.(0));
   Atomic.set t.total_used 0;
-  Mutex.unlock t.lock
-
-let mark_chunks t = t.n_chunks
-
-let truncate t mark =
-  Mutex.lock t.lock;
-  if mark >= 1 && mark <= t.n_chunks then begin
-    for i = mark to t.n_chunks - 1 do
-      t.chunks.(i) <- Bytes.empty
-    done;
-    t.n_chunks <- mark
-  end;
+  t.base <- Some (make_lease t);
   Mutex.unlock t.lock
 
 let[@inline] buf t p = Array.unsafe_get t.chunks (p lsr offset_bits)

@@ -14,16 +14,32 @@
     inside one chunk, so generated pointer arithmetic (GEP) never
     crosses a chunk boundary.
 
-    An {!Arena.t} is the shared chunk store; cheap single-threaded
-    {!allocator}s bump-allocate inside chunks they own and take new
-    chunks from the store under a mutex. *)
+    Ownership is two-level. The arena's {e base lease} (what
+    {!allocator} draws from) holds long-lived data: loaded tables, the
+    dictionary. Each query execution takes its own scratch {!lease}
+    and bump-allocates hash tables, aggregation slots and output rows
+    into chunks owned by that lease; {!release} returns the chunk
+    slots to a free pool when the query completes. Queries therefore
+    never contend on reclamation and can run concurrently over the
+    shared base chunks — the old [mark_chunks]/[truncate] scheme,
+    which assumed one writer at a time, is gone. *)
 
 type t
 
 type ptr = int
 (** Encoded pointer; [0] is the null pointer (never allocated). *)
 
+type lease
+(** A claim on a set of scratch chunks. Allocations through a lease's
+    allocators are metered per-lease (the per-query memory budget) and
+    the chunks are reclaimed together by {!release}. *)
+
 type allocator
+
+exception Stale_allocator
+(** Raised by {!alloc} when the allocator's lease has been released or
+    the arena [reset] — bump-allocating into a reclaimed chunk would
+    corrupt whichever query owns that slot now. *)
 
 val null : ptr
 
@@ -33,37 +49,52 @@ val create : ?chunk_size:int -> unit -> t
     chunks. *)
 
 val allocator : t -> allocator
-(** A new bump allocator. Not thread-safe; create one per worker. *)
+(** A new bump allocator on the arena's permanent base lease — for
+    long-lived data (catalog columns, dictionary). Not thread-safe;
+    create one per worker. *)
+
+val lease : t -> lease
+(** Take a fresh scratch lease. Thread-safe. *)
+
+val lease_allocator : lease -> allocator
+(** A new bump allocator drawing chunks from [lease]. Not thread-safe;
+    create one per worker. *)
+
+val release : lease -> unit
+(** Return the lease's chunk slots to the arena's free pool and drop
+    their memory. Idempotent, thread-safe. Every allocator of the
+    lease becomes stale. The caller must ensure no worker still reads
+    or writes the lease's chunks (the driver releases only after all
+    pipeline workers have finished). *)
+
+val lease_used : lease -> int
+(** Bytes handed out through this lease's allocators — the per-query
+    memory budget meter. Thread-safe. *)
+
+val lease_stale : lease -> bool
 
 val alloc : allocator -> ?align:int -> int -> ptr
 (** [alloc a n] reserves [n] zeroed bytes aligned to [align]
-    (default 8). *)
+    (default 8). @raise Stale_allocator on a released lease. *)
 
 val used : t -> int
 (** Total bytes handed to allocators since creation / [reset]
-    (monotone during a query — the delta across an execution is what
-    the per-query memory budget meters; [truncate] does not wind it
-    back). Thread-safe. *)
+    (monotone; [release] does not wind it back). Thread-safe. *)
 
 val resident_bytes : t -> int
 (** Bytes currently held in live chunks. Unlike {!used} this falls
-    back when [truncate] releases query scratch, so it is the gauge
-    the scheduler's overload detector (arena high-water threshold)
-    reads. Thread-safe. *)
+    back when [release] reclaims query scratch, so it is the gauge the
+    scheduler's overload detector (arena high-water threshold) reads.
+    Maintained as an atomic running total: one load, no lock, no chunk
+    scan. *)
+
+val live_chunks : t -> int
+(** Number of slots currently holding memory. Equal before/after a
+    query whose lease was released — the leak check used by tests. *)
 
 val reset : t -> unit
-(** Drop all chunks except the first and invalidate outstanding
-    allocators. Only call between queries. *)
-
-val mark_chunks : t -> int
-(** Current chunk count; pass to [truncate] to release everything
-    allocated afterwards. *)
-
-val truncate : t -> int -> unit
-(** [truncate t mark] drops every chunk added after [mark_chunks]
-    returned [mark]. Earlier allocations (the loaded database) stay
-    valid; allocators created after the mark must be discarded. Used
-    to reclaim per-query scratch between queries. *)
+(** Drop all chunks except the first and invalidate every outstanding
+    lease and allocator (base included). Only call between queries. *)
 
 (** {1 Typed access}
 

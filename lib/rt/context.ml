@@ -1,5 +1,6 @@
 type t = {
   arena : Aeq_mem.Arena.t;
+  lease : Aeq_mem.Arena.lease option;
   dict : Dict.t;
   n_threads : int;
   allocators : Aeq_mem.Arena.allocator array;
@@ -9,26 +10,23 @@ type t = {
   mutable preds : Bitmap.t array;
 }
 
-let create ~arena ~dict ~n_threads =
+let create ?lease ~arena ~dict ~n_threads () =
+  let mk _ =
+    match lease with
+    | Some l -> Aeq_mem.Arena.lease_allocator l
+    | None -> Aeq_mem.Arena.allocator arena
+  in
   {
     arena;
+    lease;
     dict;
     n_threads;
-    allocators = Array.init (Stdlib.max 1 n_threads) (fun _ -> Aeq_mem.Arena.allocator arena);
+    allocators = Array.init (Stdlib.max 1 n_threads) mk;
     hts = [||];
     aggs = [||];
     outs = [||];
     preds = [||];
   }
-
-let reset t =
-  (* Fresh allocators: the arena may have been truncated back past the
-     chunks the old ones were bumping into. *)
-  Array.iteri (fun i _ -> t.allocators.(i) <- Aeq_mem.Arena.allocator t.arena) t.allocators;
-  t.hts <- [||];
-  t.aggs <- [||];
-  t.outs <- [||];
-  t.preds <- [||]
 
 let append arr x = Array.append arr [| x |]
 
@@ -49,3 +47,17 @@ let register_pred t p =
   Array.length t.preds - 1
 
 let allocator t ~tid = t.allocators.(tid)
+
+(* Current execution context of this domain. Compiled artifacts are
+   shared across concurrent executions of a cached plan, so their
+   runtime closures cannot bake in one context; instead each pipeline
+   worker installs its query's context here and the Symbols resolver
+   reads it back per call. *)
+let current_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_current t = Domain.DLS.get current_key := Some t
+
+let clear_current () = Domain.DLS.get current_key := None
+
+let current () = !(Domain.DLS.get current_key)

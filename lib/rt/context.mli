@@ -1,11 +1,14 @@
-(** Per-query runtime context: the arena, one allocator per worker
-    thread, and registries of runtime objects (join tables,
-    aggregation tables, output buffers, dictionary-predicate bitmaps).
-    Generated code refers to objects by small integer ids; the
-    {!Symbols} resolver closes over the context to dispatch them. *)
+(** Per-execution runtime context: the arena (plus this execution's
+    scratch lease), one allocator per worker thread, and registries of
+    runtime objects (join tables, aggregation tables, output buffers,
+    dictionary-predicate bitmaps). Generated code refers to objects by
+    small integer ids; the {!Symbols} resolver dispatches them through
+    the domain's {e current} context, so concurrent executions of the
+    same compiled plan each see their own tables. *)
 
 type t = {
   arena : Aeq_mem.Arena.t;
+  lease : Aeq_mem.Arena.lease option;
   dict : Dict.t;
   n_threads : int;
   allocators : Aeq_mem.Arena.allocator array;
@@ -15,17 +18,16 @@ type t = {
   mutable preds : Bitmap.t array;
 }
 
-val create : arena:Aeq_mem.Arena.t -> dict:Dict.t -> n_threads:int -> t
-
-val reset : t -> unit
-(** Empty the object registries and replace every thread allocator
-    with a fresh one. A long-lived context (a prepared statement's)
-    is reset at the start of each execution so ids from the new
-    registration round line up with planning order again, and so no
-    allocator still points into arena chunks released by the previous
-    execution's truncation. Code compiled against this context (via
-    its {!Symbols.resolver}) stays valid: resolvers index the
-    registries at call time, not at compile time. *)
+val create :
+  ?lease:Aeq_mem.Arena.lease ->
+  arena:Aeq_mem.Arena.t ->
+  dict:Dict.t ->
+  n_threads:int ->
+  unit ->
+  t
+(** With [lease], thread allocators draw scratch chunks from it (the
+    per-query path); without, they draw from the arena's base lease
+    (long-lived data, single-threaded tools and tests). *)
 
 val register_ht : t -> Hash_table.t -> int
 
@@ -36,3 +38,15 @@ val register_out : t -> Output.t -> int
 val register_pred : t -> Bitmap.t -> int
 
 val allocator : t -> tid:int -> Aeq_mem.Arena.allocator
+
+(** {1 Domain-current context}
+
+    Pipeline workers install the executing query's context in
+    domain-local storage for the duration of a job; resolver closures
+    read it back per call. *)
+
+val set_current : t -> unit
+
+val clear_current : unit -> unit
+
+val current : unit -> t option

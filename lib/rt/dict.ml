@@ -1,39 +1,64 @@
+(* Shared across all queries (codes live in loaded columns), and —
+   now that query preparation runs without a global exec lock —
+   encode/find race with concurrent plan-time predicate evaluation, so
+   every entry point takes the dictionary lock. *)
 type t = {
+  lock : Mutex.t;
   by_string : (string, int64) Hashtbl.t;
   mutable by_code : string array;
   mutable n : int;
 }
 
-let create () = { by_string = Hashtbl.create 1024; by_code = Array.make 1024 ""; n = 0 }
+let create () =
+  {
+    lock = Mutex.create ();
+    by_string = Hashtbl.create 1024;
+    by_code = Array.make 1024 "";
+    n = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let encode t s =
-  match Hashtbl.find_opt t.by_string s with
-  | Some c -> c
-  | None ->
-    let c = t.n in
-    if c >= Array.length t.by_code then begin
-      let bigger = Array.make (2 * Array.length t.by_code) "" in
-      Array.blit t.by_code 0 bigger 0 t.n;
-      t.by_code <- bigger
-    end;
-    t.by_code.(c) <- s;
-    t.n <- c + 1;
-    let code = Int64.of_int c in
-    Hashtbl.replace t.by_string s code;
-    code
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.by_string s with
+      | Some c -> c
+      | None ->
+        let c = t.n in
+        if c >= Array.length t.by_code then begin
+          let bigger = Array.make (2 * Array.length t.by_code) "" in
+          Array.blit t.by_code 0 bigger 0 t.n;
+          t.by_code <- bigger
+        end;
+        t.by_code.(c) <- s;
+        t.n <- c + 1;
+        let code = Int64.of_int c in
+        Hashtbl.replace t.by_string s code;
+        code)
 
 let decode t c =
   let i = Int64.to_int c in
-  if i < 0 || i >= t.n then invalid_arg "Dict.decode: unknown code";
-  t.by_code.(i)
+  with_lock t (fun () ->
+      if i < 0 || i >= t.n then invalid_arg "Dict.decode: unknown code";
+      t.by_code.(i))
 
-let find t s = Hashtbl.find_opt t.by_string s
+let find t s = with_lock t (fun () -> Hashtbl.find_opt t.by_string s)
 
-let size t = t.n
+let size t = with_lock t (fun () -> t.n)
 
 let codes_matching t pred =
-  let bm = Bitmap.create t.n in
-  for c = 0 to t.n - 1 do
-    if pred t.by_code.(c) then Bitmap.set bm c
+  (* snapshot under the lock, evaluate the predicate outside it *)
+  let by_code, n = with_lock t (fun () -> (t.by_code, t.n)) in
+  let bm = Bitmap.create n in
+  for c = 0 to n - 1 do
+    if pred by_code.(c) then Bitmap.set bm c
   done;
   bm

@@ -7,22 +7,47 @@ module Driver = Aeq_exec.Driver
 
 (* ---- pool --------------------------------------------------------- *)
 
+(* The pool is cooperative: workers join an open job while the caller
+   (tid 0) is still running it. To assert that every tid participates
+   we gate the job body on a barrier — no participant can leave until
+   all [n] have joined, so all [n] must join. *)
+let barrier n =
+  let arrived = Atomic.make 0 in
+  fun () ->
+    Atomic.incr arrived;
+    while Atomic.get arrived < n do
+      Domain.cpu_relax ()
+    done
+
 let test_pool_runs_all_tids () =
   let pool = Aeq_exec.Pool.create ~n_threads:4 in
   let seen = Array.make 4 0 in
-  Aeq_exec.Pool.run pool (fun ~tid -> seen.(tid) <- seen.(tid) + 1);
-  Aeq_exec.Pool.run pool (fun ~tid -> seen.(tid) <- seen.(tid) + 1);
+  for _ = 1 to 2 do
+    let gate = barrier 4 in
+    Aeq_exec.Pool.run pool (fun ~tid ->
+        gate ();
+        seen.(tid) <- seen.(tid) + 1)
+  done;
   Alcotest.(check (array int)) "each tid ran twice" [| 2; 2; 2; 2 |] seen;
   Aeq_exec.Pool.shutdown pool
 
 let test_pool_propagates_exceptions () =
   let pool = Aeq_exec.Pool.create ~n_threads:3 in
-  (match Aeq_exec.Pool.run pool (fun ~tid -> if tid = 2 then failwith "boom") with
+  let gate = barrier 3 in
+  (match
+     Aeq_exec.Pool.run pool (fun ~tid ->
+         gate ();
+         if tid = 2 then failwith "boom")
+   with
   | () -> Alcotest.fail "expected exception"
   | exception Failure m -> Alcotest.(check string) "message" "boom" m);
   (* pool remains usable afterwards *)
   let count = Atomic.make 0 in
-  Aeq_exec.Pool.run pool (fun ~tid -> ignore tid; Atomic.incr count);
+  let gate = barrier 3 in
+  Aeq_exec.Pool.run pool (fun ~tid ->
+      ignore tid;
+      gate ();
+      Atomic.incr count);
   Alcotest.(check int) "usable after error" 3 (Atomic.get count);
   Aeq_exec.Pool.shutdown pool
 
@@ -34,8 +59,10 @@ let test_pool_main_thread_exception () =
   | () -> Alcotest.fail "expected exception"
   | exception Failure m -> Alcotest.(check string) "message" "main-boom" m);
   let count = Atomic.make 0 in
+  let gate = barrier 3 in
   Aeq_exec.Pool.run pool (fun ~tid ->
       ignore tid;
+      gate ();
       Atomic.incr count);
   Alcotest.(check int) "usable after error" 3 (Atomic.get count);
   Aeq_exec.Pool.shutdown pool
@@ -47,6 +74,39 @@ let test_pool_single_thread_inline () =
       Alcotest.(check int) "tid 0" 0 tid;
       ran := true);
   Alcotest.(check bool) "ran" true !ran;
+  Aeq_exec.Pool.shutdown pool
+
+let test_pool_concurrent_jobs () =
+  (* multi-tenancy: two jobs submitted from two domains overlap in
+     time and both complete with their own work intact; a failure in
+     one job stays in that job *)
+  let pool = Aeq_exec.Pool.create ~n_threads:4 in
+  let a_total = Atomic.make 0 and b_total = Atomic.make 0 in
+  let submit total fail_this =
+    Domain.spawn (fun () ->
+        match
+          Aeq_exec.Pool.run pool (fun ~tid ->
+              ignore tid;
+              for _ = 1 to 1000 do
+                Atomic.incr total
+              done;
+              if fail_this then failwith "job-b-boom")
+        with
+        | () -> `Ok
+        | exception Failure m -> `Failed m)
+  in
+  let da = submit a_total false and db = submit b_total true in
+  (match Domain.join da with
+  | `Ok -> ()
+  | `Failed m -> Alcotest.failf "job A caught job B's error: %s" m);
+  (match Domain.join db with
+  | `Failed "job-b-boom" -> ()
+  | `Failed m -> Alcotest.failf "wrong error: %s" m
+  | `Ok -> Alcotest.fail "job B should have failed");
+  (* every participant of job A did its full work *)
+  Alcotest.(check int) "job A work multiple of 1000" 0 (Atomic.get a_total mod 1000);
+  Alcotest.(check bool) "job A ran at least once" true (Atomic.get a_total >= 1000);
+  Alcotest.(check int) "no jobs left in flight" 0 (Aeq_exec.Pool.active_jobs pool);
   Aeq_exec.Pool.shutdown pool
 
 (* ---- progress ------------------------------------------------------ *)
@@ -303,6 +363,7 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_pool_propagates_exceptions;
           Alcotest.test_case "main-thread exception" `Quick test_pool_main_thread_exception;
           Alcotest.test_case "single thread" `Quick test_pool_single_thread_inline;
+          Alcotest.test_case "concurrent jobs" `Quick test_pool_concurrent_jobs;
         ] );
       ("progress", [ Alcotest.test_case "rates" `Quick test_progress_rates ]);
       ( "fig7 model",

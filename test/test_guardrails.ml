@@ -162,7 +162,7 @@ let test_trap_does_not_poison_cache () =
       let arena = Aeq_storage.Catalog.arena (Aeq.Engine.catalog engine) in
       check_query_error "first trap" "trap" (fun () ->
           Aeq.Engine.query engine ~mode:Driver.Bytecode div0_sql);
-      let chunks_after_first = Aeq_mem.Arena.mark_chunks arena in
+      let chunks_after_first = Aeq_mem.Arena.live_chunks arena in
       (* cache-hit re-executions of the trapping text keep trapping
          cleanly and keep releasing their scratch *)
       for _ = 1 to 3 do
@@ -171,7 +171,7 @@ let test_trap_does_not_poison_cache () =
       done;
       Alcotest.(check int) "no arena chunk leak across trapped executions"
         chunks_after_first
-        (Aeq_mem.Arena.mark_chunks arena);
+        (Aeq_mem.Arena.live_chunks arena);
       Alcotest.(check bool) "trapping text was served from the cache" true
         ((Aeq.Engine.cache_stats engine).Aeq.Engine.hits >= 3);
       check_clean_query "clean after repeated traps" engine)

@@ -95,6 +95,103 @@ let test_concurrent_allocators () =
       Alcotest.(check bool) "tag intact" true (Int64.compare v 0L >= 0))
     all
 
+let test_lease_release_returns_chunks () =
+  let arena = A.create ~chunk_size:1024 () in
+  let base_alloc = A.allocator arena in
+  ignore (A.alloc base_alloc 64);
+  let chunks0 = A.live_chunks arena and resident0 = A.resident_bytes arena in
+  let lease = A.lease arena in
+  let alloc = A.lease_allocator lease in
+  (* spill across several scratch chunks *)
+  let ptrs = Array.init 8 (fun i ->
+      let p = A.alloc alloc 900 in
+      A.set_i64 arena p (Int64.of_int i);
+      p)
+  in
+  Array.iteri
+    (fun i p -> Alcotest.(check int64) "scratch intact" (Int64.of_int i) (A.get_i64 arena p))
+    ptrs;
+  Alcotest.(check bool) "resident grew" true (A.resident_bytes arena > resident0);
+  Alcotest.(check bool) "chunks grew" true (A.live_chunks arena > chunks0);
+  Alcotest.(check bool) "lease metered" true (A.lease_used lease >= 8 * 900);
+  A.release lease;
+  Alcotest.(check bool) "lease stale after release" true (A.lease_stale lease);
+  Alcotest.(check int) "chunks returned" chunks0 (A.live_chunks arena);
+  Alcotest.(check int) "resident back to baseline" resident0 (A.resident_bytes arena);
+  A.release lease (* idempotent *)
+
+let test_stale_allocator_raises () =
+  let arena = A.create ~chunk_size:1024 () in
+  let lease = A.lease arena in
+  let alloc = A.lease_allocator lease in
+  ignore (A.alloc alloc 64);
+  A.release lease;
+  Alcotest.check_raises "alloc on released lease" A.Stale_allocator (fun () ->
+      ignore (A.alloc alloc 8));
+  (* reset stales the base lease's allocators too *)
+  let base_alloc = A.allocator arena in
+  ignore (A.alloc base_alloc 64);
+  A.reset arena;
+  Alcotest.check_raises "alloc after reset" A.Stale_allocator (fun () ->
+      ignore (A.alloc base_alloc 8));
+  (* a fresh allocator on the post-reset arena works *)
+  ignore (A.alloc (A.allocator arena) 8)
+
+let test_lease_slot_recycling () =
+  let arena = A.create ~chunk_size:1024 () in
+  let chunks0 = A.live_chunks arena in
+  let peak = ref 0 in
+  for _ = 1 to 20 do
+    let lease = A.lease arena in
+    let alloc = A.lease_allocator lease in
+    for _ = 1 to 6 do
+      let p = A.alloc alloc 900 in
+      A.set_i64 arena p 0x5EEDL
+    done;
+    peak := max !peak (A.live_chunks arena);
+    A.release lease
+  done;
+  Alcotest.(check int) "no slot leak over cycles" chunks0 (A.live_chunks arena);
+  (* recycling means the peak never exceeds one lease's working set
+     plus the base, even after 20 cycles *)
+  Alcotest.(check bool) "slots recycled, not accreted" true (!peak <= chunks0 + 8);
+  (* recycled chunks come back zeroed for the next lease *)
+  let lease = A.lease arena in
+  let p = A.alloc (A.lease_allocator lease) 900 in
+  Alcotest.(check int64) "recycled chunk zeroed" 0L (A.get_i64 arena p);
+  A.release lease
+
+let test_concurrent_leases_isolated () =
+  let arena = A.create ~chunk_size:4096 () in
+  let chunks0 = A.live_chunks arena in
+  let n_domains = 4 and per = 300 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let lease = A.lease arena in
+            let alloc = A.lease_allocator lease in
+            let ok = ref true in
+            let ptrs = Array.init per (fun i ->
+                let p = A.alloc alloc 32 in
+                A.set_i64 arena p (Int64.of_int ((d * 1_000_000) + i));
+                p)
+            in
+            Array.iteri
+              (fun i p ->
+                if A.get_i64 arena p <> Int64.of_int ((d * 1_000_000) + i) then
+                  ok := false)
+              ptrs;
+            A.release lease;
+            !ok))
+  in
+  List.iteri
+    (fun d dom ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d saw only its own writes" d)
+        true (Domain.join dom))
+    domains;
+  Alcotest.(check int) "all leases returned" chunks0 (A.live_chunks arena)
+
 let prop_roundtrip_random =
   QCheck.Test.make ~name:"arena i64 roundtrip (random offsets)" ~count:200
     QCheck.(list int64)
@@ -121,6 +218,12 @@ let () =
           Alcotest.test_case "stable pointers" `Quick test_pointers_stable_across_growth;
           Alcotest.test_case "blit/fill" `Quick test_blit_and_fill;
           Alcotest.test_case "concurrent allocators" `Quick test_concurrent_allocators;
+          Alcotest.test_case "lease release returns chunks" `Quick
+            test_lease_release_returns_chunks;
+          Alcotest.test_case "stale allocator raises" `Quick test_stale_allocator_raises;
+          Alcotest.test_case "lease slot recycling" `Quick test_lease_slot_recycling;
+          Alcotest.test_case "concurrent leases isolated" `Quick
+            test_concurrent_leases_isolated;
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
         ] );
     ]

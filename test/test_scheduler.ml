@@ -506,7 +506,7 @@ let test_chaos_soak () =
       let stmts = Array.of_list soak_statements in
       let reference = Array.map (fun sql -> (Aeq.Engine.query engine sql).Driver.rows) stmts in
       let arena = Aeq_storage.Catalog.arena (Aeq.Engine.catalog engine) in
-      let chunks_baseline = Aeq_mem.Arena.mark_chunks arena in
+      let chunks_baseline = Aeq_mem.Arena.live_chunks arena in
       with_clean_failpoints (fun () ->
           FP.set_seed 0xC4A05L;
           FP.activate "compile.unopt" (FP.Prob_fail 0.3);
@@ -529,7 +529,7 @@ let test_chaos_soak () =
           Alcotest.(check int) "every Ok response had correct rows" 0 (Atomic.get wrong);
           Alcotest.(check int) "no arena chunk leak across 96 chaotic queries"
             chunks_baseline
-            (Aeq_mem.Arena.mark_chunks arena);
+            (Aeq_mem.Arena.live_chunks arena);
           let st = Aeq.Engine.scheduler_stats engine in
           Alcotest.(check int) "all submissions accounted for"
             (8 * 12)

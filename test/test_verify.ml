@@ -485,7 +485,7 @@ let test_workload_corpus () =
     Aeq_rt.Context.create
       ~arena:(Aeq_storage.Catalog.arena catalog)
       ~dict:(Aeq_storage.Catalog.dict catalog)
-      ~n_threads:1
+      ~n_threads:1 ()
   in
   let symbols = Aeq_rt.Symbols.resolver ctx in
   let n_workers = ref 0 in
