@@ -685,9 +685,51 @@ let obs () =
   Aeq.Engine.close e;
   Printf.printf "wrote trace.json and metrics.prom\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* Simulation yield points: cost of the instrumentation when disabled  *)
+(* and when enabled with a no-op handler                               *)
+(* ------------------------------------------------------------------ *)
+let sim () =
+  header "SIM: yield-point overhead on the warmed prepared-statement loop";
+  let sf = Stdlib.min base_sf 0.01 in
+  let e = Aeq.Engine.create ~n_threads () in
+  Aeq.Engine.load_tpch e ~scale_factor:sf;
+  let sql = Aeq_workload.Queries.tpch_q 6 in
+  ignore (Aeq.Engine.query e sql);
+  let iters = 25 in
+  let measure () =
+    let t0 = Clock.now () in
+    for _ = 1 to iters do
+      ignore (Aeq.Engine.query e sql)
+    done;
+    Clock.now () -. t0
+  in
+  ignore (measure ());
+  (* best-of to push scheduling noise out of both configurations *)
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to 3 do
+      let dt = f () in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let t_off = best measure in
+  let t_on =
+    Aeq_util.Yieldpoint.with_handler (fun _site -> ()) (fun () -> best measure)
+  in
+  let overhead = 100.0 *. ((t_on -. t_off) /. t_off) in
+  Printf.printf
+    "yield points: disabled %.2f ms | no-op handler %.2f ms | %+.1f%% (%d iters)\n"
+    (ms t_off) (ms t_on) overhead iters;
+  if overhead > 2.0 then
+    Printf.printf "WARNING: disabled-yield-point overhead above the 2%% target\n";
+  if overhead > 50.0 then failwith "sim: yield-point overhead out of bounds";
+  Aeq.Engine.close e
+
 let all =
   [ "fig1"; "fig2"; "fig6"; "fig13"; "fig14"; "fig15"; "table1"; "table2"; "regalloc";
-    "ablation"; "prepared"; "micro"; "concurrency"; "obs" ]
+    "ablation"; "prepared"; "micro"; "concurrency"; "obs"; "sim" ]
 
 let run_one = function
   | "fig1" -> fig1 ()
@@ -704,6 +746,7 @@ let run_one = function
   | "micro" -> micro ()
   | "concurrency" -> concurrency ()
   | "obs" -> obs ()
+  | "sim" -> sim ()
   | other -> Printf.printf "unknown experiment %s (available: %s)\n" other (String.concat " " all)
 
 let () =

@@ -62,7 +62,23 @@ let register_gauges t =
       Mutex.lock t.cache_lock;
       let n = Hashtbl.length t.plan_cache in
       Mutex.unlock t.cache_lock;
-      n)
+      n);
+  let arena () = Aeq_storage.Catalog.arena t.catalog in
+  Obs.Metrics.gauge_fn "aeq_arena_scratch_resident_bytes"
+    ~help:"Bytes resident in query-scratch chunks (what the scratch cap meters)."
+    (fun () -> Aeq_mem.Arena.scratch_resident_bytes (arena ()));
+  Obs.Metrics.gauge_fn "aeq_arena_scratch_limit_bytes"
+    ~help:"Configured scratch cap in bytes; -1 when unbounded."
+    (fun () ->
+      match Aeq_mem.Arena.scratch_limit (arena ()) with
+      | Some l -> l
+      | None -> -1);
+  Obs.Metrics.gauge_fn "aeq_arena_backpressure_waits"
+    ~help:"Chunk grabs that had to wait at the scratch cap (monotone)."
+    (fun () -> Aeq_mem.Arena.backpressure_waits (arena ()));
+  Obs.Metrics.gauge_fn "aeq_arena_limit_rejections"
+    ~help:"Chunk grabs that gave up with Memory_budget_exceeded (monotone)."
+    (fun () -> Aeq_mem.Arena.limit_rejections (arena ()))
 
 let create ?n_threads ?cost_model ?chunk_size () =
   let n_threads =
@@ -109,6 +125,11 @@ let create ?n_threads ?cost_model ?chunk_size () =
   t
 
 let load_tpch ?seed t ~scale_factor = Aeq_workload.Tpch.load ?seed ~scale_factor t.catalog
+
+let set_scratch_limit ?block_seconds t limit =
+  Aeq_mem.Arena.set_scratch_limit
+    (Aeq_storage.Catalog.arena t.catalog)
+    ?block_seconds limit
 
 let catalog t = t.catalog
 
@@ -162,6 +183,32 @@ let cache_stats t =
         entries = Hashtbl.length t.plan_cache;
       })
 
+(* Plan-cache coherence, for the simulator's quiescent-step checkers:
+   the cache respects its capacity, every LRU stamp is within the tick
+   range, no text is simultaneously cached and in-flight preparing,
+   and no counter has gone negative. Takes cache_lock, so call it only
+   while no task is suspended inside a cache critical section (the
+   yield points guarantee this under simulation). *)
+let check t =
+  with_lock t.cache_lock (fun () ->
+      let problems = ref [] in
+      let add fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+      let n = Hashtbl.length t.plan_cache in
+      if t.cache_enabled && n > t.cache_capacity then
+        add "plan cache holds %d entries over capacity %d" n t.cache_capacity;
+      Hashtbl.iter
+        (fun sql e ->
+          if e.ce_last_used < 0 || e.ce_last_used > t.cache_tick then
+            add "cache entry %S: LRU stamp %d outside [0, %d]" sql
+              e.ce_last_used t.cache_tick;
+          if Hashtbl.mem t.preparing sql then
+            add "text %S is both cached and in-flight preparing" sql)
+        t.plan_cache;
+      if t.cache_hits < 0 || t.cache_misses < 0 || t.cache_evictions < 0 then
+        add "negative cache counter (hits %d, misses %d, evictions %d)"
+          t.cache_hits t.cache_misses t.cache_evictions;
+      List.rev !problems)
+
 (* under cache_lock *)
 let touch t entry =
   t.cache_tick <- t.cache_tick + 1;
@@ -183,6 +230,9 @@ let note_hit t e =
    on [prep_done] and then take the cache hit. *)
 let prepare_entry t sql =
   let rec lookup () =
+    (* yield OUTSIDE the lock: the simulator must never suspend a task
+       that holds cache_lock, or every peer deadlocks behind it *)
+    Aeq_util.Yieldpoint.yield "engine.cache";
     Mutex.lock t.cache_lock;
     match Hashtbl.find_opt t.plan_cache sql with
     | Some e ->
@@ -194,9 +244,19 @@ let prepare_entry t sql =
         (* another caller is preparing this text; joining the wait
            (rather than preparing twice) keeps the cache single-entry
            and the duplicated codegen cost off the serving path *)
-        Condition.wait t.prep_done t.cache_lock;
-        Mutex.unlock t.cache_lock;
-        lookup ()
+        if Aeq_util.Yieldpoint.enabled () then begin
+          (* under simulation a real [Condition.wait] would block a
+             task the scheduler thinks is runnable; spin through the
+             scheduler instead and re-check on resume *)
+          Mutex.unlock t.cache_lock;
+          Aeq_util.Yieldpoint.yield "engine.singleflight.wait";
+          lookup ()
+        end
+        else begin
+          Condition.wait t.prep_done t.cache_lock;
+          Mutex.unlock t.cache_lock;
+          lookup ()
+        end
       end
       else begin
         t.cache_misses <- t.cache_misses + 1;
@@ -212,6 +272,11 @@ let prepare_entry t sql =
               Condition.broadcast t.prep_done)
         in
         match
+          (* inside the match scrutinee so an injected fault takes the
+             exception branch below: [finish] wakes the waiters and the
+             preparing claim never leaks *)
+          Aeq_util.Failpoints.hit "compile.singleflight";
+          Aeq_util.Yieldpoint.yield "engine.singleflight";
           Aeq_exec.Driver.prepare ~cost_model:t.cost_model t.catalog (plan t sql)
             ~n_threads:(n_threads t)
         with
@@ -306,7 +371,14 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_s
        execution leaves the entry cached and reusable (the driver
        guarantees cleanup); only a successful adaptive run updates
        the mode memory. *)
-    let entry = prepare_entry t sql in
+    let entry =
+      (* a fault injected at [compile.singleflight] surfaces with the
+         same structured error contract as every other injected site *)
+      try prepare_entry t sql
+      with Aeq_util.Failpoints.Injected site ->
+        Aeq_exec.Query_error.raise_error
+          (Aeq_exec.Query_error.Trap ("injected fault at " ^ site))
+    in
     let initial_modes =
       with_lock t.cache_lock (fun () ->
           if

@@ -34,6 +34,16 @@ val create :
 
 val load_tpch : ?seed:int64 -> t -> scale_factor:float -> unit
 
+val set_scratch_limit : ?block_seconds:float -> t -> int option -> unit
+(** Cap the arena's query-scratch residency (hash tables, aggregation
+    state, output rows — not loaded tables). A chunk grab over the cap
+    blocks up to [block_seconds] (default 0.05) for concurrent queries
+    to release, then the query fails with a structured
+    [Query_error.Memory_budget_exceeded]; it never crashes the engine
+    or leaks the query's chunks. [None] (the default) removes the cap.
+    The scheduler also sheds compilation while scratch residency sits
+    above 90% of the cap (see [Scheduler]). *)
+
 val catalog : t -> Aeq_storage.Catalog.t
 
 val pool : t -> Aeq_exec.Pool.t
@@ -162,6 +172,13 @@ val cache_stats : t -> cache_stats
 (** Plan-cache counters since engine creation. A [query] or [prepare]
     that finds the statement cached counts one hit; one that compiles
     it counts one miss. *)
+
+val check : t -> string list
+(** Plan-cache coherence: capacity respected, LRU stamps within the
+    tick range, no text both cached and in-flight preparing, counters
+    non-negative. Returns one message per violation (empty = coherent).
+    Used as a quiescent-step invariant checker by the deterministic
+    simulator ([Aeq_sim]). *)
 
 val render_rows : t -> Aeq_exec.Driver.result -> string list
 (** Result rows as tab-separated strings (dictionary decoded). *)

@@ -109,6 +109,12 @@ let prepare ?(cost_model = CM.default) catalog plan ~n_threads =
 let error_of_exn = function
   | Query_error.Error e -> e
   | Trap.Error m -> Query_error.Trap m
+  | A.Scratch_limit_exceeded { limit_bytes; resident_bytes; _ } ->
+    (* the global scratch cap, surfaced with the same structured error
+       as the per-query budget: callers see one memory-exhaustion
+       contract whichever limit tripped *)
+    Query_error.Memory_budget_exceeded
+      { budget_bytes = limit_bytes; used_bytes = resident_bytes }
   | Aeq_util.Failpoints.Injected site -> Query_error.Trap ("injected fault at " ^ site)
   | e -> Query_error.Trap (Printexc.to_string e)
 
@@ -127,7 +133,18 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
      lease, released on every exit path. Concurrent executions (even
      of the same cached plan) therefore never share mutable arena
      state; the shared base chunks (loaded columns) are read-only. *)
-  let lease = A.lease arena in
+  let lease =
+    (* the [arena.lease] failpoint fires before the lease exists, so an
+       injected fault here has nothing to leak — but it must still
+       surface as a structured error, not a raw exception *)
+    try A.lease arena
+    with Aeq_util.Failpoints.Injected site ->
+      Query_error.raise_error (Query_error.Trap ("injected fault at " ^ site))
+  in
+  (* Zero-width leak window: every line from here on runs inside the
+     [Fun.protect] at the bottom whose finaliser releases the lease, so
+     no exception — injected or real — can strand the lease's chunks. *)
+  let guarded () =
   let deadline = Option.map (fun s -> t_start +. s) timeout_seconds in
   (* --- query guardrails --------------------------------------------- *)
   (* The first error (worker trap, cancellation, deadline, budget
@@ -332,6 +349,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
           (* compiled code resolves runtime objects through the
              domain-current context; install ours for the duration *)
           Aeq_rt.Context.set_current ctx;
+          Aeq_util.Yieldpoint.yield "driver.ctx_install";
           Fun.protect ~finally:Aeq_rt.Context.clear_current @@ fun () ->
           let regs = ref (Bytes.make 256 '\000') in
           let continue_ = ref true in
@@ -346,6 +364,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
                 let t0 = Aeq_util.Clock.now () in
                 match
                   Aeq_util.Failpoints.hit "driver.morsel";
+                  Aeq_util.Yieldpoint.yield "driver.morsel";
                   Handle.run_morsel handle ~regs
                     ~args:
                       [|
@@ -476,18 +495,27 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
       trace;
     }
   in
+  body ()
+  in
   (* Guaranteed cleanup: whatever happens above, this execution's
      scratch lease goes back to the arena's free pool, so concurrent
      and future queries see the memory again and the cached prepared
      statement stays reusable. Failures surface as structured
      [Query_error]s. All output rows were copied out of the arena
-     before this point. *)
+     before this point. An injected [arena.release] fault is swallowed
+     here: reclamation already ran (it is unconditional inside
+     [release]) and the fault must not mask the query's own outcome. *)
   Fun.protect
-    ~finally:(fun () -> A.release lease)
+    ~finally:(fun () ->
+      try A.release lease with Aeq_util.Failpoints.Injected _ -> ())
     (fun () ->
-      try body () with
+      try guarded () with
       | Query_error.Error _ as e -> raise e
       | Trap.Error m -> Query_error.raise_error (Query_error.Trap m)
+      | A.Scratch_limit_exceeded { limit_bytes; resident_bytes; _ } ->
+        Query_error.raise_error
+          (Query_error.Memory_budget_exceeded
+             { budget_bytes = limit_bytes; used_bytes = resident_bytes })
       | Aeq_util.Failpoints.Injected site ->
         Query_error.raise_error (Query_error.Trap ("injected fault at " ^ site)))
 

@@ -50,7 +50,12 @@ let pick_job t =
   !best
 
 let run_participant j ~tid =
-  try j.fn ~tid
+  try
+    (* the pick is where a worker commits to a job — faults and
+       interleavings here exercise the claimed-but-not-started window *)
+    Aeq_util.Failpoints.hit "pool.pick";
+    Aeq_util.Yieldpoint.yield "pool.pick";
+    j.fn ~tid
   with e -> ignore (Atomic.compare_and_set j.error None (Some e))
 
 let worker_loop t =
@@ -142,6 +147,29 @@ let run ?max_tids t fn =
   Mutex.unlock t.lock;
   ignore (Atomic.fetch_and_add t.active_jobs (-1));
   match Atomic.get j.error with Some e -> raise e | None -> ()
+
+(* Accounting coherence probe for the simulator's invariant checker:
+   every open job's tid/participant counters must stay inside their
+   envelopes whatever interleaving the scheduler forced. *)
+let check t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if Atomic.get t.active_jobs < 0 then
+    err "active_jobs negative: %d" (Atomic.get t.active_jobs);
+  Mutex.lock t.lock;
+  List.iter
+    (fun j ->
+      if j.active < 0 then err "job has negative participant count %d" j.active;
+      if j.next_tid < 1 || j.next_tid > j.max_tids then
+        err "job next_tid=%d outside [1,%d]" j.next_tid j.max_tids;
+      if j.active > j.next_tid then
+        err "job active=%d exceeds claimed tids=%d" j.active j.next_tid)
+    t.jobs;
+  if List.length t.jobs > Atomic.get t.active_jobs then
+    err "%d open jobs but active_jobs=%d" (List.length t.jobs)
+      (Atomic.get t.active_jobs);
+  Mutex.unlock t.lock;
+  List.rev !errs
 
 let shutdown t =
   if Atomic.compare_and_set t.closed false true then begin

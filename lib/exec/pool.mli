@@ -37,5 +37,11 @@ val busy : t -> bool
 val active_jobs : t -> int
 (** Number of jobs currently in flight (submitted, not yet drained). *)
 
+val check : t -> string list
+(** Cross-check per-job participant accounting (claimed tids vs
+    active participants vs the in-flight job counter). Empty =
+    coherent. Run by the deterministic simulator's invariant checker
+    at yield points. Takes the pool lock. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. *)

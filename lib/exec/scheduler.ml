@@ -361,6 +361,12 @@ let serve t tk =
       || (match (t.cfg.shed_resident_bytes, t.arena) with
          | Some b, Some a -> Aeq_mem.Arena.resident_bytes a > b
          | _ -> false)
+      (* near the scratch cap, compiling (and its scratch spike) is the
+         wrong thing to spend memory on: degrade to bytecode until
+         backpressure drains *)
+      || (match t.arena with
+         | Some a -> Aeq_mem.Arena.scratch_under_pressure a
+         | None -> false)
     in
     let compile_allowed =
       (not wants_compile)

@@ -1,5 +1,12 @@
 exception Stale_allocator
 
+exception
+  Scratch_limit_exceeded of {
+    limit_bytes : int;
+    requested_bytes : int;
+    resident_bytes : int;
+  }
+
 (* The chunk table is two-level: slots below the permanent base hold
    loaded tables (the catalog's lease, never released), slots above are
    scratch leased to one query at a time. A released slot drops its
@@ -20,11 +27,20 @@ type t = {
   generation : int Atomic.t; (* bumped by [reset]; staleness fences *)
   lock : Mutex.t;
   mutable base : lease option; (* permanent lease for loaded tables *)
+  mutable live_leases : int; (* outstanding scratch leases; guarded by lock *)
+  scratch : int Atomic.t;
+      (* bytes resident in scratch chunks only (excludes the base
+         lease's loaded tables) — what the scratch cap meters *)
+  mutable scratch_limit : int option; (* cap on [scratch]; None = unbounded *)
+  mutable block_seconds : float; (* backpressure deadline before giving up *)
+  waits : int Atomic.t; (* chunk grabs that had to wait at the cap *)
+  rejects : int Atomic.t; (* Scratch_limit_exceeded raised *)
 }
 
 and lease = {
   ls_arena : t;
   ls_gen : int; (* arena generation at lease time *)
+  ls_scratch : bool; (* false only for the permanent base lease *)
   mutable ls_slots : int list; (* owned chunk slots; guarded by arena lock *)
   ls_used : int Atomic.t; (* bytes handed out — the per-query budget meter *)
   ls_stale : bool Atomic.t; (* set on release/reset; allocators fail fast *)
@@ -49,10 +65,11 @@ let encode chunk off = (chunk lsl offset_bits) lor off
 
 let max_chunks = 1 lsl 16
 
-let make_lease t =
+let make_lease ~scratch t =
   {
     ls_arena = t;
     ls_gen = Atomic.get t.generation;
+    ls_scratch = scratch;
     ls_slots = [];
     ls_used = Atomic.make 0;
     ls_stale = Atomic.make false;
@@ -73,15 +90,30 @@ let create ?(chunk_size = 1 lsl 20) () =
       generation = Atomic.make 0;
       lock = Mutex.create ();
       base = None;
+      live_leases = 0;
+      scratch = Atomic.make 0;
+      scratch_limit = None;
+      block_seconds = 0.05;
+      waits = Atomic.make 0;
+      rejects = Atomic.make 0;
     }
   in
-  t.base <- Some (make_lease t);
+  t.base <- Some (make_lease ~scratch:false t);
   t
 
 let base_lease t =
   match t.base with Some l -> l | None -> assert false
 
-let lease t = make_lease t
+let lease t =
+  (* fault fires before the lease exists, so an injected failure here
+     cannot leak a claim *)
+  Aeq_util.Failpoints.hit "arena.lease";
+  Aeq_util.Yieldpoint.yield "arena.lease";
+  let l = make_lease ~scratch:true t in
+  Mutex.lock t.lock;
+  t.live_leases <- t.live_leases + 1;
+  Mutex.unlock t.lock;
+  l
 
 let lease_used l = Atomic.get l.ls_used
 
@@ -98,42 +130,109 @@ let lease_chunk ls size =
   (* simulated allocation failure: growing the arena is where a real
      OOM would strike *)
   Aeq_util.Failpoints.hit "arena.alloc";
+  Aeq_util.Yieldpoint.yield "arena.alloc";
   let t = ls.ls_arena in
-  Mutex.lock t.lock;
-  let slot =
-    match t.free_slots with
-    | s :: rest ->
-      t.free_slots <- rest;
-      s
-    | [] ->
-      let n = t.n_chunks in
-      if n >= max_chunks then begin
-        Mutex.unlock t.lock;
-        invalid_arg "Arena: chunk table exhausted"
+  (* Backpressure contract: a scratch grab that would push scratch
+     residency past the cap waits (polling, off-lock) for concurrent
+     queries to release, up to [block_seconds]; past the deadline it
+     raises [Scratch_limit_exceeded], which the driver surfaces as a
+     structured [Memory_budget_exceeded] after releasing the lease.
+     The admission check and the slot take happen under one lock
+     acquisition, so the cap is never overshot by racing grabs. *)
+  let deadline = ref None in
+  let rec acquire () =
+    Mutex.lock t.lock;
+    (* staleness re-checked under the SAME lock that [release] stales
+       under: a grab that raced a concurrent release used to slip a
+       fresh slot onto the already-reclaimed lease — a permanent leak,
+       reachable whenever a peer worker's failure released the lease
+       while this worker sat between [alloc]'s entry check and here *)
+    if Atomic.get ls.ls_stale || ls.ls_gen <> Atomic.get t.generation then begin
+      Mutex.unlock t.lock;
+      raise Stale_allocator
+    end;
+    let fits =
+      (not ls.ls_scratch)
+      ||
+      match t.scratch_limit with
+      | None -> true
+      | Some limit -> Atomic.get t.scratch + size <= limit
+    in
+    if fits then begin
+      let slot =
+        match t.free_slots with
+        | s :: rest ->
+          t.free_slots <- rest;
+          s
+        | [] ->
+          let n = t.n_chunks in
+          if n >= max_chunks then begin
+            Mutex.unlock t.lock;
+            invalid_arg "Arena: chunk table exhausted"
+          end;
+          t.n_chunks <- n + 1;
+          n
+      in
+      t.chunks.(slot) <- Bytes.make size '\000';
+      t.n_live <- t.n_live + 1;
+      if ls.ls_scratch then ignore (Atomic.fetch_and_add t.scratch size);
+      ls.ls_slots <- slot :: ls.ls_slots;
+      Mutex.unlock t.lock;
+      ignore (Atomic.fetch_and_add t.resident size);
+      slot
+    end
+    else begin
+      let limit = Option.value t.scratch_limit ~default:0 in
+      Mutex.unlock t.lock;
+      (* released mid-wait (peer worker failed, driver reclaimed):
+         allocating further would bump-write into recycled memory *)
+      if Atomic.get ls.ls_stale then raise Stale_allocator;
+      let now = Aeq_util.Clock.now () in
+      let dl =
+        match !deadline with
+        | Some d -> d
+        | None ->
+          ignore (Atomic.fetch_and_add t.waits 1);
+          let d = now +. t.block_seconds in
+          deadline := Some d;
+          d
+      in
+      if now >= dl then begin
+        ignore (Atomic.fetch_and_add t.rejects 1);
+        raise
+          (Scratch_limit_exceeded
+             {
+               limit_bytes = limit;
+               requested_bytes = size;
+               resident_bytes = Atomic.get t.scratch;
+             })
       end;
-      t.n_chunks <- n + 1;
-      n
+      (* under simulation the wait must go through the scheduler, not
+         a real sleep the simulator cannot preempt *)
+      if Aeq_util.Yieldpoint.enabled () then
+        Aeq_util.Yieldpoint.yield "arena.backpressure"
+      else Unix.sleepf 0.0002;
+      acquire ()
+    end
   in
-  t.chunks.(slot) <- Bytes.make size '\000';
-  t.n_live <- t.n_live + 1;
-  ls.ls_slots <- slot :: ls.ls_slots;
-  Mutex.unlock t.lock;
-  ignore (Atomic.fetch_and_add t.resident size);
-  slot
+  acquire ()
 
 (* Return every owned chunk to the free pool. Idempotent; a no-op if
    the arena was [reset] since the lease was taken (the slots are
    already recycled). Must not run while the lease's allocators are
    still in use — the driver releases only after the pool barrier. *)
-let release ls =
+let do_release ls =
   let t = ls.ls_arena in
   Mutex.lock t.lock;
   if (not (Atomic.get ls.ls_stale)) && ls.ls_gen = Atomic.get t.generation
   then begin
     Atomic.set ls.ls_stale true;
+    if ls.ls_scratch then t.live_leases <- t.live_leases - 1;
     List.iter
       (fun s ->
-        ignore (Atomic.fetch_and_add t.resident (-Bytes.length t.chunks.(s)));
+        let sz = Bytes.length t.chunks.(s) in
+        ignore (Atomic.fetch_and_add t.resident (-sz));
+        if ls.ls_scratch then ignore (Atomic.fetch_and_add t.scratch (-sz));
         t.chunks.(s) <- Bytes.empty;
         t.n_live <- t.n_live - 1;
         t.free_slots <- s :: t.free_slots)
@@ -142,6 +241,15 @@ let release ls =
   end
   else Atomic.set ls.ls_stale true;
   Mutex.unlock t.lock
+
+let release ls =
+  Aeq_util.Yieldpoint.yield "arena.release";
+  (* the failpoint fires, but reclamation is unconditional: an injected
+     fault at release must exercise caller error paths, never leak the
+     lease's chunks *)
+  Fun.protect
+    ~finally:(fun () -> do_release ls)
+    (fun () -> Aeq_util.Failpoints.hit "arena.release")
 
 let lease_allocator ls =
   (* Fresh allocators start with no chunk; the first alloc grabs one.
@@ -195,8 +303,102 @@ let live_chunks t =
   Mutex.unlock t.lock;
   n
 
+let scratch_resident_bytes t = Atomic.get t.scratch
+
+let scratch_limit t = t.scratch_limit
+
+let set_scratch_limit t ?block_seconds limit =
+  Mutex.lock t.lock;
+  (match limit with
+  | Some l when l < 0 ->
+    Mutex.unlock t.lock;
+    invalid_arg "Arena.set_scratch_limit: negative limit"
+  | _ -> ());
+  t.scratch_limit <- limit;
+  (match block_seconds with
+  | Some s when s >= 0.0 -> t.block_seconds <- s
+  | Some _ ->
+    Mutex.unlock t.lock;
+    invalid_arg "Arena.set_scratch_limit: negative block_seconds"
+  | None -> ());
+  Mutex.unlock t.lock
+
+let live_leases t =
+  Mutex.lock t.lock;
+  let n = t.live_leases in
+  Mutex.unlock t.lock;
+  n
+
+let backpressure_waits t = Atomic.get t.waits
+
+let limit_rejections t = Atomic.get t.rejects
+
+(* lock-free: one atomic load + a field read, cheap enough for the
+   scheduler's per-submission overload probe *)
+let scratch_under_pressure t =
+  match t.scratch_limit with
+  | None -> false
+  | Some limit ->
+    limit = 0 || float_of_int (Atomic.get t.scratch) > 0.9 *. float_of_int limit
+
+(* Cross-check every counter the lock-free paths maintain against a
+   ground-truth scan of the chunk table. Empty list = coherent. The
+   simulator runs this at yield points, so any interleaving that lets
+   the counters drift from the table is caught at the first quiescent
+   instant after the drift, with the schedule in hand. *)
+let check t =
+  Mutex.lock t.lock;
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let live = ref 0 and bytes = ref 0 in
+  for i = 0 to t.n_chunks - 1 do
+    if Bytes.length t.chunks.(i) > 0 then begin
+      incr live;
+      bytes := !bytes + Bytes.length t.chunks.(i)
+    end
+  done;
+  if !live <> t.n_live then
+    err "n_live=%d but %d slots hold memory" t.n_live !live;
+  if !bytes <> Atomic.get t.resident then
+    err "resident=%d but chunk table holds %d bytes" (Atomic.get t.resident)
+      !bytes;
+  let free = List.sort_uniq compare t.free_slots in
+  if List.length free <> List.length t.free_slots then
+    err "free_slots has duplicates";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= t.n_chunks then err "free slot %d out of range" s
+      else if Bytes.length t.chunks.(s) > 0 then
+        err "free slot %d still holds %d bytes" s (Bytes.length t.chunks.(s)))
+    t.free_slots;
+  if t.n_live + List.length t.free_slots <> t.n_chunks then
+    err "n_live=%d + free=%d <> n_chunks=%d" t.n_live
+      (List.length t.free_slots) t.n_chunks;
+  let scratch = Atomic.get t.scratch in
+  if scratch < 0 then err "scratch resident negative: %d" scratch;
+  if scratch > Atomic.get t.resident then
+    err "scratch=%d exceeds resident=%d" scratch (Atomic.get t.resident);
+  (match t.scratch_limit with
+  | Some limit when scratch > limit ->
+    err "scratch=%d exceeds limit=%d" scratch limit
+  | _ -> ());
+  if t.live_leases < 0 then err "live_leases negative: %d" t.live_leases;
+  Mutex.unlock t.lock;
+  List.rev !errs
+
 let reset t =
   Mutex.lock t.lock;
+  (* Refuse to pull memory out from under a running query: a reset
+     with scratch leases outstanding used to silently invalidate them
+     and recycle their slots, turning a maintenance call into a
+     data race with whatever those queries wrote next. *)
+  if t.live_leases > 0 then begin
+    let n = t.live_leases in
+    Mutex.unlock t.lock;
+    invalid_arg
+      (Printf.sprintf "Arena.reset: %d live scratch lease%s outstanding" n
+         (if n = 1 then "" else "s"))
+  end;
   (* invalidate every outstanding lease and allocator (base included) *)
   ignore (Atomic.fetch_and_add t.generation 1);
   (match t.base with Some b -> Atomic.set b.ls_stale true | None -> ());
@@ -209,7 +411,8 @@ let reset t =
   t.n_live <- 1;
   Atomic.set t.resident (Bytes.length t.chunks.(0));
   Atomic.set t.total_used 0;
-  t.base <- Some (make_lease t);
+  Atomic.set t.scratch 0;
+  t.base <- Some (make_lease ~scratch:false t);
   Mutex.unlock t.lock
 
 let[@inline] buf t p = Array.unsafe_get t.chunks (p lsr offset_bits)

@@ -41,6 +41,17 @@ exception Stale_allocator
     the arena [reset] — bump-allocating into a reclaimed chunk would
     corrupt whichever query owns that slot now. *)
 
+exception
+  Scratch_limit_exceeded of {
+    limit_bytes : int;  (** the configured scratch cap *)
+    requested_bytes : int;  (** size of the chunk grab that gave up *)
+    resident_bytes : int;  (** scratch bytes resident when it gave up *)
+  }
+(** Raised by {!alloc} through a scratch lease when the grab would
+    push scratch residency past {!set_scratch_limit}'s cap and the
+    backpressure deadline expired without enough concurrent releases.
+    The driver maps this to [Query_error.Memory_budget_exceeded]. *)
+
 val null : ptr
 
 val create : ?chunk_size:int -> unit -> t
@@ -92,9 +103,54 @@ val live_chunks : t -> int
 (** Number of slots currently holding memory. Equal before/after a
     query whose lease was released — the leak check used by tests. *)
 
+val live_leases : t -> int
+(** Outstanding scratch leases (taken, not yet released). *)
+
 val reset : t -> unit
 (** Drop all chunks except the first and invalidate every outstanding
-    lease and allocator (base included). Only call between queries. *)
+    lease and allocator (base included). Only call between queries.
+    @raise Invalid_argument if scratch leases are still live — a
+    reset under a running query would recycle its slots into a data
+    race. Release (or fail) every query first. *)
+
+(** {1 Scratch cap and backpressure}
+
+    A global bound on scratch residency — the sum of chunk bytes held
+    by query leases, excluding loaded tables. A chunk grab that would
+    exceed the cap blocks (polling) up to [block_seconds] waiting for
+    concurrent queries to release; past the deadline it raises
+    {!Scratch_limit_exceeded}. The cap is enforced inside the grab's
+    critical section, so it is never overshot, whatever the
+    interleaving. *)
+
+val set_scratch_limit : t -> ?block_seconds:float -> int option -> unit
+(** [set_scratch_limit t (Some bytes)] arms the cap; [None] (the
+    default) disarms it. [block_seconds] (default 0.05) is how long a
+    grab waits at the cap before giving up. Thread-safe; affects
+    subsequent grabs only. *)
+
+val scratch_limit : t -> int option
+
+val scratch_resident_bytes : t -> int
+(** Scratch bytes currently resident (the quantity the cap meters).
+    One atomic load. *)
+
+val backpressure_waits : t -> int
+(** Chunk grabs that had to wait at the cap (counted once per grab). *)
+
+val limit_rejections : t -> int
+(** Grabs that gave up with {!Scratch_limit_exceeded}. *)
+
+val scratch_under_pressure : t -> bool
+(** True when a cap is armed and scratch residency is above 90% of
+    it — the scheduler's shedding probe. Lock-free. *)
+
+val check : t -> string list
+(** Recount the chunk table and cross-check every counter the
+    lock-free paths maintain ([n_live], [resident], [scratch],
+    free-slot validity, cap adherence). Empty = coherent. The
+    deterministic simulator runs this at yield points; tests run it
+    after fault injection. Takes the arena lock. *)
 
 (** {1 Typed access}
 

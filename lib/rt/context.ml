@@ -56,8 +56,25 @@ let allocator t ~tid = t.allocators.(tid)
 let current_key : t option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let set_current t = Domain.DLS.get current_key := Some t
+(* TEST ONLY — resurrect the pre-per-query-context bug. Before
+   contexts became domain-local, "the current context" was one global
+   ref; two concurrent queries would stomp each other's installation
+   and route hash-table inserts / output appends into the wrong
+   query's runtime objects. The deterministic simulator flips this
+   flag to prove it can find that race from a seed; nothing in the
+   engine sets it. *)
+let unsafe_global_current = Atomic.make false
 
-let clear_current () = Domain.DLS.get current_key := None
+let global_current : t option ref = ref None
 
-let current () = !(Domain.DLS.get current_key)
+let set_current t =
+  if Atomic.get unsafe_global_current then global_current := Some t
+  else Domain.DLS.get current_key := Some t
+
+let clear_current () =
+  if Atomic.get unsafe_global_current then global_current := None
+  else Domain.DLS.get current_key := None
+
+let current () =
+  if Atomic.get unsafe_global_current then !global_current
+  else !(Domain.DLS.get current_key)

@@ -50,3 +50,12 @@ val set_current : t -> unit
 val clear_current : unit -> unit
 
 val current : unit -> t option
+
+val unsafe_global_current : bool Atomic.t
+(** TEST ONLY. When set, the "current context" degenerates to one
+    process-global ref instead of a per-domain slot — the historical
+    bug from before per-query contexts, where concurrent queries
+    stomped each other's installation and wrote into the wrong query's
+    runtime objects. The deterministic simulator flips this to prove
+    the harness finds that race from a seed. Nothing in the engine
+    sets it; leave it alone. *)

@@ -1,4 +1,15 @@
-let now () = Unix.gettimeofday ()
+(* The wall clock, behind one indirection so the deterministic
+   simulator can substitute a virtual clock: every timer, timeout and
+   deadline in the engine reads [now], so overriding the source makes
+   time itself part of the replayable schedule. Production cost: one
+   ref dereference on top of gettimeofday. *)
+let source : (unit -> float) ref = ref Unix.gettimeofday
+
+let now () = !source ()
+
+let set_source f = source := f
+
+let reset_source () = source := Unix.gettimeofday
 
 let time_it f =
   let t0 = now () in

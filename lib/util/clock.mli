@@ -3,7 +3,16 @@
 
 val now : unit -> float
 (** Seconds since an arbitrary epoch, monotonic enough for interval
-    measurement. *)
+    measurement. Reads the installed {!set_source} source (the real
+    wall clock by default). *)
+
+val set_source : (unit -> float) -> unit
+(** Substitute the time source. The deterministic simulator installs
+    a virtual clock here so timeouts, deadlines and backpressure
+    waits advance with the simulated schedule instead of real time. *)
+
+val reset_source : unit -> unit
+(** Restore the real wall clock. *)
 
 val time_it : (unit -> 'a) -> 'a * float
 (** [time_it f] runs [f] and returns its result together with the

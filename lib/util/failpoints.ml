@@ -18,6 +18,36 @@ let lock = Mutex.create ()
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 8
 
+(* Every site compiled into the engine. Arming a name outside this
+   catalog is rejected loudly: a typo'd site used to arm nothing and
+   the chaos run silently tested the happy path. Tests exercising the
+   registry itself extend the catalog with [register_site]. *)
+let builtin_sites =
+  [
+    "compile.unopt";
+    "compile.opt";
+    "compile.singleflight";
+    "driver.morsel";
+    "arena.alloc";
+    "arena.lease";
+    "arena.release";
+    "pool.pick";
+  ]
+
+let extra_sites : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let known_site site =
+  List.mem site builtin_sites || Hashtbl.mem extra_sites site
+
+let valid_sites () =
+  builtin_sites @ List.of_seq (Hashtbl.to_seq_keys extra_sites)
+
+let check_site site =
+  if not (known_site site) then
+    invalid_arg
+      (Printf.sprintf "Failpoints: unknown site %S (valid sites: %s)" site
+         (String.concat ", " (List.sort compare (valid_sites ()))))
+
 (* One PRNG for every probabilistic site, drawn under the registry
    lock: chaos runs are reproducible given the seed and a fixed
    interleaving, and at worst statistically stable across
@@ -34,7 +64,10 @@ let locked f =
 
 let set_seed seed = locked (fun () -> prng := Prng.create seed)
 
+let register_site site = locked (fun () -> Hashtbl.replace extra_sites site ())
+
 let activate ?(on_hit = 1) ?(persistent = true) site action =
+  check_site site;
   if on_hit < 1 then invalid_arg "Failpoints.activate: on_hit must be >= 1";
   (match action with
   | Prob_fail p when not (p >= 0.0 && p <= 1.0) ->

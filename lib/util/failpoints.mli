@@ -6,13 +6,26 @@
     trustworthy if they run under test; this registry makes the faults
     reproducible.
 
-    Sites wired in today:
+    Sites wired in today (the full catalog; arming any other name
+    raises [Invalid_argument] listing the valid sites — a typo'd site
+    used to arm nothing, silently):
     - ["compile.unopt"] / ["compile.opt"] — hit in [Handle.promote]
       just before the machine-code variant is built (cached variants
       are not a compilation and do not hit the site);
+    - ["compile.singleflight"] — hit by the plan cache's single-flight
+      prepare, after the miss is claimed and before planning/codegen
+      (waiters are woken and the caller gets a structured error);
     - ["driver.morsel"] — hit before every morsel of every pipeline;
     - ["arena.alloc"] — hit when the arena takes a new chunk
-      (simulated allocation failure / OOM).
+      (simulated allocation failure / OOM);
+    - ["arena.lease"] — hit when a query takes its scratch lease,
+      before the lease exists (a fault here must not leak);
+    - ["arena.release"] — hit when a scratch lease is released; the
+      chunk slots are reclaimed {e regardless} (the reclamation runs
+      in a [Fun.protect] finaliser), so the fault exercises caller
+      error paths without ever leaking memory;
+    - ["pool.pick"] — hit when a pool participant (worker domain or
+      the submitting caller) starts on a job, before the first morsel.
 
     The registry is global and thread-safe; a disarmed registry costs
     one atomic load per check. Arm programmatically with {!activate}
@@ -38,8 +51,17 @@ val activate : ?on_hit:int -> ?persistent:bool -> string -> action -> unit
     hit. For [Prob_fail] the hit-count gate applies first, then the
     coin is tossed. Re-activating a site replaces its previous arming
     and resets its counters.
-    @raise Invalid_argument if a [Prob_fail] probability is outside
-    [\[0,1\]]. *)
+    @raise Invalid_argument if the site name is not in the catalog
+    (see {!valid_sites}, {!register_site}) or a [Prob_fail]
+    probability is outside [\[0,1\]]. *)
+
+val valid_sites : unit -> string list
+(** The armable site catalog: every site compiled into the engine
+    plus any test-registered extras. *)
+
+val register_site : string -> unit
+(** Extend the catalog with a synthetic site — for tests that
+    exercise the registry itself rather than an engine site. *)
 
 val set_seed : int64 -> unit
 (** Re-seed the registry's PRNG (splitmix64, shared by every

@@ -1,0 +1,42 @@
+(* Cooperative scheduling points for the deterministic concurrency
+   simulator (Aeq_sim).
+
+   A yield point is a named site on the lock-free execution path —
+   lease acquire/release, a morsel boundary, a context install, a
+   plan-cache lookup — where a simulated task hands control back to
+   the simulator's scheduler. Production never pays for them: with no
+   handler installed, [yield] is a single atomic load and a branch
+   (the same fast-path discipline as Failpoints.armed and
+   Obs.Control.enabled).
+
+   Discipline for instrumented code: a yield point must NEVER sit
+   inside a critical section. The simulator serializes tasks, so a
+   task suspended at a yield while holding a real mutex would deadlock
+   any task that then blocks on that mutex outside the simulator's
+   view. Every site below is placed before the lock is taken or after
+   it is dropped. *)
+
+let enabled_flag = Atomic.make false
+
+(* Written only while disabled (install/uninstall), published by the
+   release store on [enabled_flag]; readers load the flag (acquire)
+   first, so the handler read is ordered. *)
+let handler : (string -> unit) ref = ref (fun _ -> ())
+
+let enabled () = Atomic.get enabled_flag
+
+let[@inline] yield site = if Atomic.get enabled_flag then !handler site
+
+let install f =
+  if Atomic.get enabled_flag then
+    invalid_arg "Yieldpoint.install: a simulation handler is already installed";
+  handler := f;
+  Atomic.set enabled_flag true
+
+let uninstall () =
+  Atomic.set enabled_flag false;
+  handler := fun _ -> ()
+
+let with_handler f body =
+  install f;
+  Fun.protect ~finally:uninstall body

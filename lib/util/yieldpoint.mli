@@ -1,0 +1,47 @@
+(** Simulation yield points on the lock-free execution path.
+
+    The deterministic concurrency simulator ([Aeq_sim]) runs the real
+    engine under a controlled scheduler: instrumented sites call
+    {!yield}, the installed handler suspends the calling task and
+    hands the run token to whichever task the seeded scheduler picks
+    next. With no handler installed — production, and every test that
+    does not simulate — a yield point costs one atomic load and an
+    untaken branch.
+
+    Sites wired in today (co-located with the {!Failpoints} sites of
+    the same name where both exist):
+    - ["arena.lease"] / ["arena.release"] / ["arena.alloc"] /
+      ["arena.backpressure"] — scratch-lease lifecycle and chunk grabs;
+    - ["driver.morsel"] — before each morsel of each pipeline;
+    - ["driver.ctx_install"] — right after a worker installs its
+      query's execution context in domain-local storage;
+    - ["pool.pick"] — when a pool participant starts on a job;
+    - ["engine.cache"] / ["engine.singleflight"] /
+      ["engine.singleflight.wait"] — plan-cache lookup and the
+      single-flight prepare path.
+
+    Instrumentation rule: a yield point must never be placed while a
+    lock is held — the simulator serializes tasks, and suspending a
+    lock holder deadlocks any task that blocks on that lock for real.
+*)
+
+val enabled : unit -> bool
+(** Is a simulation handler installed? Instrumented blocking loops
+    (single-flight wait, arena backpressure) use this to spin through
+    {!yield} instead of blocking on a condition variable the
+    simulator cannot see. *)
+
+val yield : string -> unit
+(** Evaluate the site: no-op when disabled, otherwise calls the
+    installed handler with the site name. *)
+
+val install : (string -> unit) -> unit
+(** Install the simulation handler.
+    @raise Invalid_argument if one is already installed. *)
+
+val uninstall : unit -> unit
+(** Remove the handler; {!yield} reverts to a load-and-branch no-op. *)
+
+val with_handler : (string -> unit) -> (unit -> 'a) -> 'a
+(** [with_handler f body] installs [f] around [body], uninstalling on
+    all exits. *)

@@ -47,6 +47,10 @@ let check_query_error name expected f =
 
 (* ---- failpoint registry --------------------------------------------- *)
 
+(* synthetic sites for registry-mechanics tests: the catalog rejects
+   unknown names, so tests register theirs explicitly *)
+let () = List.iter FP.register_site [ "site.a"; "site.n"; "a"; "b"; "c" ]
+
 let test_failpoints_basic () =
   with_clean_failpoints (fun () ->
       Alcotest.(check bool) "disarmed" false (FP.armed ());
@@ -96,7 +100,22 @@ let test_failpoints_parse () =
           match FP.set_from_string bad with
           | () -> Alcotest.failf "accepted %S" bad
           | exception Invalid_argument _ -> ())
-        [ "nonsense"; "x=explode"; "x=fail@zero"; "x=delay:-1" ])
+        [ "nonsense"; "x=explode"; "x=fail@zero"; "x=delay:-1" ];
+      (* unknown site names are rejected with the catalog in the
+         message — a typo'd site used to arm nothing, silently *)
+      (match FP.activate "driver.morsle" FP.Fail with
+      | () -> Alcotest.fail "typo'd site must be rejected"
+      | exception Invalid_argument m ->
+        let has_needle needle =
+          let nl = String.length needle and ml = String.length m in
+          let rec go i =
+            i + nl <= ml && (String.sub m i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          "message lists valid sites" true
+          (has_needle "driver.morsel" && has_needle "arena.lease")))
 
 (* ---- pool lifecycle -------------------------------------------------- *)
 
@@ -342,6 +361,75 @@ let test_arena_alloc_failure () =
                 "select sum(l_quantity) from lineitem"));
       check_clean_query "clean after arena fault" engine)
 
+(* ---- lease-leak regression across every injected site --------------- *)
+
+module A = Aeq_mem.Arena
+
+(* For each fault-injection site on the execution path: inject, check
+   the failure surfaces with the structured contract (or is swallowed,
+   for [arena.release], whose reclamation is unconditional), then
+   check the arena is at its exact pre-fault baseline — no chunk, no
+   byte, no lease left behind — and that the engine still answers
+   correctly. Guards the [Fun.protect] windows the driver maintains
+   around lease ownership. *)
+let test_fault_at_each_site_no_leak () =
+  with_engine (fun engine ->
+      let arena = Aeq_storage.Catalog.arena (Aeq.Engine.catalog engine) in
+      check_clean_query "warm" engine;
+      let baseline_chunks = A.live_chunks arena
+      and baseline_resident = A.resident_bytes arena
+      and baseline_leases = A.live_leases arena in
+      with_clean_failpoints (fun () ->
+          List.iteri
+            (fun i (site, swallowed) ->
+              FP.activate site FP.Fail;
+              let sql =
+                (* single-flight only fires on a cache miss; give it a
+                   fresh text each time *)
+                if site = "compile.singleflight" then
+                  Printf.sprintf
+                    "select count(*) as n from lineitem where l_linenumber > -%d"
+                    (i + 1)
+                else "select count(*) as n from lineitem"
+              in
+              (match Aeq.Engine.query engine sql with
+              | _ ->
+                if not swallowed then
+                  Alcotest.failf "%s: expected an injected failure" site
+              | exception QE.Error (QE.Trap _) ->
+                if swallowed then
+                  Alcotest.failf "%s: swallowed fault must not surface" site
+              | exception e ->
+                Alcotest.failf "%s: unstructured exception %s" site
+                  (Printexc.to_string e));
+              Alcotest.(check bool) (site ^ ": failpoint fired") true
+                (FP.fired site >= 1);
+              FP.deactivate site;
+              check_clean_query (site ^ ": clean after fault") engine;
+              Alcotest.(check int)
+                (site ^ ": live chunks at baseline")
+                baseline_chunks (A.live_chunks arena);
+              Alcotest.(check int)
+                (site ^ ": resident bytes at baseline")
+                baseline_resident (A.resident_bytes arena);
+              Alcotest.(check int)
+                (site ^ ": no lease outstanding")
+                baseline_leases (A.live_leases arena);
+              Alcotest.(check int)
+                (site ^ ": no scratch resident")
+                0
+                (A.scratch_resident_bytes arena);
+              Alcotest.(check (list string)) (site ^ ": arena coherent") []
+                (A.check arena))
+            [
+              ("arena.lease", false);
+              ("arena.alloc", false);
+              ("arena.release", true);
+              ("driver.morsel", false);
+              ("pool.pick", false);
+              ("compile.singleflight", false);
+            ]))
+
 let () =
   Alcotest.run "guardrails"
     [
@@ -378,4 +466,9 @@ let () =
         ] );
       ( "arena",
         [ Alcotest.test_case "alloc failure" `Quick test_arena_alloc_failure ] );
+      ( "lease hygiene",
+        [
+          Alcotest.test_case "fault at each site leaks nothing" `Quick
+            test_fault_at_each_site_no_leak;
+        ] );
     ]

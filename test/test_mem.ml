@@ -192,6 +192,78 @@ let test_concurrent_leases_isolated () =
     domains;
   Alcotest.(check int) "all leases returned" chunks0 (A.live_chunks arena)
 
+let test_reset_with_live_lease_raises () =
+  let arena = A.create ~chunk_size:1024 () in
+  let lease = A.lease arena in
+  ignore (A.alloc (A.lease_allocator lease) 64);
+  Alcotest.(check int) "one live lease" 1 (A.live_leases arena);
+  (match A.reset arena with
+  | () -> Alcotest.fail "reset must refuse while a scratch lease is live"
+  | exception Invalid_argument _ -> ());
+  (* the refused reset must not have disturbed the lease *)
+  ignore (A.alloc (A.lease_allocator lease) 64);
+  A.release lease;
+  Alcotest.(check int) "lease accounted" 0 (A.live_leases arena);
+  A.reset arena;
+  (* post-reset arena is clean and usable *)
+  ignore (A.alloc (A.allocator arena) 8);
+  Alcotest.(check (list string)) "coherent after reset" [] (A.check arena)
+
+let test_scratch_cap_rejects () =
+  let arena = A.create ~chunk_size:1024 () in
+  (* base-lease allocations are not metered by the cap *)
+  A.set_scratch_limit arena ~block_seconds:0.01 (Some 4096);
+  ignore (A.alloc (A.allocator arena) 2048);
+  let lease = A.lease arena in
+  let alloc = A.lease_allocator lease in
+  let chunks0 = A.live_chunks arena and resident0 = A.resident_bytes arena in
+  (* fill the cap, then one grab over it must fail structurally *)
+  ignore (A.alloc alloc 900);
+  ignore (A.alloc alloc 900);
+  ignore (A.alloc alloc 900);
+  ignore (A.alloc alloc 900);
+  (match A.alloc alloc 900 with
+  | _ -> Alcotest.fail "allocation over the cap must fail"
+  | exception A.Scratch_limit_exceeded { limit_bytes; _ } ->
+    Alcotest.(check int) "limit reported" 4096 limit_bytes);
+  Alcotest.(check bool) "wait counted" true (A.backpressure_waits arena >= 1);
+  Alcotest.(check bool) "reject counted" true (A.limit_rejections arena >= 1);
+  Alcotest.(check bool) "under pressure" true (A.scratch_under_pressure arena);
+  Alcotest.(check (list string)) "coherent at the cap" [] (A.check arena);
+  (* the failed grab took nothing: release restores the baseline *)
+  A.release lease;
+  Alcotest.(check int) "chunks back" chunks0 (A.live_chunks arena);
+  Alcotest.(check int) "resident back" resident0 (A.resident_bytes arena);
+  Alcotest.(check int) "scratch fully drained" 0 (A.scratch_resident_bytes arena)
+
+let test_scratch_cap_backpressure_unblocks () =
+  (* A waiter at the cap must proceed once a concurrent lease releases
+     within the deadline — the backpressure path, not the reject path. *)
+  let arena = A.create ~chunk_size:1024 () in
+  A.set_scratch_limit arena ~block_seconds:5.0 (Some 2048);
+  let hog = A.lease arena in
+  ignore (A.alloc (A.lease_allocator hog) 900);
+  ignore (A.alloc (A.lease_allocator hog) 900);
+  let release_started = Atomic.make false in
+  let releaser =
+    Domain.spawn (fun () ->
+        Atomic.set release_started true;
+        Unix.sleepf 0.02;
+        A.release hog)
+  in
+  while not (Atomic.get release_started) do
+    Domain.cpu_relax ()
+  done;
+  let lease = A.lease arena in
+  (* blocks at the cap until the hog releases, then succeeds *)
+  let p = A.alloc (A.lease_allocator lease) 900 in
+  Alcotest.(check bool) "allocated after unblock" true (p <> A.null);
+  Alcotest.(check bool) "wait was counted" true (A.backpressure_waits arena >= 1);
+  Alcotest.(check int) "no rejection" 0 (A.limit_rejections arena);
+  Domain.join releaser;
+  A.release lease;
+  Alcotest.(check (list string)) "coherent after backpressure" [] (A.check arena)
+
 let prop_roundtrip_random =
   QCheck.Test.make ~name:"arena i64 roundtrip (random offsets)" ~count:200
     QCheck.(list int64)
@@ -224,6 +296,11 @@ let () =
           Alcotest.test_case "lease slot recycling" `Quick test_lease_slot_recycling;
           Alcotest.test_case "concurrent leases isolated" `Quick
             test_concurrent_leases_isolated;
+          Alcotest.test_case "reset with live lease raises" `Quick
+            test_reset_with_live_lease_raises;
+          Alcotest.test_case "scratch cap rejects" `Quick test_scratch_cap_rejects;
+          Alcotest.test_case "scratch cap backpressure unblocks" `Quick
+            test_scratch_cap_backpressure_unblocks;
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
         ] );
     ]

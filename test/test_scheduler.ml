@@ -118,6 +118,10 @@ let check_rejected name = function
 
 (* ---- probabilistic failpoints (satellite) ---------------------------- *)
 
+(* synthetic sites: the catalog rejects unknown names *)
+let () =
+  List.iter FP.register_site [ "p.never"; "p.always"; "p.half"; "p.rep"; "a"; "b"; "x" ]
+
 let test_prob_failpoints () =
   with_clean_failpoints (fun () ->
       FP.set_seed 7L;
