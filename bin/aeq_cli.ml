@@ -8,6 +8,22 @@
 
 open Cmdliner
 
+(* Graceful drain on SIGTERM/SIGINT: the first signal asks the serve
+   loop to stop issuing queries and makes exit go through
+   [Engine.drain] (admission closed, in-flight work finishes, metrics
+   flushed); a second signal gives up waiting and exits hard. *)
+let drain_requested = Atomic.make false
+
+let install_drain_handlers () =
+  let handle _ =
+    if Atomic.get drain_requested then Stdlib.exit 130
+    else Atomic.set drain_requested true
+  in
+  try
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let mode_conv =
   let parse = function
     | "bytecode" -> Ok Aeq_exec.Driver.Bytecode
@@ -23,11 +39,14 @@ let mode_conv =
    answer before sending the next. *)
 let serve_clients engine ~clients ~iters ~mode ~deadline sql =
   Printf.printf "serving %d closed-loop clients x %d queries ...\n%!" clients iters;
-  let latencies = Array.make (clients * iters) 0.0 in
+  let per_client = Array.make clients [] in
   let ok = Atomic.make 0 and failed = Atomic.make 0 in
   let t0 = Aeq_util.Clock.now () in
   let client c () =
-    for i = 0 to iters - 1 do
+    let i = ref 0 in
+    (* a requested drain stops the closed loop between queries; the
+       in-flight one still completes through the scheduler *)
+    while !i < iters && not (Atomic.get drain_requested) do
       let t = Aeq_util.Clock.now () in
       (match
          Aeq.Engine.query_concurrent engine ~mode ?deadline_seconds:deadline sql
@@ -35,19 +54,21 @@ let serve_clients engine ~clients ~iters ~mode ~deadline sql =
       | Ok _ -> Atomic.incr ok
       | Error e ->
         Atomic.incr failed;
-        if c = 0 && i = 0 then
+        if c = 0 && !i = 0 then
           Printf.printf "client error: %s\n%!" (Aeq_exec.Query_error.to_string e));
-      latencies.((c * iters) + i) <- Aeq_util.Clock.now () -. t
+      per_client.(c) <- (Aeq_util.Clock.now () -. t) :: per_client.(c);
+      incr i
     done
   in
   let domains = List.init clients (fun c -> Domain.spawn (client c)) in
   List.iter Domain.join domains;
   let wall = Aeq_util.Clock.now () -. t0 in
-  let lat = Array.to_list latencies in
+  let lat = List.concat (Array.to_list per_client) in
+  let issued = List.length lat in
   let pct p = Aeq_util.Stats.percentile p lat *. 1e3 in
   Printf.printf "%d ok, %d failed in %.2f s | %.1f q/s | p50 %.2f ms | p99 %.2f ms\n"
     (Atomic.get ok) (Atomic.get failed) wall
-    (float_of_int (clients * iters) /. wall)
+    (float_of_int issued /. wall)
     (pct 0.5) (pct 0.99);
   let s = Aeq.Engine.scheduler_stats engine in
   Printf.printf
@@ -62,7 +83,8 @@ let serve_clients engine ~clients ~iters ~mode ~deadline sql =
     (s.Aeq_exec.Scheduler.avg_wait_seconds *. 1e3)
 
 let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoints
-    strict_compile clients iters obs trace_out metrics_out sql =
+    strict_compile clients iters obs trace_out metrics_out show_health sql =
+  install_drain_handlers ();
   (match failpoints with
   | Some spec -> Aeq_util.Failpoints.set_from_string spec
   | None -> ());
@@ -136,12 +158,35 @@ let run sf threads mode explain trace verify tpch_n timeout mem_budget failpoint
     | exception Aeq_plan.Planner.Plan_error m -> Printf.printf "planning error: %s\n" m
     | exception Aeq_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   end;
-  (match metrics_out with
-  | Some path ->
-    Aeq.Engine.dump_metrics path;
-    Printf.printf "-- wrote Prometheus metrics to %s\n" path
-  | None -> ());
-  Aeq.Engine.close engine;
+  if show_health then begin
+    let h = Aeq.Engine.health engine in
+    Printf.printf "health: %s\n" (Aeq.Engine.health_name h);
+    (match h with
+    | Aeq.Engine.Degraded reasons ->
+      List.iter (fun r -> Printf.printf "  - %s\n" r) reasons
+    | _ -> ());
+    let crashes = Aeq_exec.Supervisor.crash_log () in
+    if crashes <> [] then
+      Printf.printf "  %d supervised domain crash(es) recorded\n"
+        (List.length crashes)
+  end;
+  let flush () =
+    match metrics_out with
+    | Some path ->
+      Aeq.Engine.dump_metrics path;
+      Printf.printf "-- wrote Prometheus metrics to %s\n" path
+    | None -> ()
+  in
+  if Atomic.get drain_requested then begin
+    Printf.printf "signal received: draining ...\n%!";
+    let clean = Aeq.Engine.drain ~deadline_seconds:10.0 ~flush engine in
+    Printf.printf "drain %s\n"
+      (if clean then "completed cleanly" else "forced at deadline")
+  end
+  else begin
+    flush ();
+    Aeq.Engine.close engine
+  end;
   if !failed then exit 1
 
 let cmd =
@@ -241,12 +286,21 @@ let cmd =
             "Write the metrics registry in Prometheus text exposition format on \
              exit. Implies $(b,--obs).")
   in
+  let show_health =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print the engine health state (serving|degraded|draining|stopped) \
+             after the run, with one reason per crashed or failed serving \
+             domain and the supervised crash count.")
+  in
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
   Cmd.v
     (Cmd.info "aeq_cli" ~doc:"Adaptive compiled query engine (ICDE'18 reproduction)")
     Term.(
       const run $ sf $ threads $ mode $ explain $ trace $ verify $ tpch_n $ timeout
       $ mem_budget $ failpoints $ strict_compile $ clients $ iters $ obs $ trace_out
-      $ metrics_out $ sql)
+      $ metrics_out $ show_health $ sql)
 
 let () = exit (Cmd.eval cmd)

@@ -32,13 +32,56 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  draining : bool Atomic.t;
 }
+
+(* Which plan-cache text THIS domain is single-flight preparing right
+   now. A dispatcher crashing mid-prepare would otherwise leave its
+   claim in [t.preparing] forever and wedge every peer waiting on
+   [prep_done]; the scheduler's [on_domain_crash] hook runs in the
+   crashed domain and uses this to find and release the claim. *)
+let preparing_here : (t * string) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let default_cache_capacity = 128
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---- health ---------------------------------------------------------- *)
+
+type health = Serving | Degraded of string list | Draining | Stopped
+
+let health_name = function
+  | Serving -> "serving"
+  | Degraded _ -> "degraded"
+  | Draining -> "draining"
+  | Stopped -> "stopped"
+
+(* Aggregated from the domain supervisors: any serving domain currently
+   crashed-and-backing-off or failed (restart budget exhausted) makes
+   the engine [Degraded] with one reason per such domain. Reads only —
+   safe from any domain, including exporters scraping mid-crash. *)
+let health t =
+  if Aeq_exec.Pool.closed t.pool then Stopped
+  else if Atomic.get t.draining then Draining
+  else begin
+    let sched_reasons =
+      match with_lock t.sched_lock (fun () -> t.scheduler) with
+      | Some s -> Aeq_exec.Scheduler.health_reasons s
+      | None -> []
+    in
+    match sched_reasons @ Aeq_exec.Pool.health_reasons t.pool with
+    | [] -> Serving
+    | reasons -> Degraded reasons
+  end
+
+let health_code = function
+  | Serving -> 0
+  | Degraded _ -> 1
+  | Draining -> 2
+  | Stopped -> 3
 
 (* Engine-level gauges: registered unconditionally — the registry is
    cheap and process-wide, and rendering is what observability gates.
@@ -78,9 +121,16 @@ let register_gauges t =
     (fun () -> Aeq_mem.Arena.backpressure_waits (arena ()));
   Obs.Metrics.gauge_fn "aeq_arena_limit_rejections"
     ~help:"Chunk grabs that gave up with Memory_budget_exceeded (monotone)."
-    (fun () -> Aeq_mem.Arena.limit_rejections (arena ()))
+    (fun () -> Aeq_mem.Arena.limit_rejections (arena ()));
+  Obs.Metrics.gauge_fn "aeq_engine_health"
+    ~help:"Engine health state: 0 serving, 1 degraded, 2 draining, 3 stopped."
+    (fun () -> health_code (health t));
+  Obs.Metrics.gauge_fn "aeq_engine_unhealthy_domains"
+    ~help:"Supervised domains currently crashed (backing off) or failed."
+    (fun () ->
+      match health t with Degraded rs -> List.length rs | _ -> 0)
 
-let create ?n_threads ?cost_model ?chunk_size () =
+let create ?n_threads ?cost_model ?chunk_size ?(supervised = true) () =
   let n_threads =
     match n_threads with
     | Some n -> Stdlib.max 1 n
@@ -101,7 +151,7 @@ let create ?n_threads ?cost_model ?chunk_size () =
   let t =
     {
       catalog = Aeq_storage.Catalog.create ?chunk_size ();
-      pool = Aeq_exec.Pool.create ~n_threads;
+      pool = Aeq_exec.Pool.create ~supervised ~n_threads ();
       cost_model;
       plan_cache = Hashtbl.create 64;
       cache_lock = Mutex.create ();
@@ -112,13 +162,18 @@ let create ?n_threads ?cost_model ?chunk_size () =
       sched_config =
         (* several dispatcher domains so the admission path keeps
            multiple accepted queries in flight at once *)
-        { Aeq_exec.Scheduler.default_config with dispatchers = n_threads };
+        {
+          Aeq_exec.Scheduler.default_config with
+          dispatchers = n_threads;
+          supervised;
+        };
       cache_enabled = true;
       cache_capacity = default_cache_capacity;
       cache_tick = 0;
       cache_hits = 0;
       cache_misses = 0;
       cache_evictions = 0;
+      draining = Atomic.make false;
     }
   in
   register_gauges t;
@@ -266,7 +321,9 @@ let prepare_entry t sql =
                ~help:"Plan-cache lookups that had to prepare from scratch.");
         Hashtbl.replace t.preparing sql ();
         Mutex.unlock t.cache_lock;
+        Domain.DLS.get preparing_here := Some (t, sql);
         let finish () =
+          Domain.DLS.get preparing_here := None;
           with_lock t.cache_lock (fun () ->
               Hashtbl.remove t.preparing sql;
               Condition.broadcast t.prep_done)
@@ -315,6 +372,7 @@ let error_label = function
   | Aeq_exec.Query_error.Memory_budget_exceeded _ -> "memory_budget"
   | Aeq_exec.Query_error.Overloaded _ -> "overloaded"
   | Aeq_exec.Query_error.Rejected _ -> "rejected"
+  | Aeq_exec.Query_error.Worker_crashed _ -> "worker_crashed"
 
 (* Per-query accounting: a completed-query counter per requested mode,
    an end-to-end latency histogram, and an error counter per failure
@@ -352,6 +410,11 @@ let with_query_obs mode f =
 
 let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_seconds
     ?cancel ?memory_budget_bytes ?on_compile_failure t sql =
+  (* admission gate: a draining engine takes no new work, but queries
+     already executing (including scheduler-dispatched ones marked
+     in-flight before the drain began) run to completion *)
+  if Atomic.get t.draining && not (Aeq_exec.Scheduler.executing_here ()) then
+    Aeq_exec.Query_error.raise_error (Aeq_exec.Query_error.Rejected "draining");
   with_query_obs mode @@ fun () ->
   let cache_enabled = with_lock t.cache_lock (fun () -> t.cache_enabled) in
   if not cache_enabled then begin
@@ -456,6 +519,20 @@ let set_scheduler_config t config =
         invalid_arg "Engine.set_scheduler_config: scheduler already running"
       | None -> t.sched_config <- config)
 
+(* Runs in a crashed dispatcher domain (supervisor reclaim, after the
+   scheduler completed the victim ticket): release the single-flight
+   prepare claim this domain held, if any, so peers blocked on
+   [prep_done] wake up and re-prepare instead of waiting forever. *)
+let release_preparing_claim ~name:_ _exn =
+  let slot = Domain.DLS.get preparing_here in
+  match !slot with
+  | None -> ()
+  | Some (t, sql) ->
+    slot := None;
+    with_lock t.cache_lock (fun () ->
+        Hashtbl.remove t.preparing sql;
+        Condition.broadcast t.prep_done)
+
 let scheduler t =
   with_lock t.sched_lock (fun () ->
       match t.scheduler with
@@ -464,6 +541,7 @@ let scheduler t =
         let s =
           Aeq_exec.Scheduler.create ~config:t.sched_config
             ~arena:(Aeq_storage.Catalog.arena t.catalog)
+            ~on_domain_crash:release_preparing_claim
             ~exec:(fun ~mode ~cancel sql -> query ~mode ~cancel t sql)
             ()
         in
@@ -521,3 +599,22 @@ let close t =
   Aeq_exec.Pool.shutdown t.pool
 
 let closed t = Aeq_exec.Pool.closed t.pool
+
+let draining t = Atomic.get t.draining
+
+(* Graceful drain: close admission (both the scheduler's queue and
+   direct [query] callers), let already-admitted work finish, flush,
+   then shut down. The SIGTERM path of the CLI. *)
+let drain ?(deadline_seconds = 30.0) ?(flush = fun () -> ()) t =
+  Atomic.set t.draining true;
+  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  let clean =
+    match s with
+    | Some s -> Aeq_exec.Scheduler.drain ~deadline_seconds s
+    | None -> true
+  in
+  (* exporter flush happens after quiescence so the dump includes the
+     final counters, but before close so gauges still read live state *)
+  (try flush () with _ -> ());
+  close t;
+  clean

@@ -25,12 +25,18 @@ val create :
   ?n_threads:int ->
   ?cost_model:Aeq_backend.Cost_model.t ->
   ?chunk_size:int ->
+  ?supervised:bool ->
   unit ->
   t
 (** [n_threads] defaults to the machine's domain count (max 8);
     [cost_model] defaults to the paper-calibrated model with simulated
     LLVM-magnitude compile latencies (pass
-    [Aeq_backend.Cost_model.off] for real latencies only). *)
+    [Aeq_backend.Cost_model.off] for real latencies only).
+    [supervised] (default [true]) runs every serving domain — pool
+    workers, scheduler dispatchers, the watchdog — under a
+    {!Aeq_exec.Supervisor} crash barrier with self-healing restarts;
+    [false] reverts to bare domains (the supervision-overhead
+    benchmark). *)
 
 val load_tpch : ?seed:int64 -> t -> scale_factor:float -> unit
 
@@ -212,6 +218,42 @@ val reset_stats : t -> unit
     prepared statements, breaker state and queued work are untouched —
     this resets measurement, not behavior. Intended for windowed
     scraping of long-running serves: scrape, reset, serve, scrape. *)
+
+(** {1 Health, drain & self-healing}
+
+    Serving domains run under {!Aeq_exec.Supervisor} barriers: a
+    domain crash (an unstructured exception escaping a dispatcher,
+    the watchdog, or a pool worker) is contained, its orphaned state
+    reclaimed — the affected client gets a structured
+    [Query_error.Worker_crashed] instead of a hung [await] — and the
+    domain restarts under a backoff budget. The engine aggregates the
+    supervisors into one health state. *)
+
+type health =
+  | Serving  (** all serving domains healthy *)
+  | Degraded of string list
+      (** one reason per domain currently crashed-and-backing-off or
+          failed (restart budget exhausted) *)
+  | Draining  (** {!drain} in progress: admission closed *)
+  | Stopped  (** {!close} (or a finished {!drain}) *)
+
+val health : t -> health
+
+val health_name : health -> string
+(** ["serving"] / ["degraded"] / ["draining"] / ["stopped"] — the
+    [aeq_engine_health] gauge exports the same states as 0–3. *)
+
+val drain : ?deadline_seconds:float -> ?flush:(unit -> unit) -> t -> bool
+(** Graceful shutdown: stop admission (new {!query} / {!submit} /
+    {!query_concurrent} calls raise or resolve
+    [Query_error.Rejected "draining"]), wait up to [deadline_seconds]
+    (default 30) for queued and in-flight queries to finish — past the
+    deadline they are rejected/cancelled so no client hangs — then run
+    [flush] (e.g. a final {!dump_metrics}) and {!close}. Returns
+    [true] if quiescence was reached before the deadline. Idempotent
+    in effect; the SIGTERM path of [aeq_cli]. *)
+
+val draining : t -> bool
 
 val close : t -> unit
 (** Shut down: the scheduler first (queued queries complete with

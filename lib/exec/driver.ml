@@ -288,6 +288,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
         | dt ->
           record_compile ~pipeline ~t0:c0 ~t1:(Aeq_util.Clock.now ()) m;
           atomic_add_float compile_seconds dt
+        | exception e when Aeq_util.Failpoints.is_crash e -> raise e
         | exception e -> degrade (Printexc.to_string e)
       end
     in
@@ -311,6 +312,7 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
             if i < Array.length handles && not (Handle.blacklisted handles.(i) m) then (
               match Handle.promote handles.(i) ~mode:m with
               | dt -> atomic_add_float compile_seconds dt
+              | exception e when Aeq_util.Failpoints.is_crash e -> raise e
               | exception _ -> record_compile_failure ~pipeline:i m))
         modes
     | _ -> ());
@@ -372,6 +374,11 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
                         Int64.of_int tid;
                       |]
                 with
+                | exception exn when Aeq_util.Failpoints.is_crash exn ->
+                  (* a domain crash is not a query error: let it tear
+                     through to the participant's supervision barrier
+                     (Pool.run_participant re-raises it too) *)
+                  raise exn
                 | exception exn ->
                   (* first error wins; peers stop at their next
                      boundary via [check_guards] *)
@@ -414,6 +421,8 @@ let execute_prepared ?(collect_trace = false) ?initial_modes ?timeout_seconds ?c
                             (Trace.Ev_compile m)
                         | None -> ());
                         atomic_add_float compile_seconds dt
+                      | exception e when Aeq_util.Failpoints.is_crash e ->
+                        raise e
                       | exception _ ->
                         (* graceful degradation: [promote] blacklisted
                            the mode, so the controller will not ask

@@ -14,7 +14,18 @@
    within a job, so per-tid state (allocators, output buffers) stays
    single-writer. The submitting caller always participates as tid 0 —
    a query makes progress even when every worker domain is busy
-   elsewhere. *)
+   elsewhere.
+
+   Workers run under supervision (see [Supervisor]): a crash —
+   anything [fn] throws that is not part of the structured-error
+   contract, i.e. an [Injected_crash] or a real bug — would otherwise
+   leave the job's [active] count permanently high and hang the
+   submitting caller in its drain barrier forever. The supervisor's
+   reclaim fixes the accounting (decrement [active], record a
+   [Worker_crashed] as the job error, wake the barrier) and restarts
+   the worker domain. *)
+
+module QE = Query_error
 
 type job = {
   fn : tid:int -> unit;
@@ -27,12 +38,17 @@ type job = {
 
 type t = {
   n_threads : int;
+  supervised : bool;
   lock : Mutex.t;
   work : Condition.t; (* new job posted / job list changed *)
   quiet : Condition.t; (* a participant left some job *)
   mutable jobs : job list;
   mutable stop : bool;
-  mutable domains : unit Domain.t array;
+  current : job option array;
+      (* per-worker claimed-job slot, written under [lock] — what the
+         supervisor's reclaim repairs when worker [w] crashes *)
+  mutable domains : unit Domain.t array; (* unsupervised mode *)
+  mutable supervisors : Supervisor.t array; (* supervised mode *)
   closed : bool Atomic.t;
   active_jobs : int Atomic.t;
 }
@@ -56,9 +72,15 @@ let run_participant j ~tid =
     Aeq_util.Failpoints.hit "pool.pick";
     Aeq_util.Yieldpoint.yield "pool.pick";
     j.fn ~tid
-  with e -> ignore (Atomic.compare_and_set j.error None (Some e))
+  with
+  | e when Aeq_util.Failpoints.is_crash e ->
+    (* not folded into the job error: a crash must stay lethal to the
+       participant's domain so the supervision layer is what handles
+       it (worker: reclaim + restart; caller: its own supervisor) *)
+    raise e
+  | e -> ignore (Atomic.compare_and_set j.error None (Some e))
 
-let worker_loop t =
+let worker_loop t w () =
   let running = ref true in
   while !running do
     Mutex.lock t.lock;
@@ -79,30 +101,66 @@ let worker_loop t =
       let tid = j.next_tid in
       j.next_tid <- tid + 1;
       j.active <- j.active + 1;
+      t.current.(w) <- Some j;
       Mutex.unlock t.lock;
       run_participant j ~tid;
       Mutex.lock t.lock;
+      t.current.(w) <- None;
       j.active <- j.active - 1;
       Condition.broadcast t.quiet;
       Mutex.unlock t.lock
   done
 
-let create ~n_threads =
+(* Supervisor reclaim for worker [w], running in the crashed domain
+   after the unwind: the participant never reached its leave-the-job
+   accounting, so do it here — and surface the crash as the job's
+   error so the submitting caller raises [Worker_crashed] instead of
+   silently losing the crashed participant's claimed morsels. *)
+let worker_reclaim t w sv_name exn =
+  Mutex.lock t.lock;
+  (match t.current.(w) with
+  | Some j ->
+    t.current.(w) <- None;
+    j.active <- j.active - 1;
+    ignore
+      (Atomic.compare_and_set j.error None
+         (Some
+            (QE.Error
+               (QE.Worker_crashed
+                  { domain = sv_name; detail = Printexc.to_string exn }))));
+    Condition.broadcast t.quiet
+  | None -> ());
+  Mutex.unlock t.lock
+
+let create ?(supervised = true) ?(restart_policy = Supervisor.default_policy)
+    ~n_threads () =
   let n_threads = Stdlib.max 1 n_threads in
   let t =
     {
       n_threads;
+      supervised;
       lock = Mutex.create ();
       work = Condition.create ();
       quiet = Condition.create ();
       jobs = [];
       stop = false;
+      current = Array.make (Stdlib.max 1 (n_threads - 1)) None;
       domains = [||];
+      supervisors = [||];
       closed = Atomic.make false;
       active_jobs = Atomic.make 0;
     }
   in
-  t.domains <- Array.init (n_threads - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  if supervised then
+    t.supervisors <-
+      Array.init (n_threads - 1) (fun w ->
+          let sv_name = Printf.sprintf "pool.worker-%d" w in
+          Supervisor.spawn ~policy:restart_policy ~name:sv_name
+            ~on_crash:(worker_reclaim t w sv_name)
+            (worker_loop t w))
+  else
+    t.domains <-
+      Array.init (n_threads - 1) (fun w -> Domain.spawn (worker_loop t w));
   t
 
 let n_threads t = t.n_threads
@@ -112,6 +170,11 @@ let closed t = Atomic.get t.closed
 let active_jobs t = Atomic.get t.active_jobs
 
 let busy t = active_jobs t > 0
+
+let health_reasons t =
+  Array.to_list t.supervisors |> List.filter_map Supervisor.health_reason
+
+let supervisors t = Array.to_list t.supervisors
 
 let run ?max_tids t fn =
   (* a submission to dead workers would never gain helpers *)
@@ -136,16 +199,23 @@ let run ?max_tids t fn =
   t.jobs <- j :: t.jobs;
   Condition.broadcast t.work;
   Mutex.unlock t.lock;
-  run_participant j ~tid:0;
-  Mutex.lock t.lock;
-  j.closed_job <- true;
-  t.jobs <- List.filter (fun j' -> j' != j) t.jobs;
-  j.active <- j.active - 1;
-  while j.active > 0 do
-    Condition.wait t.quiet t.lock
-  done;
-  Mutex.unlock t.lock;
-  ignore (Atomic.fetch_and_add t.active_jobs (-1));
+  (* The close-out runs on every exit path — including the caller
+     itself crashing as tid 0: the job must leave the open list and
+     its barrier must drain, or the pool leaks the job and the
+     in-flight gauge sticks. The crash then propagates to the caller's
+     own supervisor (the dispatcher's, usually). *)
+  let close_out () =
+    Mutex.lock t.lock;
+    j.closed_job <- true;
+    t.jobs <- List.filter (fun j' -> j' != j) t.jobs;
+    j.active <- j.active - 1;
+    while j.active > 0 do
+      Condition.wait t.quiet t.lock
+    done;
+    Mutex.unlock t.lock;
+    ignore (Atomic.fetch_and_add t.active_jobs (-1))
+  in
+  Fun.protect ~finally:close_out (fun () -> run_participant j ~tid:0);
   match Atomic.get j.error with Some e -> raise e | None -> ()
 
 (* Accounting coherence probe for the simulator's invariant checker:
@@ -177,5 +247,7 @@ let shutdown t =
     t.stop <- true;
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
-    Array.iter Domain.join t.domains
+    Array.iter Supervisor.stop t.supervisors;
+    Array.iter Domain.join t.domains;
+    Array.iter Supervisor.join t.supervisors
   end

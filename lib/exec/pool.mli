@@ -7,11 +7,27 @@
     exhausted. The submitting caller always participates as tid 0, so
     a query progresses even when all workers are busy elsewhere, and a
     1-thread pool runs entirely inline. Unlike the old single-tenant
-    barrier pool, several queries' pipelines execute concurrently. *)
+    barrier pool, several queries' pipelines execute concurrently.
+
+    Workers are supervised (see {!Supervisor}): an unstructured
+    exception escaping a job function — a crash — is contained by the
+    worker's barrier, the crashed participant's job accounting is
+    repaired (so the submitting caller's drain barrier still wakes,
+    with the crash surfaced as {!Query_error.Worker_crashed}), and the
+    worker domain restarts under a backoff budget. *)
 
 type t
 
-val create : n_threads:int -> t
+val create :
+  ?supervised:bool ->
+  ?restart_policy:Supervisor.policy ->
+  n_threads:int ->
+  unit ->
+  t
+(** [supervised] defaults to [true]. [false] reverts to bare worker
+    domains — for the supervision-overhead benchmark only; a crashed
+    worker then stays dead and its job hangs. [restart_policy]
+    defaults to {!Supervisor.default_policy}. *)
 
 val n_threads : t -> int
 
@@ -26,6 +42,13 @@ val run : ?max_tids:int -> t -> (tid:int -> unit) -> unit
     Workers may join at any point while the caller is still running;
     after the caller's [fn] returns no new workers join, but the call
     blocks until those already in flight drain.
+
+    If a worker serving this job crashes, the supervisor's reclaim
+    records [Query_error.Error (Worker_crashed _)] as the job error —
+    re-raised here (the error is transient, so scheduler-managed
+    queries retry it). A crash in the caller's own participation (tid
+    0) still runs the close-out — the job leaves the open list and the
+    barrier drains — and then propagates to the caller's supervisor.
     @raise Invalid_argument if the pool has been {!shutdown}. *)
 
 val closed : t -> bool
@@ -43,5 +66,14 @@ val check : t -> string list
     coherent. Run by the deterministic simulator's invariant checker
     at yield points. Takes the pool lock. *)
 
+val health_reasons : t -> string list
+(** One reason per supervised worker currently crashed-and-backing-off
+    or failed. Empty = all workers healthy (or pool unsupervised). *)
+
+val supervisors : t -> Supervisor.t list
+(** Worker supervisors, for tests and introspection. Empty when
+    [supervised = false]. *)
+
 val shutdown : t -> unit
-(** Stop and join the worker domains. Idempotent. *)
+(** Stop and join the worker domains (and their supervisors).
+    Idempotent. *)

@@ -8,6 +8,7 @@ type t =
   | Memory_budget_exceeded of { budget_bytes : int; used_bytes : int }
   | Overloaded of { queue_depth : int; capacity : int }
   | Rejected of string
+  | Worker_crashed of { domain : string; detail : string }
 
 exception Error of t
 
@@ -29,6 +30,9 @@ let to_string = function
     Printf.sprintf "engine overloaded: admission queue full (%d of %d)" queue_depth
       capacity
   | Rejected reason -> "query rejected: " ^ reason
+  | Worker_crashed { domain; detail } ->
+    Printf.sprintf "serving domain %s crashed while holding this query: %s" domain
+      detail
 
 let () =
   Printexc.register_printer (function
@@ -46,6 +50,9 @@ let transient = function
     let prefix = "injected fault" in
     String.length m >= String.length prefix
     && String.sub m 0 (String.length prefix) = prefix
+  (* a crashed worker says nothing about the query itself: the
+     supervisor restarts the domain and a retry is the right response *)
+  | Worker_crashed _ -> true
   | Compile_failed _ | Timeout _ | Cancelled | Memory_budget_exceeded _ | Overloaded _
   | Rejected _ ->
     false

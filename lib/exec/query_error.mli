@@ -27,7 +27,15 @@ type t =
   | Rejected of string
       (** the scheduler refused or abandoned the query before it
           produced a result: shed under overload, deadline expired
-          while still queued, or the scheduler was shut down *)
+          while still queued, the scheduler was draining, or it was
+          shut down *)
+  | Worker_crashed of { domain : string; detail : string }
+      (** the serving domain (dispatcher or pool worker) holding this
+          query died on an unstructured exception; the supervisor
+          reclaimed the query's state and restarted the domain.
+          [domain] names the casualty, [detail] carries the printed
+          exception. Classified {!transient}: the crash says nothing
+          about the query, so retrying it is sound. *)
 
 exception Error of t
 
@@ -38,7 +46,8 @@ val raise_error : t -> 'a
 val transient : t -> bool
 (** Is the failure worth retrying? [Trap]s carrying an injected fault
     (the chaos-testing stand-in for transient infrastructure failures)
-    are transient; deterministic query errors — real traps, compile
+    and [Worker_crashed] (the domain died, not the query) are
+    transient; deterministic query errors — real traps, compile
     failures, timeouts, cancellations, budget breaches, scheduler
     rejections — are not. The scheduler retries transient failures
     with backoff, bounded by the query's deadline. *)

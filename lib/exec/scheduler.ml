@@ -32,6 +32,8 @@ type config = {
   retry_backoff : float;
   watchdog_period : float;
   seed : int64;
+  supervised : bool;
+  restart_policy : Supervisor.policy;
 }
 
 let default_config =
@@ -49,6 +51,8 @@ let default_config =
     retry_backoff = 0.01;
     watchdog_period = 0.005;
     seed = 0x5CEDC0FFEEL;
+    supervised = true;
+    restart_policy = Supervisor.default_policy;
   }
 
 type outcome = (Driver.result, QE.t) result
@@ -97,6 +101,9 @@ type stats = {
   max_queue_depth : int;
   avg_wait_seconds : float;
   max_wait_seconds : float;
+  crashed_tickets : int;
+  domain_crashes : int;
+  domain_restarts : int;
 }
 
 let zero_stats =
@@ -117,6 +124,9 @@ let zero_stats =
     max_queue_depth = 0;
     avg_wait_seconds = 0.0;
     max_wait_seconds = 0.0;
+    crashed_tickets = 0;
+    domain_crashes = 0;
+    domain_restarts = 0;
   }
 
 (* Lock order, everywhere: [t.lock] before [tk_lock], never the
@@ -132,9 +142,16 @@ type t = {
   prng : Prng.t; (* jitter; drawn under [lock] *)
   mutable queued : int; (* live (state Queued) tickets across queues *)
   mutable stopped : bool;
+  mutable draining : bool; (* admission closed; in-flight may finish *)
   running_tks : (int, ticket) Hashtbl.t;
       (* in-flight tickets by id — what the watchdog supervises; with
          several dispatchers there are up to [cfg.dispatchers] at once *)
+  current : ticket option array;
+      (* per-dispatcher serving slot, written under [lock]: what the
+         supervisor reclaims (completes as [Worker_crashed]) if that
+         dispatcher's domain crashes mid-serve *)
+  on_domain_crash : name:string -> exn -> unit;
+  mutable failed_dispatchers : int; (* dispatchers whose supervisor gave up *)
   (* circuit breaker *)
   mutable brk : breaker_state;
   mutable brk_until : float; (* Open: earliest half-open probe *)
@@ -152,12 +169,19 @@ type t = {
   mutable n_degraded : int;
   mutable n_watchdog_cancels : int;
   mutable n_breaker_trips : int;
+  mutable n_crashed_tickets : int;
   mutable max_depth : int;
   mutable total_wait : float;
   mutable n_waits : int;
   mutable max_wait : float;
-  mutable domains : unit Domain.t list;
+  wd_waiter : Aeq_util.Waiter.t; (* watchdog inter-sweep sleep; woken on shutdown *)
+  mutable domains : unit Domain.t list; (* unsupervised mode *)
+  mutable supervisors : Supervisor.t list; (* supervised mode *)
 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* ---- ticket helpers -------------------------------------------------- *)
 
@@ -278,6 +302,11 @@ let attempt_loop t tk eff_mode =
   let rec go attempt cf_acc =
     match t.exec ~mode:eff_mode ~cancel:tk.tk_cancel tk.tk_sql with
     | r -> (Ok r, cf_acc + r.Driver.stats.Driver.compile_failures)
+    | exception e when Aeq_util.Failpoints.is_crash e ->
+      (* an injected domain kill must stay lethal: let it unwind out of
+         the dispatcher so the supervisor path (reclaim + restart) is
+         what answers the client, not this conversion layer *)
+      raise e
     | exception QE.Error e ->
       let watchdogged =
         Mutex.lock tk.tk_lock;
@@ -340,45 +369,62 @@ let pop_live t =
   in
   scan 0
 
-(* Serve one ticket. Called with t.lock held; returns with it held. *)
-let serve t tk =
-  let now = Clock.now () in
-  match tk.tk_deadline with
-  | Some d when now > d ->
-    (* expired while queued (between watchdog sweeps) *)
-    t.n_expired <- t.n_expired + 1;
-    obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
-    complete tk (Error (QE.Rejected "deadline expired in admission queue"))
-  | _ ->
-    let wait = now -. tk.tk_submitted in
-    t.total_wait <- t.total_wait +. wait;
-    t.n_waits <- t.n_waits + 1;
-    if wait > t.max_wait then t.max_wait <- wait;
-    (* overload & breaker decide how much this query may spend *)
-    let wants_compile = tk.tk_mode <> Driver.Bytecode in
-    let overloaded =
-      t.queued > t.cfg.shed_queue_depth
-      || (match (t.cfg.shed_resident_bytes, t.arena) with
-         | Some b, Some a -> Aeq_mem.Arena.resident_bytes a > b
-         | _ -> false)
-      (* near the scratch cap, compiling (and its scratch spike) is the
-         wrong thing to spend memory on: degrade to bytecode until
-         backpressure drains *)
-      || (match t.arena with
-         | Some a -> Aeq_mem.Arena.scratch_under_pressure a
-         | None -> false)
-    in
-    let compile_allowed =
-      (not wants_compile)
-      || ((not overloaded) && breaker_allow t tk.tk_id now)
-    in
-    let eff_mode = if compile_allowed then tk.tk_mode else Driver.Bytecode in
-    if eff_mode <> tk.tk_mode then begin
-      t.n_degraded <- t.n_degraded + 1;
-      obs_bump "degraded" ~help:"Executions forced to bytecode-only."
-    end;
-    Hashtbl.replace t.running_tks tk.tk_id tk;
-    Mutex.unlock t.lock;
+(* Serve one ticket on dispatcher [di]. Called and returns with t.lock
+   NOT held; every critical section inside is [Fun.protect]ed
+   ([with_lock]) so no exception — injected crash included — can
+   abandon the scheduler mutex. While the query executes, the ticket
+   sits in [t.current.(di)]: the dispatcher's supervisor completes it
+   with [Worker_crashed] if this domain dies before [finish]. *)
+let serve t di tk =
+  let decision =
+    with_lock t.lock (fun () ->
+        let now = Clock.now () in
+        match tk.tk_deadline with
+        | Some d when now > d ->
+          (* expired while queued (between watchdog sweeps) *)
+          t.n_expired <- t.n_expired + 1;
+          obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
+          None
+        | _ ->
+          let wait = now -. tk.tk_submitted in
+          t.total_wait <- t.total_wait +. wait;
+          t.n_waits <- t.n_waits + 1;
+          if wait > t.max_wait then t.max_wait <- wait;
+          (* overload & breaker decide how much this query may spend *)
+          let wants_compile = tk.tk_mode <> Driver.Bytecode in
+          let overloaded =
+            t.queued > t.cfg.shed_queue_depth
+            || (match (t.cfg.shed_resident_bytes, t.arena) with
+               | Some b, Some a -> Aeq_mem.Arena.resident_bytes a > b
+               | _ -> false)
+            (* near the scratch cap, compiling (and its scratch spike)
+               is the wrong thing to spend memory on: degrade to
+               bytecode until backpressure drains *)
+            || (match t.arena with
+               | Some a -> Aeq_mem.Arena.scratch_under_pressure a
+               | None -> false)
+          in
+          let compile_allowed =
+            (not wants_compile)
+            || ((not overloaded) && breaker_allow t tk.tk_id now)
+          in
+          let eff_mode = if compile_allowed then tk.tk_mode else Driver.Bytecode in
+          if eff_mode <> tk.tk_mode then begin
+            t.n_degraded <- t.n_degraded + 1;
+            obs_bump "degraded" ~help:"Executions forced to bytecode-only."
+          end;
+          Hashtbl.replace t.running_tks tk.tk_id tk;
+          t.current.(di) <- Some tk;
+          Some eff_mode)
+  in
+  match decision with
+  | None -> complete tk (Error (QE.Rejected "deadline expired in admission queue"))
+  | Some eff_mode ->
+    (* the ticket is now reclaimable: a crash from here on is the
+       supervisor's to answer. The dispatch site sits exactly in that
+       window so the [Crash] action exercises the reclaim path. *)
+    Aeq_util.Failpoints.hit "sched.dispatch";
+    Aeq_util.Yieldpoint.yield "sched.dispatch";
     Mutex.lock tk.tk_lock;
     tk.tk_state <- Running;
     tk.tk_started <- Clock.now ();
@@ -388,98 +434,126 @@ let serve t tk =
       if Cancel.cancelled tk.tk_cancel then (Error QE.Cancelled, 0)
       else attempt_loop t tk eff_mode
     in
-    Mutex.lock t.lock;
-    Hashtbl.remove t.running_tks tk.tk_id;
-    breaker_feed t tk outcome n_cf;
-    (match outcome with
-    | Ok _ ->
-      t.n_completed <- t.n_completed + 1;
-      obs_bump "completed" ~help:"Queries finished with rows."
-    | Error _ ->
-      t.n_failed <- t.n_failed + 1;
-      obs_bump "failed" ~help:"Queries finished with a structured error.");
-    Mutex.unlock t.lock;
-    complete tk outcome;
-    Mutex.lock t.lock
+    with_lock t.lock (fun () ->
+        t.current.(di) <- None;
+        Hashtbl.remove t.running_tks tk.tk_id;
+        breaker_feed t tk outcome n_cf;
+        match outcome with
+        | Ok _ ->
+          t.n_completed <- t.n_completed + 1;
+          obs_bump "completed" ~help:"Queries finished with rows."
+        | Error _ ->
+          t.n_failed <- t.n_failed + 1;
+          obs_bump "failed" ~help:"Queries finished with a structured error.");
+    complete tk outcome
 
-let dispatcher_loop t () =
-  Mutex.lock t.lock;
+(* under t.lock: answer every still-queued client now, not a hang *)
+let reject_queued t reason =
+  Array.iter
+    (fun q ->
+      Queue.iter
+        (fun tk ->
+          if not (is_done tk) then begin
+            t.n_rejected <- t.n_rejected + 1;
+            obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
+            complete tk (Error (QE.Rejected reason))
+          end)
+        q;
+      Queue.clear q)
+    t.queues;
+  t.queued <- 0
+
+(* Marks dispatcher domains so the engine's drain admission gate can
+   tell a dispatcher-driven [exec] call (already-admitted work that
+   must run to completion) from a fresh direct client. Sticky per
+   domain — dispatchers are dedicated, and in-domain supervised
+   restarts keep the identity. *)
+let dispatcher_here : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let executing_here () = !(Domain.DLS.get dispatcher_here)
+
+let dispatcher_loop t di () =
+  Domain.DLS.get dispatcher_here := true;
   let running = ref true in
   while !running do
-    while t.queued = 0 && not t.stopped do
-      Condition.wait t.work t.lock
-    done;
-    if t.stopped then begin
-      (* fail-fast drain: pending clients get a structured answer now,
-         not a hang *)
-      Array.iter
-        (fun q ->
-          Queue.iter
-            (fun tk ->
-              if not (is_done tk) then begin
-                t.n_rejected <- t.n_rejected + 1;
-                obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
-                complete tk (Error (QE.Rejected "scheduler is shut down"))
-              end)
-            q;
-          Queue.clear q)
-        t.queues;
-      t.queued <- 0;
-      running := false
-    end
-    else begin
-      match pop_live t with
-      | Some tk ->
-        t.queued <- t.queued - 1;
-        serve t tk
-      | None -> t.queued <- 0 (* counter drift guard; unreachable *)
-    end
-  done;
-  Mutex.unlock t.lock
+    let next =
+      with_lock t.lock (fun () ->
+          let rec get () =
+            if t.stopped then begin
+              (* fail-fast drain: pending clients get a structured
+                 answer now *)
+              reject_queued t "scheduler is shut down";
+              None
+            end
+            else if t.queued > 0 then begin
+              match pop_live t with
+              | Some tk ->
+                t.queued <- t.queued - 1;
+                Some tk
+              | None ->
+                t.queued <- 0;
+                (* counter drift guard; unreachable *)
+                get ()
+            end
+            else begin
+              Condition.wait t.work t.lock;
+              get ()
+            end
+          in
+          get ())
+    in
+    match next with
+    | Some tk -> serve t di tk
+    | None -> running := false
+  done
 
 (* ---- watchdog -------------------------------------------------------- *)
 
 let watchdog_loop t () =
   let running = ref true in
   while !running do
-    Unix.sleepf t.cfg.watchdog_period;
-    Mutex.lock t.lock;
-    if t.stopped then running := false
-    else begin
-      let now = Clock.now () in
-      (* in-flight queries: cancel past deadline + grace *)
-      Hashtbl.iter
-        (fun _ tk ->
-          match tk.tk_deadline with
-          | Some d when now > d +. t.cfg.deadline_grace ->
-            Mutex.lock tk.tk_lock;
-            let fresh = not tk.tk_watchdog_fired in
-            if fresh then tk.tk_watchdog_fired <- true;
-            Mutex.unlock tk.tk_lock;
-            if fresh then begin
-              Cancel.cancel tk.tk_cancel;
-              t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
-              obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
-            end
-          | _ -> ())
-        t.running_tks;
-      (* queued queries whose deadline already passed: answer now
-         instead of wasting a dispatch slot later *)
-      Array.iter
-        (fun q ->
-          Queue.iter
-            (fun tk ->
+    (* interruptible inter-sweep sleep: shutdown wakes the waiter, so
+       closing the scheduler never stalls a full watchdog period *)
+    ignore (Aeq_util.Waiter.wait t.wd_waiter t.cfg.watchdog_period);
+    Aeq_util.Failpoints.hit "sched.watchdog";
+    Aeq_util.Yieldpoint.yield "sched.watchdog";
+    with_lock t.lock (fun () ->
+        if t.stopped then running := false
+        else begin
+          let now = Clock.now () in
+          (* in-flight queries: cancel past deadline + grace *)
+          Hashtbl.iter
+            (fun _ tk ->
               match tk.tk_deadline with
-              | Some d when now > d && not (is_done tk) ->
-                t.n_expired <- t.n_expired + 1;
-                obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
-                t.queued <- t.queued - 1;
-                complete tk (Error (QE.Rejected "deadline expired in admission queue"))
+              | Some d when now > d +. t.cfg.deadline_grace ->
+                Mutex.lock tk.tk_lock;
+                let fresh = not tk.tk_watchdog_fired in
+                if fresh then tk.tk_watchdog_fired <- true;
+                Mutex.unlock tk.tk_lock;
+                if fresh then begin
+                  Cancel.cancel tk.tk_cancel;
+                  t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
+                  obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
+                end
               | _ -> ())
-            q)
-        t.queues
-    end;
-    Mutex.unlock t.lock
+            t.running_tks;
+          (* queued queries whose deadline already passed: answer now
+             instead of wasting a dispatch slot later *)
+          Array.iter
+            (fun q ->
+              Queue.iter
+                (fun tk ->
+                  match tk.tk_deadline with
+                  | Some d when now > d && not (is_done tk) ->
+                    t.n_expired <- t.n_expired + 1;
+                    obs_bump "expired" ~help:"Queries whose deadline passed while queued.";
+                    t.queued <- t.queued - 1;
+                    complete tk (Error (QE.Rejected "deadline expired in admission queue"))
+                  | _ -> ())
+                q)
+            t.queues
+        end)
   done
 
 (* ---- admission ------------------------------------------------------- *)
@@ -528,6 +602,14 @@ let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?can
   if t.stopped then begin
     Mutex.unlock t.lock;
     QE.raise_error (QE.Rejected "scheduler is shut down")
+  end;
+  if t.draining then begin
+    (* drain closes admission first: new work is refused while
+       in-flight queries run to completion *)
+    t.n_rejected <- t.n_rejected + 1;
+    obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
+    Mutex.unlock t.lock;
+    QE.raise_error (QE.Rejected "draining")
   end;
   let victim =
     if t.queued < t.cfg.queue_capacity then None
@@ -582,7 +664,49 @@ let validate cfg =
   if cfg.watchdog_period <= 0.0 then
     invalid_arg "Scheduler: watchdog_period must be > 0"
 
-let create ?(config = default_config) ?arena ~exec () =
+(* Supervisor reclaim for dispatcher [di]: runs in the crashed domain
+   after its stack unwound (arena leases and mutexes already released
+   by the [Fun.protect]s along the way). What the unwind cannot do is
+   answer the client — the ticket this dispatcher was serving would
+   otherwise hang its [await] forever — or release a half-open breaker
+   probe the crashed query was carrying. Both live in scheduler state,
+   so both are reclaimed here, under [t.lock]. *)
+let dispatcher_reclaim t di sv_name exn =
+  let victim =
+    with_lock t.lock (fun () ->
+        match t.current.(di) with
+        | None -> None
+        | Some tk ->
+          t.current.(di) <- None;
+          Hashtbl.remove t.running_tks tk.tk_id;
+          t.n_crashed_tickets <- t.n_crashed_tickets + 1;
+          t.n_failed <- t.n_failed + 1;
+          obs_bump "crashed_tickets"
+            ~help:"In-flight tickets completed as Worker_crashed by supervisor reclaim.";
+          let err =
+            QE.Worker_crashed { domain = sv_name; detail = Printexc.to_string exn }
+          in
+          (* a crashed probe must not wedge the breaker in Half_open:
+             feed the failure so it re-trips and re-probes later *)
+          breaker_feed t tk (Error err) 0;
+          Some (tk, err))
+  in
+  (match victim with
+  | Some (tk, err) -> complete tk (Error err)
+  | None -> ());
+  t.on_domain_crash ~name:sv_name exn
+
+(* A dispatcher whose restart budget is exhausted stops serving. When
+   the LAST one gives up nothing will ever pop the queue again — fail
+   its clients now and refuse new ones, instead of hanging them. *)
+let dispatcher_gave_up t =
+  with_lock t.lock (fun () ->
+      t.failed_dispatchers <- t.failed_dispatchers + 1;
+      if t.failed_dispatchers >= t.cfg.dispatchers then
+        reject_queued t "no serving domains left (restart budget exhausted)")
+
+let create ?(config = default_config) ?arena
+    ?(on_domain_crash = fun ~name:_ _ -> ()) ~exec () =
   validate config;
   let t =
     {
@@ -596,7 +720,11 @@ let create ?(config = default_config) ?arena ~exec () =
       prng = Prng.create config.seed;
       queued = 0;
       stopped = false;
+      draining = false;
       running_tks = Hashtbl.create 8;
+      current = Array.make config.dispatchers None;
+      on_domain_crash;
+      failed_dispatchers = 0;
       brk = Closed;
       brk_until = 0.0;
       brk_consecutive = 0;
@@ -612,16 +740,33 @@ let create ?(config = default_config) ?arena ~exec () =
       n_degraded = 0;
       n_watchdog_cancels = 0;
       n_breaker_trips = 0;
+      n_crashed_tickets = 0;
       max_depth = 0;
       total_wait = 0.0;
       n_waits = 0;
       max_wait = 0.0;
+      wd_waiter = Aeq_util.Waiter.create ();
       domains = [];
+      supervisors = [];
     }
   in
-  t.domains <-
-    Domain.spawn (watchdog_loop t)
-    :: List.init config.dispatchers (fun _ -> Domain.spawn (dispatcher_loop t));
+  if config.supervised then
+    t.supervisors <-
+      Supervisor.spawn ~policy:config.restart_policy ~name:"scheduler.watchdog"
+        ~on_crash:(fun exn -> t.on_domain_crash ~name:"scheduler.watchdog" exn)
+        (watchdog_loop t)
+      :: List.init config.dispatchers (fun i ->
+             let sv_name = Printf.sprintf "scheduler.dispatcher-%d" i in
+             Supervisor.spawn ~policy:config.restart_policy ~name:sv_name
+               ~on_crash:(dispatcher_reclaim t i sv_name)
+               ~on_give_up:(fun _ -> dispatcher_gave_up t)
+               (dispatcher_loop t i))
+  else
+    (* unsupervised mode exists for the supervision-overhead benchmark
+       and as an escape hatch; a crash here kills the domain for good *)
+    t.domains <-
+      Domain.spawn (watchdog_loop t)
+      :: List.init config.dispatchers (fun i -> Domain.spawn (dispatcher_loop t i));
   (* gauges registered unconditionally; rendering is what the
      observability switch gates *)
   Obs.Metrics.gauge_fn "aeq_scheduler_queue_depth"
@@ -643,7 +788,47 @@ let create ?(config = default_config) ?arena ~exec () =
       let b = match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2 in
       Mutex.unlock t.lock;
       b);
+  Obs.Metrics.gauge_fn "aeq_scheduler_unhealthy_domains"
+    ~help:"Supervised scheduler domains currently backing off or failed."
+    (fun () ->
+      List.length (List.filter_map Supervisor.health_reason t.supervisors));
   t
+
+let supervisors t = t.supervisors
+
+let health_reasons t = List.filter_map Supervisor.health_reason t.supervisors
+
+let draining t = with_lock t.lock (fun () -> t.draining)
+
+(* Graceful drain: close admission, then wait (bounded) for the queue
+   and the in-flight set to empty. Past the deadline, still-queued
+   clients are rejected and in-flight queries cancelled — every
+   [await] resolves either way. *)
+let drain ?(deadline_seconds = 30.0) t =
+  with_lock t.lock (fun () -> t.draining <- true);
+  let deadline = Clock.now () +. deadline_seconds in
+  let quiesced () =
+    with_lock t.lock (fun () ->
+        t.queued = 0 && Hashtbl.length t.running_tks = 0)
+  in
+  let rec poll () =
+    if quiesced () then true
+    else if Clock.now () >= deadline then false
+    else begin
+      Unix.sleepf 0.001;
+      poll ()
+    end
+  in
+  let clean = poll () in
+  if not clean then begin
+    let in_flight =
+      with_lock t.lock (fun () ->
+          reject_queued t "rejected at drain deadline";
+          Hashtbl.fold (fun _ tk acc -> tk :: acc) t.running_tks [])
+    in
+    List.iter (fun tk -> Cancel.cancel tk.tk_cancel) in_flight
+  end;
+  clean
 
 let stats t =
   Mutex.lock t.lock;
@@ -665,6 +850,13 @@ let stats t =
       max_queue_depth = t.max_depth;
       avg_wait_seconds = (if t.n_waits = 0 then 0.0 else t.total_wait /. float_of_int t.n_waits);
       max_wait_seconds = t.max_wait;
+      crashed_tickets = t.n_crashed_tickets;
+      (* supervisor counters are monotone over the scheduler's
+         lifetime — the restart budget made observable *)
+      domain_crashes =
+        List.fold_left (fun acc sv -> acc + Supervisor.crashes sv) 0 t.supervisors;
+      domain_restarts =
+        List.fold_left (fun acc sv -> acc + Supervisor.restarts sv) 0 t.supervisors;
     }
   in
   Mutex.unlock t.lock;
@@ -682,6 +874,7 @@ let reset_stats t =
   t.n_degraded <- 0;
   t.n_watchdog_cancels <- 0;
   t.n_breaker_trips <- 0;
+  t.n_crashed_tickets <- 0;
   t.max_depth <- t.queued;
   t.total_wait <- 0.0;
   t.n_waits <- 0;
@@ -695,7 +888,14 @@ let shutdown t =
     t.stopped <- true;
     Condition.broadcast t.work;
     let ds = t.domains in
+    let svs = t.supervisors in
     t.domains <- [];
     Mutex.unlock t.lock;
-    List.iter Domain.join ds
+    (* wake the watchdog out of its inter-sweep sleep so close never
+       stalls a full period, and cut any supervisor backoff short *)
+    Aeq_util.Waiter.wake t.wd_waiter;
+    List.iter Supervisor.stop svs;
+    List.iter Domain.join ds;
+    List.iter Supervisor.join svs;
+    Aeq_util.Waiter.dispose t.wd_waiter
   end

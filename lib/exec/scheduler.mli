@@ -72,6 +72,15 @@ type config = {
           jitter, bounded by the query's deadline *)
   watchdog_period : float;  (** watchdog scan interval, seconds *)
   seed : int64;  (** PRNG seed for backoff jitter *)
+  supervised : bool;
+      (** spawn dispatchers and the watchdog under {!Supervisor}
+          barriers (default [true]): a crash completes the victim's
+          in-flight ticket with [Worker_crashed] and restarts the
+          domain under [restart_policy]. [false] reverts to bare
+          domains — for the supervision-overhead benchmark only; a
+          crash then kills the domain permanently *)
+  restart_policy : Supervisor.policy;
+      (** restart budget and backoff for the supervised domains *)
 }
 
 val default_config : config
@@ -86,15 +95,20 @@ type t
 val create :
   ?config:config ->
   ?arena:Aeq_mem.Arena.t ->
+  ?on_domain_crash:(name:string -> exn -> unit) ->
   exec:(mode:Driver.mode -> cancel:Cancel.t -> string -> Driver.result) ->
   unit ->
   t
 (** Start a scheduler (spawns [config.dispatchers] dispatcher domains
-    and the watchdog domain). [exec] runs one query to completion and
-    is called from dispatcher domains — up to [dispatchers] calls
-    concurrently, so it must be thread-safe (the engine's [query] is);
-    it must raise {!Query_error.Error} on failure. [arena], when
-    given, feeds the [shed_resident_bytes] overload gauge. *)
+    and the watchdog domain, supervised by default). [exec] runs one
+    query to completion and is called from dispatcher domains — up to
+    [dispatchers] calls concurrently, so it must be thread-safe (the
+    engine's [query] is); it must raise {!Query_error.Error} on
+    failure, and let non-structured exceptions escape (they are
+    treated as domain crashes by the supervisor). [arena], when given,
+    feeds the [shed_resident_bytes] overload gauge. [on_domain_crash]
+    runs in the crashed domain after the scheduler's own reclaim —
+    the engine hooks its plan-cache single-flight cleanup here. *)
 
 val submit :
   ?mode:Driver.mode ->
@@ -169,6 +183,16 @@ type stats = {
   max_queue_depth : int;  (** high-water mark of [queue_depth] *)
   avg_wait_seconds : float;  (** mean queue wait of dispatched queries *)
   max_wait_seconds : float;
+  crashed_tickets : int;
+      (** in-flight tickets completed as [Worker_crashed] by
+          supervisor reclaim after their dispatcher died *)
+  domain_crashes : int;
+      (** crashes caught by this scheduler's domain supervisors
+          (monotone over the scheduler's lifetime; not zeroed by
+          {!reset_stats}) *)
+  domain_restarts : int;
+      (** supervised restarts performed (monotone, like
+          [domain_crashes]) — the restart budget made observable *)
 }
 
 val zero_stats : stats
@@ -183,7 +207,36 @@ val reset_stats : t -> unit
     depth). Live state — breaker state/cooldown, the queue itself — is
     untouched. Used by [Engine.reset_stats] for windowed scraping. *)
 
+val drain : ?deadline_seconds:float -> t -> bool
+(** Graceful drain: stop admission (later {!submit}s raise
+    [Rejected "draining"]) and wait up to [deadline_seconds] (default
+    30) for the queue and the in-flight set to empty. Past the
+    deadline, still-queued clients complete [Rejected] and in-flight
+    queries are cancelled, so no [await] is left hanging. Returns
+    [true] if quiescence was reached cleanly, [false] if the deadline
+    forced it. Does not shut the scheduler down — callers (see
+    [Engine.drain]) typically follow with {!shutdown}. *)
+
+val draining : t -> bool
+
+val executing_here : unit -> bool
+(** [true] when called from a dispatcher domain — i.e. from inside an
+    [exec] callback serving an admitted query. The engine's drain
+    admission gate uses this to keep rejecting fresh direct clients
+    while letting already-admitted (queued/retrying) work finish. *)
+
+val health_reasons : t -> string list
+(** One reason per supervised domain currently crashed-and-backing-off
+    or failed (restart budget exhausted). Empty = all serving domains
+    healthy. *)
+
+val supervisors : t -> Supervisor.t list
+(** The domain supervisors (watchdog first), for tests and
+    introspection. Empty when running with [supervised = false]. *)
+
 val shutdown : t -> unit
 (** Stop serving: every still-queued query completes with [Rejected],
     in-flight queries finish, then the dispatcher and watchdog domains
-    are joined. Idempotent. Later {!submit}s raise [Rejected]. *)
+    are joined (the watchdog is woken out of its inter-sweep sleep, so
+    shutdown does not stall a [watchdog_period]). Idempotent. Later
+    {!submit}s raise [Rejected]. *)

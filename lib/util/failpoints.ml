@@ -1,6 +1,24 @@
 exception Injected of string
 
-type action = Fail | Delay of float | Prob_fail of float
+exception Injected_crash of string
+
+(* [Injected_crash] deliberately escapes the structured-error
+   discipline: every layer that converts exceptions into [Query_error]
+   must let it pass, so it reaches (and kills) the hosting domain —
+   that is the whole point of the [Crash] action. [Fun.protect]
+   finalisers along the unwind may re-wrap it; [is_crash] sees through
+   the wrapping. *)
+let rec is_crash = function
+  | Injected_crash _ -> true
+  | Fun.Finally_raised e -> is_crash e
+  | _ -> false
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash site -> Some ("injected domain crash at " ^ site)
+    | _ -> None)
+
+type action = Fail | Delay of float | Prob_fail of float | Crash
 
 type entry = {
   action : action;
@@ -32,6 +50,8 @@ let builtin_sites =
     "arena.lease";
     "arena.release";
     "pool.pick";
+    "sched.dispatch";
+    "sched.watchdog";
   ]
 
 let extra_sites : (string, unit) Hashtbl.t = Hashtbl.create 4
@@ -125,12 +145,17 @@ let hit site =
             Atomic.incr e.fired;
             raise (Injected site)
           end
+        | Crash ->
+          Atomic.incr e.fired;
+          raise (Injected_crash site)
       end
 
-(* "site=fail", "site=fail@3", "site=delay:0.01", "site=delay:0.01@2",
-   "site=p:0.25", joined by ',' or ';'. "@N" makes the site one-shot
-   on its Nth hit; without it the site fires on every hit. "p:F" fails
-   each hit with probability F (chaos mode). *)
+(* "site=fail", "site=fail@3", "site=crash", "site=delay:0.01",
+   "site=delay:0.01@2", "site=p:0.25", joined by ',' or ';'. "@N"
+   makes the site one-shot on its Nth hit; without it the site fires
+   on every hit. "p:F" fails each hit with probability F (chaos mode);
+   "crash" raises the non-Query_error [Injected_crash], killing the
+   hosting domain unless a supervisor contains it. *)
 let set_from_string spec =
   let bad part = invalid_arg ("Failpoints: cannot parse \"" ^ part ^ "\"") in
   String.split_on_char ',' (String.map (fun c -> if c = ';' then ',' else c) spec)
@@ -153,6 +178,7 @@ let set_from_string spec =
              in
              let action =
                if act = "fail" then Fail
+               else if act = "crash" then Crash
                else if String.length act > 6 && String.sub act 0 6 = "delay:" then
                  match
                    float_of_string_opt (String.sub act 6 (String.length act - 6))

@@ -25,7 +25,12 @@
       in a [Fun.protect] finaliser), so the fault exercises caller
       error paths without ever leaking memory;
     - ["pool.pick"] — hit when a pool participant (worker domain or
-      the submitting caller) starts on a job, before the first morsel.
+      the submitting caller) starts on a job, before the first morsel;
+    - ["sched.dispatch"] — hit by a scheduler dispatcher after it has
+      claimed a ticket (the ticket is registered, so a [Crash] here
+      exercises the supervisor's in-flight-ticket reclaim);
+    - ["sched.watchdog"] — hit by the scheduler watchdog once per
+      sweep, before it takes the scheduler lock.
 
     The registry is global and thread-safe; a disarmed registry costs
     one atomic load per check. Arm programmatically with {!activate}
@@ -35,6 +40,19 @@
 exception Injected of string
 (** Raised by a triggered [Fail] site, carrying the site name. *)
 
+exception Injected_crash of string
+(** Raised by a triggered [Crash] site. Unlike {!Injected}, this is
+    {e not} part of the structured-error contract: every layer that
+    folds exceptions into [Query_error] lets it pass, so it unwinds
+    all the way out of the hosting domain — simulating a bug that
+    kills a dispatcher, watchdog or pool worker. Only a supervisor
+    barrier ([Aeq_exec.Supervisor]) contains it. *)
+
+val is_crash : exn -> bool
+(** Is this {!Injected_crash}, possibly wrapped in (nested)
+    [Fun.Finally_raised] by finalisers along the unwind? Conversion
+    layers use this to decide "let it escape". *)
+
 type action =
   | Fail  (** raise {!Injected} *)
   | Delay of float  (** sleep this many seconds (slow compile, slow morsel) *)
@@ -43,6 +61,10 @@ type action =
           chaos-mode action: a soak run under [Prob_fail] exercises
           retry and circuit-breaker paths non-deterministically but
           reproducibly (see {!set_seed}) *)
+  | Crash
+      (** raise {!Injected_crash} — kill the hosting domain (spec
+          syntax [site=crash]); exercises the supervision layer's
+          crash containment, reclaim and restart paths *)
 
 val activate : ?on_hit:int -> ?persistent:bool -> string -> action -> unit
 (** Arm a site. With [persistent] (the default) the site triggers on
@@ -91,7 +113,7 @@ val fired : string -> int
 val set_from_string : string -> unit
 (** Parse and activate a spec like
     ["compile.opt=fail,driver.morsel=delay:0.01@2,arena.alloc=p:0.05"].
-    Entries are [site=fail], [site=delay:SECONDS] or
+    Entries are [site=fail], [site=crash], [site=delay:SECONDS] or
     [site=p:PROBABILITY], optionally suffixed [@N] to make the site
     one-shot on its Nth hit.
     @raise Invalid_argument on a malformed spec. *)

@@ -1,0 +1,69 @@
+(* An interruptible timed wait over a self-pipe.
+
+   OCaml's stdlib [Condition] has no timed wait, so a domain that
+   wants "sleep up to N seconds unless woken" — the scheduler
+   watchdog between sweeps, a supervisor backing off before a restart
+   — used to [Unix.sleepf] and made every shutdown pay a full period.
+   Here the sleeper selects on the read end of a pipe; [wake] writes a
+   byte, turning the remaining sleep into an immediate return. Wakes
+   are sticky until consumed: a [wake] racing slightly ahead of the
+   [wait] still cuts that wait short. *)
+
+type t = {
+  rd : Unix.file_descr;
+  wr : Unix.file_descr;
+  lock : Mutex.t; (* guards the fds against wake/dispose races *)
+  mutable disposed : bool;
+}
+
+let create () =
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock rd;
+  Unix.set_nonblock wr;
+  { rd; wr; lock = Mutex.create (); disposed = false }
+
+let wake t =
+  Mutex.lock t.lock;
+  if not t.disposed then begin
+    try ignore (Unix.write t.wr (Bytes.make 1 'w') 0 1) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      () (* pipe already full of unconsumed wakes: the sleeper will see them *)
+    | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end;
+  Mutex.unlock t.lock
+
+(* drain every pending wake byte so the next [wait] actually sleeps *)
+let drain t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.rd buf 0 64 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait t seconds =
+  if seconds > 0.0 then begin
+    match Unix.select [ t.rd ] [] [] seconds with
+    | [], _, _ -> false (* timed out *)
+    | _ ->
+      drain t;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* a signal landed; treat it as a wake so signal-driven shutdown
+         (SIGTERM → drain) is never stuck behind a sleeping select *)
+      true
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> true (* disposed under us *)
+  end
+  else false
+
+let dispose t =
+  Mutex.lock t.lock;
+  if not t.disposed then begin
+    t.disposed <- true;
+    (try Unix.close t.rd with Unix.Unix_error _ -> ());
+    try Unix.close t.wr with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.lock

@@ -20,7 +20,7 @@ let barrier n =
     done
 
 let test_pool_runs_all_tids () =
-  let pool = Aeq_exec.Pool.create ~n_threads:4 in
+  let pool = Aeq_exec.Pool.create ~n_threads:4 () in
   let seen = Array.make 4 0 in
   for _ = 1 to 2 do
     let gate = barrier 4 in
@@ -32,7 +32,7 @@ let test_pool_runs_all_tids () =
   Aeq_exec.Pool.shutdown pool
 
 let test_pool_propagates_exceptions () =
-  let pool = Aeq_exec.Pool.create ~n_threads:3 in
+  let pool = Aeq_exec.Pool.create ~n_threads:3 () in
   let gate = barrier 3 in
   (match
      Aeq_exec.Pool.run pool (fun ~tid ->
@@ -54,7 +54,7 @@ let test_pool_propagates_exceptions () =
 let test_pool_main_thread_exception () =
   (* thread 0 is the caller: its exception must propagate like any
      worker's, and the pool must survive *)
-  let pool = Aeq_exec.Pool.create ~n_threads:3 in
+  let pool = Aeq_exec.Pool.create ~n_threads:3 () in
   (match Aeq_exec.Pool.run pool (fun ~tid -> if tid = 0 then failwith "main-boom") with
   | () -> Alcotest.fail "expected exception"
   | exception Failure m -> Alcotest.(check string) "message" "main-boom" m);
@@ -68,7 +68,7 @@ let test_pool_main_thread_exception () =
   Aeq_exec.Pool.shutdown pool
 
 let test_pool_single_thread_inline () =
-  let pool = Aeq_exec.Pool.create ~n_threads:1 in
+  let pool = Aeq_exec.Pool.create ~n_threads:1 () in
   let ran = ref false in
   Aeq_exec.Pool.run pool (fun ~tid ->
       Alcotest.(check int) "tid 0" 0 tid;
@@ -80,7 +80,7 @@ let test_pool_concurrent_jobs () =
   (* multi-tenancy: two jobs submitted from two domains overlap in
      time and both complete with their own work intact; a failure in
      one job stays in that job *)
-  let pool = Aeq_exec.Pool.create ~n_threads:4 in
+  let pool = Aeq_exec.Pool.create ~n_threads:4 () in
   let a_total = Atomic.make 0 and b_total = Atomic.make 0 in
   let submit total fail_this =
     Domain.spawn (fun () ->

@@ -120,7 +120,7 @@ let test_failpoints_parse () =
 (* ---- pool lifecycle -------------------------------------------------- *)
 
 let test_pool_closed () =
-  let pool = Aeq_exec.Pool.create ~n_threads:2 in
+  let pool = Aeq_exec.Pool.create ~n_threads:2 () in
   Alcotest.(check bool) "open" false (Aeq_exec.Pool.closed pool);
   Aeq_exec.Pool.shutdown pool;
   Aeq_exec.Pool.shutdown pool (* idempotent *);
