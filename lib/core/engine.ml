@@ -9,6 +9,11 @@ type cache_entry = {
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
 
+let () =
+  Aeq_race.declare "engine.plan_cache" (Aeq_race.Lock "engine.cache.lock");
+  Aeq_race.declare "engine.scheduler_slot" (Aeq_race.Lock "engine.sched.lock");
+  Aeq_race.declare "engine.draining" Aeq_race.Atomic
+
 (* No execution lock: queries run concurrently over per-execution
    contexts and arena leases (the driver owns that isolation). The
    only serialized section is plan-cache lookup/prepare, guarded by
@@ -20,10 +25,13 @@ type t = {
   pool : Aeq_exec.Pool.t;
   cost_model : Aeq_backend.Cost_model.t;
   plan_cache : (string, cache_entry) Hashtbl.t;
-  cache_lock : Mutex.t; (* guards plan_cache, its counters, ce_* fields, preparing *)
+  cache_lock : Aeq_race.Lock.t;
+      (* guards plan_cache, its counters, ce_* fields, preparing *)
+  cache_loc : Aeq_race.location;
   prep_done : Condition.t; (* signalled when a single-flight prepare finishes *)
   preparing : (string, unit) Hashtbl.t; (* texts with a prepare in flight *)
-  sched_lock : Mutex.t; (* guards lazy scheduler creation/config *)
+  sched_lock : Aeq_race.Lock.t; (* guards lazy scheduler creation/config *)
+  sched_loc : Aeq_race.location;
   mutable scheduler : Aeq_exec.Scheduler.t option;
   mutable sched_config : Aeq_exec.Scheduler.config;
   mutable cache_enabled : bool;
@@ -45,9 +53,7 @@ let preparing_here : (t * string) option ref Domain.DLS.key =
 
 let default_cache_capacity = 128
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let with_lock m f = Aeq_race.Lock.with_ m f
 
 (* ---- health ---------------------------------------------------------- *)
 
@@ -68,7 +74,11 @@ let health t =
   else if Atomic.get t.draining then Draining
   else begin
     let sched_reasons =
-      match with_lock t.sched_lock (fun () -> t.scheduler) with
+      match
+        with_lock t.sched_lock (fun () ->
+            Aeq_race.read ~site:"engine.health" t.sched_loc;
+            t.scheduler)
+      with
       | Some s -> Aeq_exec.Scheduler.health_reasons s
       | None -> []
     in
@@ -102,10 +112,9 @@ let register_gauges t =
   Obs.Metrics.gauge_fn "aeq_plan_cache_entries"
     ~help:"Prepared statements resident in the plan cache."
     (fun () ->
-      Mutex.lock t.cache_lock;
-      let n = Hashtbl.length t.plan_cache in
-      Mutex.unlock t.cache_lock;
-      n);
+      with_lock t.cache_lock (fun () ->
+          Aeq_race.read ~site:"engine.gauge" t.cache_loc;
+          Hashtbl.length t.plan_cache));
   let arena () = Aeq_storage.Catalog.arena t.catalog in
   Obs.Metrics.gauge_fn "aeq_arena_scratch_resident_bytes"
     ~help:"Bytes resident in query-scratch chunks (what the scratch cap meters)."
@@ -154,10 +163,12 @@ let create ?n_threads ?cost_model ?chunk_size ?(supervised = true) () =
       pool = Aeq_exec.Pool.create ~supervised ~n_threads ();
       cost_model;
       plan_cache = Hashtbl.create 64;
-      cache_lock = Mutex.create ();
+      cache_lock = Aeq_race.Lock.create "engine.cache.lock";
+      cache_loc = Aeq_race.locate "engine.plan_cache";
       prep_done = Condition.create ();
       preparing = Hashtbl.create 8;
-      sched_lock = Mutex.create ();
+      sched_lock = Aeq_race.Lock.create "engine.sched.lock";
+      sched_loc = Aeq_race.locate "engine.scheduler_slot";
       scheduler = None;
       sched_config =
         (* several dispatcher domains so the admission path keeps
@@ -201,7 +212,9 @@ let plan t sql =
 let explain t sql = Aeq_plan.Explain.to_string (plan t sql)
 
 let set_plan_cache t enabled =
-  with_lock t.cache_lock (fun () -> t.cache_enabled <- enabled)
+  with_lock t.cache_lock (fun () ->
+      Aeq_race.write ~site:"engine.set_plan_cache" t.cache_loc;
+      t.cache_enabled <- enabled)
 
 (* under cache_lock *)
 let evict_down_to t capacity =
@@ -226,11 +239,13 @@ let evict_down_to t capacity =
 
 let set_plan_cache_capacity t n =
   with_lock t.cache_lock (fun () ->
+      Aeq_race.write ~site:"engine.set_capacity" t.cache_loc;
       t.cache_capacity <- Stdlib.max 1 n;
       evict_down_to t t.cache_capacity)
 
 let cache_stats t =
   with_lock t.cache_lock (fun () ->
+      Aeq_race.read ~site:"engine.cache_stats" t.cache_loc;
       {
         hits = t.cache_hits;
         misses = t.cache_misses;
@@ -246,6 +261,7 @@ let cache_stats t =
    yield points guarantee this under simulation). *)
 let check t =
   with_lock t.cache_lock (fun () ->
+      Aeq_race.read ~site:"engine.check" t.cache_loc;
       let problems = ref [] in
       let add fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
       let n = Hashtbl.length t.plan_cache in
@@ -288,11 +304,12 @@ let prepare_entry t sql =
     (* yield OUTSIDE the lock: the simulator must never suspend a task
        that holds cache_lock, or every peer deadlocks behind it *)
     Aeq_util.Yieldpoint.yield "engine.cache";
-    Mutex.lock t.cache_lock;
+    Aeq_race.Lock.lock t.cache_lock;
+    Aeq_race.write ~site:"engine.lookup" t.cache_loc;
     match Hashtbl.find_opt t.plan_cache sql with
     | Some e ->
       note_hit t e;
-      Mutex.unlock t.cache_lock;
+      Aeq_race.Lock.unlock t.cache_lock;
       e
     | None ->
       if Hashtbl.mem t.preparing sql then begin
@@ -303,13 +320,13 @@ let prepare_entry t sql =
           (* under simulation a real [Condition.wait] would block a
              task the scheduler thinks is runnable; spin through the
              scheduler instead and re-check on resume *)
-          Mutex.unlock t.cache_lock;
+          Aeq_race.Lock.unlock t.cache_lock;
           Aeq_util.Yieldpoint.yield "engine.singleflight.wait";
           lookup ()
         end
         else begin
-          Condition.wait t.prep_done t.cache_lock;
-          Mutex.unlock t.cache_lock;
+          Aeq_race.Lock.wait t.prep_done t.cache_lock;
+          Aeq_race.Lock.unlock t.cache_lock;
           lookup ()
         end
       end
@@ -320,11 +337,12 @@ let prepare_entry t sql =
             (Obs.Metrics.counter "aeq_plan_cache_misses_total"
                ~help:"Plan-cache lookups that had to prepare from scratch.");
         Hashtbl.replace t.preparing sql ();
-        Mutex.unlock t.cache_lock;
+        Aeq_race.Lock.unlock t.cache_lock;
         Domain.DLS.get preparing_here := Some (t, sql);
         let finish () =
           Domain.DLS.get preparing_here := None;
           with_lock t.cache_lock (fun () ->
+              Aeq_race.write ~site:"engine.prep_finish" t.cache_loc;
               Hashtbl.remove t.preparing sql;
               Condition.broadcast t.prep_done)
         in
@@ -339,7 +357,13 @@ let prepare_entry t sql =
         with
         | prepared ->
           let e = { ce_prepared = prepared; ce_modes = []; ce_last_used = 0 } in
+          (* publication edge for the race detector: the entry (and the
+             compiled artifacts hanging off it) were built outside
+             cache_lock; waiters that pick it up after [prep_done] read
+             them without ever holding the builder's locks *)
+          Aeq_race.publish ();
           with_lock t.cache_lock (fun () ->
+              Aeq_race.write ~site:"engine.prep_install" t.cache_loc;
               touch t e;
               Hashtbl.replace t.plan_cache sql e;
               evict_down_to t t.cache_capacity);
@@ -358,7 +382,9 @@ let prepare t sql = ignore (prepare_entry t sql)
 
 let cached_executions t sql =
   let entry =
-    with_lock t.cache_lock (fun () -> Hashtbl.find_opt t.plan_cache sql)
+    with_lock t.cache_lock (fun () ->
+        Aeq_race.read ~site:"engine.cached_executions" t.cache_loc;
+        Hashtbl.find_opt t.plan_cache sql)
   in
   match entry with
   | Some e -> Aeq_exec.Driver.prepared_executions e.ce_prepared
@@ -416,7 +442,11 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_s
   if Atomic.get t.draining && not (Aeq_exec.Scheduler.executing_here ()) then
     Aeq_exec.Query_error.raise_error (Aeq_exec.Query_error.Rejected "draining");
   with_query_obs mode @@ fun () ->
-  let cache_enabled = with_lock t.cache_lock (fun () -> t.cache_enabled) in
+  let cache_enabled =
+    with_lock t.cache_lock (fun () ->
+        Aeq_race.read ~site:"engine.query" t.cache_loc;
+        t.cache_enabled)
+  in
   if not cache_enabled then begin
     let p = plan t sql in
     Aeq_exec.Driver.execute ~cost_model:t.cost_model ~collect_trace ?timeout_seconds
@@ -444,6 +474,10 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_s
     in
     let initial_modes =
       with_lock t.cache_lock (fun () ->
+          Aeq_race.read ~site:"engine.initial_modes" t.cache_loc;
+          (* consume side of the single-flight publication: this caller
+             may be reading a prepared entry built by another domain *)
+          Aeq_race.consume ();
           if
             Aeq_exec.Driver.prepared_executions entry.ce_prepared > 0
             && mode = Aeq_exec.Driver.Adaptive
@@ -457,6 +491,7 @@ let query ?(mode = Aeq_exec.Driver.Adaptive) ?(collect_trace = false) ?timeout_s
     in
     if mode = Aeq_exec.Driver.Adaptive then
       with_lock t.cache_lock (fun () ->
+          Aeq_race.write ~site:"engine.mode_memory" t.cache_loc;
           entry.ce_modes <- r.Aeq_exec.Driver.final_cm_modes);
     r
   end
@@ -514,6 +549,7 @@ let verify_query t sql =
 
 let set_scheduler_config t config =
   with_lock t.sched_lock (fun () ->
+      Aeq_race.write ~site:"engine.set_sched_config" t.sched_loc;
       match t.scheduler with
       | Some _ ->
         invalid_arg "Engine.set_scheduler_config: scheduler already running"
@@ -530,11 +566,13 @@ let release_preparing_claim ~name:_ _exn =
   | Some (t, sql) ->
     slot := None;
     with_lock t.cache_lock (fun () ->
+        Aeq_race.write ~site:"engine.release_claim" t.cache_loc;
         Hashtbl.remove t.preparing sql;
         Condition.broadcast t.prep_done)
 
 let scheduler t =
   with_lock t.sched_lock (fun () ->
+      Aeq_race.write ~site:"engine.scheduler" t.sched_loc;
       match t.scheduler with
       | Some s -> s
       | None ->
@@ -557,7 +595,11 @@ let query_concurrent ?mode ?priority ?deadline_seconds ?cancel t sql =
     sql
 
 let scheduler_stats t =
-  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  let s =
+    with_lock t.sched_lock (fun () ->
+        Aeq_race.read ~site:"engine.scheduler_stats" t.sched_loc;
+        t.scheduler)
+  in
   match s with
   | Some s -> Aeq_exec.Scheduler.stats s
   | None -> Aeq_exec.Scheduler.zero_stats
@@ -584,17 +626,26 @@ let reset_stats t =
   Obs.Span.clear ();
   Obs.Decision_log.clear ();
   with_lock t.cache_lock (fun () ->
+      Aeq_race.write ~site:"engine.reset_stats" t.cache_loc;
       t.cache_hits <- 0;
       t.cache_misses <- 0;
       t.cache_evictions <- 0);
-  match with_lock t.sched_lock (fun () -> t.scheduler) with
+  match
+    with_lock t.sched_lock (fun () ->
+        Aeq_race.read ~site:"engine.reset_stats" t.sched_loc;
+        t.scheduler)
+  with
   | Some s -> Aeq_exec.Scheduler.reset_stats s
   | None -> ()
 
 (* Scheduler first (drains queued clients, finishes in-flight
    queries), then the pool. Both are idempotent, so close is. *)
 let close t =
-  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  let s =
+    with_lock t.sched_lock (fun () ->
+        Aeq_race.read ~site:"engine.close" t.sched_loc;
+        t.scheduler)
+  in
   (match s with Some s -> Aeq_exec.Scheduler.shutdown s | None -> ());
   Aeq_exec.Pool.shutdown t.pool
 
@@ -607,7 +658,11 @@ let draining t = Atomic.get t.draining
    then shut down. The SIGTERM path of the CLI. *)
 let drain ?(deadline_seconds = 30.0) ?(flush = fun () -> ()) t =
   Atomic.set t.draining true;
-  let s = with_lock t.sched_lock (fun () -> t.scheduler) in
+  let s =
+    with_lock t.sched_lock (fun () ->
+        Aeq_race.read ~site:"engine.drain" t.sched_loc;
+        t.scheduler)
+  in
   let clean =
     match s with
     | Some s -> Aeq_exec.Scheduler.drain ~deadline_seconds s

@@ -107,11 +107,6 @@ let blacklisted t mode = blacklisted_compiled t.c mode
 let blacklist t mode =
   match blacklist_flag t.c mode with Some f -> Atomic.set f true | None -> ()
 
-let failpoint_of_mode = function
-  | CM.Unopt -> "compile.unopt"
-  | CM.Opt -> "compile.opt"
-  | CM.Bytecode -> "compile.bytecode"
-
 let promote t ~mode:m =
   if m = mode t then 0.0
   else
@@ -127,13 +122,22 @@ let promote t ~mode:m =
       match Atomic.get slot with
       | Some exec ->
         (* prepared-statement fast path: the variant survived an
-           earlier execution, switching is a single store *)
+           earlier execution, switching is a single store. The closure
+           record behind [exec] was built by whichever domain won the
+           compile race — consume its publication edge. *)
+        Aeq_race.consume ();
         install t (V_compiled (m, exec));
         0.0
       | None ->
         let compiled =
           try
-            Aeq_util.Failpoints.hit (failpoint_of_mode m);
+            (* literal site strings, one per branch: the failpoint
+               catalog lint cross-checks every [hit] against
+               [Failpoints.builtin_sites] and can't see through a
+               mode-to-string helper *)
+            (match m with
+            | CM.Unopt -> Aeq_util.Failpoints.hit "compile.unopt"
+            | _ -> Aeq_util.Failpoints.hit "compile.opt");
             match m with
             | CM.Unopt ->
               (* the bytecode program is already translated; closure-
@@ -152,6 +156,7 @@ let promote t ~mode:m =
         in
         (* another execution may have won the compile race; last store
            wins — both artifacts are valid, one is dropped *)
+        Aeq_race.publish ();
         Atomic.set slot (Some compiled.Aeq_backend.Compiler.exec);
         install t (V_compiled (m, compiled.Aeq_backend.Compiler.exec));
         atomic_add_float t.c.compile_seconds compiled.Aeq_backend.Compiler.compile_seconds;

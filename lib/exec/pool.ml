@@ -27,6 +27,11 @@
 
 module QE = Query_error
 
+let () =
+  Aeq_race.declare "pool.jobs" (Aeq_race.Lock "pool.lock");
+  Aeq_race.declare "pool.current" (Aeq_race.Lock "pool.lock");
+  Aeq_race.declare "pool.job.state" (Aeq_race.Lock "pool.lock")
+
 type job = {
   fn : tid:int -> unit;
   max_tids : int;
@@ -34,12 +39,13 @@ type job = {
   mutable active : int;
   mutable closed_job : bool; (* caller finished; no new joiners *)
   error : exn option Atomic.t;
+  j_loc : Aeq_race.location;
 }
 
 type t = {
   n_threads : int;
   supervised : bool;
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
   work : Condition.t; (* new job posted / job list changed *)
   quiet : Condition.t; (* a participant left some job *)
   mutable jobs : job list;
@@ -51,6 +57,8 @@ type t = {
   mutable supervisors : Supervisor.t array; (* supervised mode *)
   closed : bool Atomic.t;
   active_jobs : int Atomic.t;
+  jobs_loc : Aeq_race.location;
+  current_loc : Aeq_race.location;
 }
 
 (* under t.lock: the open job with the fewest claimed tids *)
@@ -83,32 +91,37 @@ let run_participant j ~tid =
 let worker_loop t w () =
   let running = ref true in
   while !running do
-    Mutex.lock t.lock;
+    Aeq_race.Lock.lock t.lock;
     let rec await () =
+      Aeq_race.read ~site:"pool.await" t.jobs_loc;
       if t.stop then None
       else
         match pick_job t with
         | Some j -> Some j
         | None ->
-          Condition.wait t.work t.lock;
+          Aeq_race.Lock.wait t.work t.lock;
           await ()
     in
     match await () with
     | None ->
-      Mutex.unlock t.lock;
+      Aeq_race.Lock.unlock t.lock;
       running := false
     | Some j ->
+      Aeq_race.write ~site:"pool.claim" j.j_loc;
+      Aeq_race.write ~site:"pool.claim" t.current_loc;
       let tid = j.next_tid in
       j.next_tid <- tid + 1;
       j.active <- j.active + 1;
       t.current.(w) <- Some j;
-      Mutex.unlock t.lock;
+      Aeq_race.Lock.unlock t.lock;
       run_participant j ~tid;
-      Mutex.lock t.lock;
+      Aeq_race.Lock.lock t.lock;
+      Aeq_race.write ~site:"pool.leave" j.j_loc;
+      Aeq_race.write ~site:"pool.leave" t.current_loc;
       t.current.(w) <- None;
       j.active <- j.active - 1;
       Condition.broadcast t.quiet;
-      Mutex.unlock t.lock
+      Aeq_race.Lock.unlock t.lock
   done
 
 (* Supervisor reclaim for worker [w], running in the crashed domain
@@ -117,20 +130,21 @@ let worker_loop t w () =
    error so the submitting caller raises [Worker_crashed] instead of
    silently losing the crashed participant's claimed morsels. *)
 let worker_reclaim t w sv_name exn =
-  Mutex.lock t.lock;
-  (match t.current.(w) with
-  | Some j ->
-    t.current.(w) <- None;
-    j.active <- j.active - 1;
-    ignore
-      (Atomic.compare_and_set j.error None
-         (Some
-            (QE.Error
-               (QE.Worker_crashed
-                  { domain = sv_name; detail = Printexc.to_string exn }))));
-    Condition.broadcast t.quiet
-  | None -> ());
-  Mutex.unlock t.lock
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"pool.reclaim" t.current_loc;
+      match t.current.(w) with
+      | Some j ->
+        Aeq_race.write ~site:"pool.reclaim" j.j_loc;
+        t.current.(w) <- None;
+        j.active <- j.active - 1;
+        ignore
+          (Atomic.compare_and_set j.error None
+             (Some
+                (QE.Error
+                   (QE.Worker_crashed
+                      { domain = sv_name; detail = Printexc.to_string exn }))));
+        Condition.broadcast t.quiet
+      | None -> ())
 
 let create ?(supervised = true) ?(restart_policy = Supervisor.default_policy)
     ~n_threads () =
@@ -139,7 +153,7 @@ let create ?(supervised = true) ?(restart_policy = Supervisor.default_policy)
     {
       n_threads;
       supervised;
-      lock = Mutex.create ();
+      lock = Aeq_race.Lock.create "pool.lock";
       work = Condition.create ();
       quiet = Condition.create ();
       jobs = [];
@@ -149,6 +163,8 @@ let create ?(supervised = true) ?(restart_policy = Supervisor.default_policy)
       supervisors = [||];
       closed = Atomic.make false;
       active_jobs = Atomic.make 0;
+      jobs_loc = Aeq_race.locate "pool.jobs";
+      current_loc = Aeq_race.locate "pool.current";
     }
   in
   if supervised then
@@ -160,7 +176,7 @@ let create ?(supervised = true) ?(restart_policy = Supervisor.default_policy)
             (worker_loop t w))
   else
     t.domains <-
-      Array.init (n_threads - 1) (fun w -> Domain.spawn (worker_loop t w));
+      Array.init (n_threads - 1) (fun w -> Aeq_race.spawn (worker_loop t w));
   t
 
 let n_threads t = t.n_threads
@@ -192,27 +208,30 @@ let run ?max_tids t fn =
       active = 1;
       closed_job = false;
       error = Atomic.make None;
+      j_loc = Aeq_race.locate "pool.job.state";
     }
   in
   ignore (Atomic.fetch_and_add t.active_jobs 1);
-  Mutex.lock t.lock;
-  t.jobs <- j :: t.jobs;
-  Condition.broadcast t.work;
-  Mutex.unlock t.lock;
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"pool.post" t.jobs_loc;
+      t.jobs <- j :: t.jobs;
+      Condition.broadcast t.work);
   (* The close-out runs on every exit path — including the caller
      itself crashing as tid 0: the job must leave the open list and
      its barrier must drain, or the pool leaks the job and the
      in-flight gauge sticks. The crash then propagates to the caller's
      own supervisor (the dispatcher's, usually). *)
   let close_out () =
-    Mutex.lock t.lock;
+    Aeq_race.Lock.lock t.lock;
+    Aeq_race.write ~site:"pool.close_out" t.jobs_loc;
+    Aeq_race.write ~site:"pool.close_out" j.j_loc;
     j.closed_job <- true;
     t.jobs <- List.filter (fun j' -> j' != j) t.jobs;
     j.active <- j.active - 1;
     while j.active > 0 do
-      Condition.wait t.quiet t.lock
+      Aeq_race.Lock.wait t.quiet t.lock
     done;
-    Mutex.unlock t.lock;
+    Aeq_race.Lock.unlock t.lock;
     ignore (Atomic.fetch_and_add t.active_jobs (-1))
   in
   Fun.protect ~finally:close_out (fun () -> run_participant j ~tid:0);
@@ -226,28 +245,30 @@ let check t =
   let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
   if Atomic.get t.active_jobs < 0 then
     err "active_jobs negative: %d" (Atomic.get t.active_jobs);
-  Mutex.lock t.lock;
-  List.iter
-    (fun j ->
-      if j.active < 0 then err "job has negative participant count %d" j.active;
-      if j.next_tid < 1 || j.next_tid > j.max_tids then
-        err "job next_tid=%d outside [1,%d]" j.next_tid j.max_tids;
-      if j.active > j.next_tid then
-        err "job active=%d exceeds claimed tids=%d" j.active j.next_tid)
-    t.jobs;
-  if List.length t.jobs > Atomic.get t.active_jobs then
-    err "%d open jobs but active_jobs=%d" (List.length t.jobs)
-      (Atomic.get t.active_jobs);
-  Mutex.unlock t.lock;
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"pool.check" t.jobs_loc;
+      List.iter
+        (fun j ->
+          Aeq_race.read ~site:"pool.check" j.j_loc;
+          if j.active < 0 then
+            err "job has negative participant count %d" j.active;
+          if j.next_tid < 1 || j.next_tid > j.max_tids then
+            err "job next_tid=%d outside [1,%d]" j.next_tid j.max_tids;
+          if j.active > j.next_tid then
+            err "job active=%d exceeds claimed tids=%d" j.active j.next_tid)
+        t.jobs;
+      if List.length t.jobs > Atomic.get t.active_jobs then
+        err "%d open jobs but active_jobs=%d" (List.length t.jobs)
+          (Atomic.get t.active_jobs));
   List.rev !errs
 
 let shutdown t =
   if Atomic.compare_and_set t.closed false true then begin
-    Mutex.lock t.lock;
-    t.stop <- true;
-    Condition.broadcast t.work;
-    Mutex.unlock t.lock;
+    Aeq_race.Lock.with_ t.lock (fun () ->
+        Aeq_race.write ~site:"pool.shutdown" t.jobs_loc;
+        t.stop <- true;
+        Condition.broadcast t.work);
     Array.iter Supervisor.stop t.supervisors;
-    Array.iter Domain.join t.domains;
+    Array.iter (fun d -> Aeq_race.join d) t.domains;
     Array.iter Supervisor.join t.supervisors
   end

@@ -11,6 +11,18 @@ let obs_bump name ~help =
   if Obs.Control.enabled () then
     Obs.Metrics.inc (Obs.Metrics.counter ("aeq_scheduler_" ^ name ^ "_total") ~help)
 
+(* Guarded-by declarations for the race detector. [t.lock] covers four
+   logical locations so reports say *what* raced, not just "scheduler
+   state": the admission queues, the counters, the in-flight set, and
+   the circuit breaker. Each ticket's mutable fields are their own
+   location under that ticket's lock. *)
+let () =
+  Aeq_race.declare "sched.queues" (Aeq_race.Lock "sched.lock");
+  Aeq_race.declare "sched.counters" (Aeq_race.Lock "sched.lock");
+  Aeq_race.declare "sched.running" (Aeq_race.Lock "sched.lock");
+  Aeq_race.declare "sched.breaker" (Aeq_race.Lock "sched.lock");
+  Aeq_race.declare "sched.ticket" (Aeq_race.Lock "sched.ticket.lock")
+
 type priority = Low | Normal | High
 
 let priority_name = function Low -> "low" | Normal -> "normal" | High -> "high"
@@ -68,8 +80,9 @@ type ticket = {
   tk_deadline : float option; (* absolute, against Clock.now *)
   tk_submitted : float;
   tk_cancel : Cancel.t;
-  tk_lock : Mutex.t;
+  tk_lock : Aeq_race.Lock.t;
   tk_cond : Condition.t;
+  tk_loc : Aeq_race.location;
   mutable tk_state : state;
   mutable tk_started : float; (* -1. until dispatched *)
   mutable tk_watchdog_fired : bool;
@@ -135,8 +148,12 @@ type t = {
   cfg : config;
   exec : mode:Driver.mode -> cancel:Cancel.t -> string -> Driver.result;
   arena : Aeq_mem.Arena.t option;
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
   work : Condition.t; (* signalled on admit and on shutdown *)
+  queues_loc : Aeq_race.location;
+  counters_loc : Aeq_race.location;
+  running_loc : Aeq_race.location;
+  breaker_loc : Aeq_race.location;
   queues : ticket Queue.t array; (* [High; Normal; Low] *)
   ids : int Atomic.t;
   prng : Prng.t; (* jitter; drawn under [lock] *)
@@ -175,67 +192,66 @@ type t = {
   mutable n_waits : int;
   mutable max_wait : float;
   wd_waiter : Aeq_util.Waiter.t; (* watchdog inter-sweep sleep; woken on shutdown *)
+  retry_waiters : Aeq_util.Waiter.t array;
+      (* per-dispatcher retry backoff sleep; all woken on shutdown so a
+         retrying dispatcher never stalls close by a full backoff *)
+  quiet_waiter : Aeq_util.Waiter.t;
+      (* poked whenever in-flight work finishes; [drain] sleeps on it *)
   mutable domains : unit Domain.t list; (* unsupervised mode *)
   mutable supervisors : Supervisor.t list; (* supervised mode *)
 }
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let with_lock m f = Aeq_race.Lock.with_ m f
 
 (* ---- ticket helpers -------------------------------------------------- *)
 
 let is_done tk =
-  Mutex.lock tk.tk_lock;
-  let d = match tk.tk_state with Done _ -> true | Queued | Running -> false in
-  Mutex.unlock tk.tk_lock;
-  d
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.read ~site:"sched.is_done" tk.tk_loc;
+      match tk.tk_state with Done _ -> true | Queued | Running -> false)
 
 let complete tk outcome =
-  Mutex.lock tk.tk_lock;
-  (match tk.tk_state with
-  | Done _ -> () (* first completion wins *)
-  | Queued | Running ->
-    tk.tk_state <- Done outcome;
-    Condition.broadcast tk.tk_cond);
-  Mutex.unlock tk.tk_lock
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.write ~site:"sched.complete" tk.tk_loc;
+      match tk.tk_state with
+      | Done _ -> () (* first completion wins *)
+      | Queued | Running ->
+        tk.tk_state <- Done outcome;
+        Condition.broadcast tk.tk_cond)
 
 let await tk =
-  Mutex.lock tk.tk_lock;
-  let rec wait () =
-    match tk.tk_state with
-    | Done o -> o
-    | Queued | Running ->
-      Condition.wait tk.tk_cond tk.tk_lock;
-      wait ()
-  in
-  let o = wait () in
-  Mutex.unlock tk.tk_lock;
-  o
+  with_lock tk.tk_lock (fun () ->
+      let rec wait () =
+        Aeq_race.read ~site:"sched.await" tk.tk_loc;
+        match tk.tk_state with
+        | Done o -> o
+        | Queued | Running ->
+          Aeq_race.Lock.wait tk.tk_cond tk.tk_lock;
+          wait ()
+      in
+      wait ())
 
 let cancel tk = Cancel.cancel tk.tk_cancel
 
 let wait_seconds tk =
-  Mutex.lock tk.tk_lock;
-  let s = if tk.tk_started < 0.0 then -1.0 else tk.tk_started -. tk.tk_submitted in
-  Mutex.unlock tk.tk_lock;
-  s
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.read ~site:"sched.wait_seconds" tk.tk_loc;
+      if tk.tk_started < 0.0 then -1.0 else tk.tk_started -. tk.tk_submitted)
 
 let was_degraded tk =
-  Mutex.lock tk.tk_lock;
-  let d = tk.tk_degraded in
-  Mutex.unlock tk.tk_lock;
-  d
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.read ~site:"sched.was_degraded" tk.tk_loc;
+      tk.tk_degraded)
 
 let retries tk =
-  Mutex.lock tk.tk_lock;
-  let r = tk.tk_retries in
-  Mutex.unlock tk.tk_lock;
-  r
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.read ~site:"sched.retries" tk.tk_loc;
+      tk.tk_retries)
 
 (* ---- circuit breaker (all under t.lock) ------------------------------ *)
 
 let breaker_trip t now =
+  Aeq_race.write ~site:"sched.breaker_trip" t.breaker_loc;
   t.brk <- Open;
   t.probe <- None;
   t.n_breaker_trips <- t.n_breaker_trips + 1;
@@ -253,6 +269,7 @@ let breaker_trip t now =
    Half_open (electing this ticket as the probe) once the cooldown has
    passed. *)
 let breaker_allow t tk_id now =
+  Aeq_race.write ~site:"sched.breaker_allow" t.breaker_loc;
   match t.brk with
   | Closed -> true
   | Half_open -> false (* a probe is already in flight *)
@@ -269,6 +286,7 @@ let breaker_allow t tk_id now =
    results and Compile_failed errors alike — the attempt loop already
    counted both). *)
 let breaker_feed t tk outcome n_cf =
+  Aeq_race.write ~site:"sched.breaker_feed" t.breaker_loc;
   let now = Clock.now () in
   if t.probe = Some tk.tk_id then begin
     t.probe <- None;
@@ -298,7 +316,7 @@ let breaker_feed t tk outcome n_cf =
 (* Runs outside t.lock (takes it briefly for jitter draws and retry
    accounting). Returns the outcome plus the compile failures seen
    across attempts, for the breaker. *)
-let attempt_loop t tk eff_mode =
+let attempt_loop t rw tk eff_mode =
   let rec go attempt cf_acc =
     match t.exec ~mode:eff_mode ~cancel:tk.tk_cancel tk.tk_sql with
     | r -> (Ok r, cf_acc + r.Driver.stats.Driver.compile_failures)
@@ -309,10 +327,9 @@ let attempt_loop t tk eff_mode =
       raise e
     | exception QE.Error e ->
       let watchdogged =
-        Mutex.lock tk.tk_lock;
-        let w = tk.tk_watchdog_fired in
-        Mutex.unlock tk.tk_lock;
-        w
+        with_lock tk.tk_lock (fun () ->
+            Aeq_race.read ~site:"sched.retry" tk.tk_loc;
+            tk.tk_watchdog_fired)
       in
       if e = QE.Cancelled && watchdogged then
         (* the watchdog killed it for blowing its deadline: surface the
@@ -333,17 +350,18 @@ let attempt_loop t tk eff_mode =
           && not (Cancel.cancelled tk.tk_cancel)
         then begin
           let jitter =
-            Mutex.lock t.lock;
-            t.n_retried <- t.n_retried + 1;
-            obs_bump "retried" ~help:"Transient-failure retry attempts.";
-            let j = Prng.float t.prng backoff_cap in
-            Mutex.unlock t.lock;
-            j
+            with_lock t.lock (fun () ->
+                Aeq_race.write ~site:"sched.retry" t.counters_loc;
+                t.n_retried <- t.n_retried + 1;
+                obs_bump "retried" ~help:"Transient-failure retry attempts.";
+                Prng.float t.prng backoff_cap)
           in
-          Mutex.lock tk.tk_lock;
-          tk.tk_retries <- tk.tk_retries + 1;
-          Mutex.unlock tk.tk_lock;
-          Unix.sleepf jitter;
+          with_lock tk.tk_lock (fun () ->
+              Aeq_race.write ~site:"sched.retry" tk.tk_loc;
+              tk.tk_retries <- tk.tk_retries + 1);
+          (* interruptible backoff: a plain sleep here would hold the
+             dispatcher hostage through shutdown for a full backoff *)
+          ignore (Aeq_util.Waiter.wait rw jitter);
           go (attempt + 1) cf_acc
         end
         else (Error e, cf_acc)
@@ -378,6 +396,8 @@ let pop_live t =
 let serve t di tk =
   let decision =
     with_lock t.lock (fun () ->
+        Aeq_race.write ~site:"sched.serve" t.counters_loc;
+        Aeq_race.write ~site:"sched.serve" t.running_loc;
         let now = Clock.now () in
         match tk.tk_deadline with
         | Some d when now > d ->
@@ -425,16 +445,18 @@ let serve t di tk =
        window so the [Crash] action exercises the reclaim path. *)
     Aeq_util.Failpoints.hit "sched.dispatch";
     Aeq_util.Yieldpoint.yield "sched.dispatch";
-    Mutex.lock tk.tk_lock;
-    tk.tk_state <- Running;
-    tk.tk_started <- Clock.now ();
-    tk.tk_degraded <- eff_mode <> tk.tk_mode;
-    Mutex.unlock tk.tk_lock;
+    with_lock tk.tk_lock (fun () ->
+        Aeq_race.write ~site:"sched.dispatch" tk.tk_loc;
+        tk.tk_state <- Running;
+        tk.tk_started <- Clock.now ();
+        tk.tk_degraded <- eff_mode <> tk.tk_mode);
     let outcome, n_cf =
       if Cancel.cancelled tk.tk_cancel then (Error QE.Cancelled, 0)
-      else attempt_loop t tk eff_mode
+      else attempt_loop t t.retry_waiters.(di) tk eff_mode
     in
     with_lock t.lock (fun () ->
+        Aeq_race.write ~site:"sched.finish" t.counters_loc;
+        Aeq_race.write ~site:"sched.finish" t.running_loc;
         t.current.(di) <- None;
         Hashtbl.remove t.running_tks tk.tk_id;
         breaker_feed t tk outcome n_cf;
@@ -445,10 +467,13 @@ let serve t di tk =
         | Error _ ->
           t.n_failed <- t.n_failed + 1;
           obs_bump "failed" ~help:"Queries finished with a structured error.");
-    complete tk outcome
+    complete tk outcome;
+    Aeq_util.Waiter.wake t.quiet_waiter
 
 (* under t.lock: answer every still-queued client now, not a hang *)
 let reject_queued t reason =
+  Aeq_race.write ~site:"sched.reject_queued" t.queues_loc;
+  Aeq_race.write ~site:"sched.reject_queued" t.counters_loc;
   Array.iter
     (fun q ->
       Queue.iter
@@ -480,6 +505,7 @@ let dispatcher_loop t di () =
     let next =
       with_lock t.lock (fun () ->
           let rec get () =
+            Aeq_race.write ~site:"sched.pop" t.queues_loc;
             if t.stopped then begin
               (* fail-fast drain: pending clients get a structured
                  answer now *)
@@ -497,7 +523,7 @@ let dispatcher_loop t di () =
                 get ()
             end
             else begin
-              Condition.wait t.work t.lock;
+              Aeq_race.Lock.wait t.work t.lock;
               get ()
             end
           in
@@ -519,6 +545,8 @@ let watchdog_loop t () =
     Aeq_util.Failpoints.hit "sched.watchdog";
     Aeq_util.Yieldpoint.yield "sched.watchdog";
     with_lock t.lock (fun () ->
+        Aeq_race.read ~site:"sched.watchdog" t.queues_loc;
+        Aeq_race.read ~site:"sched.watchdog" t.running_loc;
         if t.stopped then running := false
         else begin
           let now = Clock.now () in
@@ -527,12 +555,16 @@ let watchdog_loop t () =
             (fun _ tk ->
               match tk.tk_deadline with
               | Some d when now > d +. t.cfg.deadline_grace ->
-                Mutex.lock tk.tk_lock;
-                let fresh = not tk.tk_watchdog_fired in
-                if fresh then tk.tk_watchdog_fired <- true;
-                Mutex.unlock tk.tk_lock;
+                let fresh =
+                  with_lock tk.tk_lock (fun () ->
+                      Aeq_race.write ~site:"sched.watchdog" tk.tk_loc;
+                      let fresh = not tk.tk_watchdog_fired in
+                      if fresh then tk.tk_watchdog_fired <- true;
+                      fresh)
+                in
                 if fresh then begin
                   Cancel.cancel tk.tk_cancel;
+                  Aeq_race.write ~site:"sched.watchdog" t.counters_loc;
                   t.n_watchdog_cancels <- t.n_watchdog_cancels + 1;
                   obs_bump "watchdog_cancels" ~help:"Running queries cancelled past deadline+grace."
                 end
@@ -589,8 +621,9 @@ let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?can
       tk_deadline = Option.map (fun s -> now +. s) deadline_seconds;
       tk_submitted = now;
       tk_cancel = (match cancel with Some c -> c | None -> Cancel.create ());
-      tk_lock = Mutex.create ();
+      tk_lock = Aeq_race.Lock.create "sched.ticket.lock";
       tk_cond = Condition.create ();
+      tk_loc = Aeq_race.locate "sched.ticket";
       tk_state = Queued;
       tk_started = -1.0;
       tk_watchdog_fired = false;
@@ -598,53 +631,61 @@ let submit ?(mode = Driver.Adaptive) ?(priority = Normal) ?deadline_seconds ?can
       tk_retries = 0;
     }
   in
-  Mutex.lock t.lock;
-  if t.stopped then begin
-    Mutex.unlock t.lock;
-    QE.raise_error (QE.Rejected "scheduler is shut down")
-  end;
-  if t.draining then begin
-    (* drain closes admission first: new work is refused while
-       in-flight queries run to completion *)
-    t.n_rejected <- t.n_rejected + 1;
-    obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
-    Mutex.unlock t.lock;
-    QE.raise_error (QE.Rejected "draining")
-  end;
-  let victim =
-    if t.queued < t.cfg.queue_capacity then None
-    else
-      match shed_victim t priority with
-      | Some v ->
-        t.n_shed <- t.n_shed + 1;
-        obs_bump "shed" ~help:"Queued queries evicted to admit higher priority.";
-        t.queued <- t.queued - 1;
-        Some v
-      | None ->
-        (* full, nothing sheddable: fail fast *)
-        let depth = t.queued in
-        t.n_rejected <- t.n_rejected + 1;
-        obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
-        Mutex.unlock t.lock;
-        QE.raise_error
-          (QE.Overloaded { queue_depth = depth; capacity = t.cfg.queue_capacity })
+  let verdict =
+    with_lock t.lock (fun () ->
+        Aeq_race.write ~site:"sched.submit" t.queues_loc;
+        Aeq_race.write ~site:"sched.submit" t.counters_loc;
+        if t.stopped then `Rejected (QE.Rejected "scheduler is shut down")
+        else if t.draining then begin
+          (* drain closes admission first: new work is refused while
+             in-flight queries run to completion *)
+          t.n_rejected <- t.n_rejected + 1;
+          obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
+          `Rejected (QE.Rejected "draining")
+        end
+        else begin
+          let room =
+            if t.queued < t.cfg.queue_capacity then `Room None
+            else
+              match shed_victim t priority with
+              | Some v ->
+                t.n_shed <- t.n_shed + 1;
+                obs_bump "shed" ~help:"Queued queries evicted to admit higher priority.";
+                t.queued <- t.queued - 1;
+                `Room (Some v)
+              | None ->
+                (* full, nothing sheddable: fail fast *)
+                let depth = t.queued in
+                t.n_rejected <- t.n_rejected + 1;
+                obs_bump "rejected" ~help:"Queries refused at submission or shutdown.";
+                `Rejected
+                  (QE.Overloaded
+                     { queue_depth = depth; capacity = t.cfg.queue_capacity })
+          in
+          match room with
+          | `Rejected _ as r -> r
+          | `Room victim ->
+            Queue.push tk t.queues.(queue_index priority);
+            t.queued <- t.queued + 1;
+            t.n_admitted <- t.n_admitted + 1;
+            obs_bump "admitted" ~help:"Queries accepted into the admission queue.";
+            if t.queued > t.max_depth then t.max_depth <- t.queued;
+            Condition.signal t.work;
+            `Admitted victim
+        end)
   in
-  Queue.push tk t.queues.(queue_index priority);
-  t.queued <- t.queued + 1;
-  t.n_admitted <- t.n_admitted + 1;
-  obs_bump "admitted" ~help:"Queries accepted into the admission queue.";
-  if t.queued > t.max_depth then t.max_depth <- t.queued;
-  Condition.signal t.work;
-  Mutex.unlock t.lock;
-  (match victim with
-  | Some v ->
-    complete v
-      (Error
-         (QE.Rejected
-            (Printf.sprintf "shed under overload (%s priority, queue full)"
-               (priority_name v.tk_priority))))
-  | None -> ());
-  tk
+  match verdict with
+  | `Rejected e -> QE.raise_error e
+  | `Admitted victim ->
+    (match victim with
+    | Some v ->
+      complete v
+        (Error
+           (QE.Rejected
+              (Printf.sprintf "shed under overload (%s priority, queue full)"
+                 (priority_name v.tk_priority))))
+    | None -> ());
+    tk
 
 let run ?mode ?priority ?deadline_seconds ?cancel t sql =
   match submit ?mode ?priority ?deadline_seconds ?cancel t sql with
@@ -674,6 +715,8 @@ let validate cfg =
 let dispatcher_reclaim t di sv_name exn =
   let victim =
     with_lock t.lock (fun () ->
+        Aeq_race.write ~site:"sched.reclaim" t.running_loc;
+        Aeq_race.write ~site:"sched.reclaim" t.counters_loc;
         match t.current.(di) with
         | None -> None
         | Some tk ->
@@ -692,7 +735,9 @@ let dispatcher_reclaim t di sv_name exn =
           Some (tk, err))
   in
   (match victim with
-  | Some (tk, err) -> complete tk (Error err)
+  | Some (tk, err) ->
+    complete tk (Error err);
+    Aeq_util.Waiter.wake t.quiet_waiter
   | None -> ());
   t.on_domain_crash ~name:sv_name exn
 
@@ -701,6 +746,7 @@ let dispatcher_reclaim t di sv_name exn =
    its clients now and refuse new ones, instead of hanging them. *)
 let dispatcher_gave_up t =
   with_lock t.lock (fun () ->
+      Aeq_race.write ~site:"sched.gave_up" t.running_loc;
       t.failed_dispatchers <- t.failed_dispatchers + 1;
       if t.failed_dispatchers >= t.cfg.dispatchers then
         reject_queued t "no serving domains left (restart budget exhausted)")
@@ -713,8 +759,12 @@ let create ?(config = default_config) ?arena
       cfg = config;
       exec;
       arena;
-      lock = Mutex.create ();
+      lock = Aeq_race.Lock.create "sched.lock";
       work = Condition.create ();
+      queues_loc = Aeq_race.locate "sched.queues";
+      counters_loc = Aeq_race.locate "sched.counters";
+      running_loc = Aeq_race.locate "sched.running";
+      breaker_loc = Aeq_race.locate "sched.breaker";
       queues = Array.init 3 (fun _ -> Queue.create ());
       ids = Atomic.make 0;
       prng = Prng.create config.seed;
@@ -746,6 +796,8 @@ let create ?(config = default_config) ?arena
       n_waits = 0;
       max_wait = 0.0;
       wd_waiter = Aeq_util.Waiter.create ();
+      retry_waiters = Array.init config.dispatchers (fun _ -> Aeq_util.Waiter.create ());
+      quiet_waiter = Aeq_util.Waiter.create ();
       domains = [];
       supervisors = [];
     }
@@ -765,29 +817,27 @@ let create ?(config = default_config) ?arena
     (* unsupervised mode exists for the supervision-overhead benchmark
        and as an escape hatch; a crash here kills the domain for good *)
     t.domains <-
-      Domain.spawn (watchdog_loop t)
-      :: List.init config.dispatchers (fun i -> Domain.spawn (dispatcher_loop t i));
+      Aeq_race.spawn (watchdog_loop t)
+      :: List.init config.dispatchers (fun i ->
+             Aeq_race.spawn (dispatcher_loop t i));
   (* gauges registered unconditionally; rendering is what the
      observability switch gates *)
   Obs.Metrics.gauge_fn "aeq_scheduler_queue_depth"
     ~help:"Queries queued right now." (fun () ->
-      Mutex.lock t.lock;
-      let d = t.queued in
-      Mutex.unlock t.lock;
-      d);
+      with_lock t.lock (fun () ->
+          Aeq_race.read ~site:"sched.gauge" t.queues_loc;
+          t.queued));
   Obs.Metrics.gauge_fn "aeq_scheduler_in_flight"
     ~help:"Queries currently being served by dispatcher domains." (fun () ->
-      Mutex.lock t.lock;
-      let n = Hashtbl.length t.running_tks in
-      Mutex.unlock t.lock;
-      n);
+      with_lock t.lock (fun () ->
+          Aeq_race.read ~site:"sched.gauge" t.running_loc;
+          Hashtbl.length t.running_tks));
   Obs.Metrics.gauge_fn "aeq_scheduler_breaker_state"
     ~help:"Compile-path circuit breaker: 0 closed, 1 half-open, 2 open."
     (fun () ->
-      Mutex.lock t.lock;
-      let b = match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2 in
-      Mutex.unlock t.lock;
-      b);
+      with_lock t.lock (fun () ->
+          Aeq_race.read ~site:"sched.gauge" t.breaker_loc;
+          match t.brk with Closed -> 0 | Half_open -> 1 | Open -> 2));
   Obs.Metrics.gauge_fn "aeq_scheduler_unhealthy_domains"
     ~help:"Supervised scheduler domains currently backing off or failed."
     (fun () ->
@@ -798,25 +848,38 @@ let supervisors t = t.supervisors
 
 let health_reasons t = List.filter_map Supervisor.health_reason t.supervisors
 
-let draining t = with_lock t.lock (fun () -> t.draining)
+let draining t =
+  with_lock t.lock (fun () ->
+      Aeq_race.read ~site:"sched.draining" t.queues_loc;
+      t.draining)
 
 (* Graceful drain: close admission, then wait (bounded) for the queue
    and the in-flight set to empty. Past the deadline, still-queued
    clients are rejected and in-flight queries cancelled — every
    [await] resolves either way. *)
 let drain ?(deadline_seconds = 30.0) t =
-  with_lock t.lock (fun () -> t.draining <- true);
+  with_lock t.lock (fun () ->
+      Aeq_race.write ~site:"sched.drain" t.queues_loc;
+      t.draining <- true);
   let deadline = Clock.now () +. deadline_seconds in
   let quiesced () =
     with_lock t.lock (fun () ->
+        Aeq_race.read ~site:"sched.drain" t.queues_loc;
+        Aeq_race.read ~site:"sched.drain" t.running_loc;
         t.queued = 0 && Hashtbl.length t.running_tks = 0)
   in
   let rec poll () =
     if quiesced () then true
-    else if Clock.now () >= deadline then false
     else begin
-      Unix.sleepf 0.001;
-      poll ()
+      let remaining = deadline -. Clock.now () in
+      if remaining <= 0.0 then false
+      else begin
+        (* dispatchers poke [quiet_waiter] as queries finish, so this
+           wakes on progress instead of burning a fixed-period poll *)
+        ignore
+          (Aeq_util.Waiter.wait t.quiet_waiter (Float.min 0.01 remaining));
+        poll ()
+      end
     end
   in
   let clean = poll () in
@@ -831,9 +894,12 @@ let drain ?(deadline_seconds = 30.0) t =
   clean
 
 let stats t =
-  Mutex.lock t.lock;
-  let s =
-    {
+  with_lock t.lock (fun () ->
+      Aeq_race.read ~site:"sched.stats" t.counters_loc;
+      Aeq_race.read ~site:"sched.stats" t.queues_loc;
+      Aeq_race.read ~site:"sched.stats" t.running_loc;
+      Aeq_race.read ~site:"sched.stats" t.breaker_loc;
+      {
       admitted = t.n_admitted;
       rejected = t.n_rejected;
       shed = t.n_shed;
@@ -857,14 +923,12 @@ let stats t =
         List.fold_left (fun acc sv -> acc + Supervisor.crashes sv) 0 t.supervisors;
       domain_restarts =
         List.fold_left (fun acc sv -> acc + Supervisor.restarts sv) 0 t.supervisors;
-    }
-  in
-  Mutex.unlock t.lock;
-  s
+      })
 
 let reset_stats t =
-  Mutex.lock t.lock;
-  t.n_admitted <- 0;
+  with_lock t.lock (fun () ->
+      Aeq_race.write ~site:"sched.reset_stats" t.counters_loc;
+      t.n_admitted <- 0;
   t.n_rejected <- 0;
   t.n_shed <- 0;
   t.n_expired <- 0;
@@ -876,26 +940,35 @@ let reset_stats t =
   t.n_breaker_trips <- 0;
   t.n_crashed_tickets <- 0;
   t.max_depth <- t.queued;
-  t.total_wait <- 0.0;
-  t.n_waits <- 0;
-  t.max_wait <- 0.0;
-  Mutex.unlock t.lock
+      t.total_wait <- 0.0;
+      t.n_waits <- 0;
+      t.max_wait <- 0.0)
 
 let shutdown t =
-  Mutex.lock t.lock;
-  if t.stopped then Mutex.unlock t.lock
-  else begin
-    t.stopped <- true;
-    Condition.broadcast t.work;
-    let ds = t.domains in
-    let svs = t.supervisors in
-    t.domains <- [];
-    Mutex.unlock t.lock;
+  let to_join =
+    with_lock t.lock (fun () ->
+        if t.stopped then None
+        else begin
+          Aeq_race.write ~site:"sched.shutdown" t.queues_loc;
+          t.stopped <- true;
+          Condition.broadcast t.work;
+          let ds = t.domains in
+          let svs = t.supervisors in
+          t.domains <- [];
+          Some (ds, svs)
+        end)
+  in
+  match to_join with
+  | None -> ()
+  | Some (ds, svs) ->
     (* wake the watchdog out of its inter-sweep sleep so close never
-       stalls a full period, and cut any supervisor backoff short *)
+       stalls a full period, cut retry backoffs short, and cut any
+       supervisor backoff short *)
     Aeq_util.Waiter.wake t.wd_waiter;
+    Array.iter Aeq_util.Waiter.wake t.retry_waiters;
     List.iter Supervisor.stop svs;
-    List.iter Domain.join ds;
+    List.iter Aeq_race.join ds;
     List.iter Supervisor.join svs;
-    Aeq_util.Waiter.dispose t.wd_waiter
-  end
+    Aeq_util.Waiter.dispose t.wd_waiter;
+    Array.iter Aeq_util.Waiter.dispose t.retry_waiters;
+    Aeq_util.Waiter.dispose t.quiet_waiter

@@ -58,7 +58,13 @@ type crash = {
    want one timeline, not one per domain. *)
 let log_capacity = 256
 
-let log_lock = Mutex.create ()
+let () =
+  Aeq_race.declare "supervisor.crash_ring" (Aeq_race.Lock "supervisor.log.lock");
+  Aeq_race.declare "supervisor.state" (Aeq_race.Lock "supervisor.lock")
+
+let log_lock = Aeq_race.Lock.create "supervisor.log.lock"
+
+let log_loc = Aeq_race.locate "supervisor.crash_ring"
 
 let log_ring : crash option array = Array.make log_capacity None
 
@@ -67,38 +73,37 @@ let log_next = ref 0
 let log_dropped = ref 0
 
 let log_crash c =
-  Mutex.lock log_lock;
-  if Array.length log_ring > 0 then begin
-    if log_ring.(!log_next mod log_capacity) <> None then incr log_dropped;
-    log_ring.(!log_next mod log_capacity) <- Some c;
-    incr log_next
-  end;
-  Mutex.unlock log_lock
+  Aeq_race.Lock.with_ log_lock (fun () ->
+      Aeq_race.write ~site:"supervisor.log_crash" log_loc;
+      if Array.length log_ring > 0 then begin
+        if log_ring.(!log_next mod log_capacity) <> None then incr log_dropped;
+        log_ring.(!log_next mod log_capacity) <- Some c;
+        incr log_next
+      end)
 
 let crash_log () =
-  Mutex.lock log_lock;
-  let out = ref [] in
-  for i = 0 to log_capacity - 1 do
-    (* oldest → newest, then reversed: newest-first like Decision_log *)
-    match log_ring.((!log_next + i) mod log_capacity) with
-    | Some c -> out := c :: !out
-    | None -> ()
-  done;
-  Mutex.unlock log_lock;
-  !out
+  Aeq_race.Lock.with_ log_lock (fun () ->
+      Aeq_race.read ~site:"supervisor.crash_log" log_loc;
+      let out = ref [] in
+      for i = 0 to log_capacity - 1 do
+        (* oldest → newest, then reversed: newest-first like Decision_log *)
+        match log_ring.((!log_next + i) mod log_capacity) with
+        | Some c -> out := c :: !out
+        | None -> ()
+      done;
+      !out)
 
 let crash_log_dropped () =
-  Mutex.lock log_lock;
-  let d = !log_dropped in
-  Mutex.unlock log_lock;
-  d
+  Aeq_race.Lock.with_ log_lock (fun () ->
+      Aeq_race.read ~site:"supervisor.crash_log_dropped" log_loc;
+      !log_dropped)
 
 let clear_crash_log () =
-  Mutex.lock log_lock;
-  Array.fill log_ring 0 log_capacity None;
-  log_next := 0;
-  log_dropped := 0;
-  Mutex.unlock log_lock
+  Aeq_race.Lock.with_ log_lock (fun () ->
+      Aeq_race.write ~site:"supervisor.clear_crash_log" log_loc;
+      Array.fill log_ring 0 log_capacity None;
+      log_next := 0;
+      log_dropped := 0)
 
 let obs_count name ~help ~domain =
   if Obs.Control.enabled () then
@@ -111,7 +116,8 @@ type t = {
   sv_body : unit -> unit;
   sv_on_crash : exn -> unit;
   sv_on_give_up : exn -> unit;
-  sv_lock : Mutex.t;
+  sv_lock : Aeq_race.Lock.t;
+  sv_loc : Aeq_race.location;
   mutable sv_state : state;
   mutable sv_crash_times : float list; (* newest-first, pruned to the window *)
   mutable sv_crashes : int;
@@ -137,7 +143,8 @@ let create ?(policy = default_policy) ~name ?(on_crash = fun _ -> ())
     sv_body = body;
     sv_on_crash = on_crash;
     sv_on_give_up = on_give_up;
-    sv_lock = Mutex.create ();
+    sv_lock = Aeq_race.Lock.create "supervisor.lock";
+    sv_loc = Aeq_race.locate "supervisor.state";
     sv_state = Running;
     sv_crash_times = [];
     sv_crashes = 0;
@@ -147,15 +154,22 @@ let create ?(policy = default_policy) ~name ?(on_crash = fun _ -> ())
     sv_domain = None;
   }
 
-let locked t f =
-  Mutex.lock t.sv_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.sv_lock) f
+let locked t f = Aeq_race.Lock.with_ t.sv_lock f
 
-let state t = locked t (fun () -> t.sv_state)
+let state t =
+  locked t (fun () ->
+      Aeq_race.read ~site:"supervisor.state" t.sv_loc;
+      t.sv_state)
 
-let crashes t = locked t (fun () -> t.sv_crashes)
+let crashes t =
+  locked t (fun () ->
+      Aeq_race.read ~site:"supervisor.crashes" t.sv_loc;
+      t.sv_crashes)
 
-let restarts t = locked t (fun () -> t.sv_restarts)
+let restarts t =
+  locked t (fun () ->
+      Aeq_race.read ~site:"supervisor.restarts" t.sv_loc;
+      t.sv_restarts)
 
 let name t = t.sv_name
 
@@ -173,7 +187,11 @@ let health_reason t =
 let backoff_wait t seconds =
   let deadline = Clock.now () +. seconds in
   let rec go () =
-    if locked t (fun () -> t.sv_stop) then ()
+    if
+      locked t (fun () ->
+          Aeq_race.read ~site:"supervisor.backoff" t.sv_loc;
+          t.sv_stop)
+    then ()
     else
       let remaining = deadline -. Clock.now () in
       if remaining <= 0.0 then ()
@@ -204,6 +222,7 @@ let handle_crash t exn =
   let now = Clock.now () in
   let restart, n_restarts =
     locked t (fun () ->
+        Aeq_race.write ~site:"supervisor.handle_crash" t.sv_loc;
         t.sv_crashes <- t.sv_crashes + 1;
         let horizon = now -. t.sv_policy.window_seconds in
         t.sv_crash_times <-
@@ -249,6 +268,7 @@ let handle_crash t exn =
     backoff_wait t pause;
     let still_go =
       locked t (fun () ->
+          Aeq_race.write ~site:"supervisor.post_backoff" t.sv_loc;
           if t.sv_stop then begin
             t.sv_state <- Stopped;
             false
@@ -276,15 +296,19 @@ let handle_crash t exn =
 let run t =
   let rec loop () =
     match t.sv_body () with
-    | () -> locked t (fun () -> t.sv_state <- Stopped)
+    | () ->
+      locked t (fun () ->
+          Aeq_race.write ~site:"supervisor.body_done" t.sv_loc;
+          t.sv_state <- Stopped)
     | exception exn -> if handle_crash t exn then loop ()
   in
   loop ()
 
 let start t =
   locked t (fun () ->
+      Aeq_race.write ~site:"supervisor.start" t.sv_loc;
       if t.sv_domain <> None then invalid_arg "Supervisor.start: already started";
-      t.sv_domain <- Some (Domain.spawn (fun () -> run t)))
+      t.sv_domain <- Some (Aeq_race.spawn (fun () -> run t)))
 
 let spawn ?policy ~name ?on_crash ?on_give_up body =
   let t = create ?policy ~name ?on_crash ?on_give_up body in
@@ -295,14 +319,18 @@ let spawn ?policy ~name ?on_crash ?on_give_up body =
    owner separately makes the body itself return — its stop flag), and
    any in-progress backoff is cut short. *)
 let stop t =
-  locked t (fun () -> t.sv_stop <- true);
+  locked t (fun () ->
+      Aeq_race.write ~site:"supervisor.stop" t.sv_loc;
+      t.sv_stop <- true);
   Waiter.wake t.sv_waiter
 
 let join t =
-  let d = locked t (fun () ->
-      let d = t.sv_domain in
-      t.sv_domain <- None;
-      d)
+  let d =
+    locked t (fun () ->
+        Aeq_race.write ~site:"supervisor.join" t.sv_loc;
+        let d = t.sv_domain in
+        t.sv_domain <- None;
+        d)
   in
-  (match d with Some d -> Domain.join d | None -> ());
+  (match d with Some d -> Aeq_race.join d | None -> ());
   Waiter.dispose t.sv_waiter

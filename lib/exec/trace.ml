@@ -5,10 +5,14 @@ type kind =
 
 type event = { pipeline : int; tid : int; t0 : float; t1 : float; kind : kind }
 
+(* every worker domain records into the shared event list *)
+let () = Aeq_race.declare "exec.trace.events" (Aeq_race.Lock "exec.trace.lock")
+
 type t = {
   epoch : float;
   capacity : int;
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
+  loc : Aeq_race.location;
   mutable events : event list;
   mutable n_events : int;
   mutable n_dropped : int;
@@ -21,7 +25,8 @@ let create ?(capacity = default_capacity) () =
   {
     epoch = Aeq_util.Clock.now ();
     capacity = Stdlib.max 1 capacity;
-    lock = Mutex.create ();
+    lock = Aeq_race.Lock.create "exec.trace.lock";
+    loc = Aeq_race.locate "exec.trace.events";
     events = [];
     n_events = 0;
     n_dropped = 0;
@@ -32,41 +37,36 @@ let epoch t = t.epoch
 
 let record t ~pipeline ~tid ~t0 ~t1 kind =
   let ev = { pipeline; tid; t0 = t0 -. t.epoch; t1 = t1 -. t.epoch; kind } in
-  Mutex.lock t.lock;
-  (* bounded: a long-running serve must not grow a trace without limit;
-     overflow is counted instead of silently lost *)
-  if t.n_events >= t.capacity then t.n_dropped <- t.n_dropped + 1
-  else begin
-    t.events <- ev :: t.events;
-    t.n_events <- t.n_events + 1;
-    t.sorted <- None
-  end;
-  Mutex.unlock t.lock
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"trace.record" t.loc;
+      (* bounded: a long-running serve must not grow a trace without limit;
+         overflow is counted instead of silently lost *)
+      if t.n_events >= t.capacity then t.n_dropped <- t.n_dropped + 1
+      else begin
+        t.events <- ev :: t.events;
+        t.n_events <- t.n_events + 1;
+        t.sorted <- None
+      end)
 
 let events t =
-  Mutex.lock t.lock;
-  let evs =
-    match t.sorted with
-    | Some evs -> evs (* sorted once on demand, reused until the next record *)
-    | None ->
-      let evs = List.sort (fun a b -> compare a.t0 b.t0) t.events in
-      t.sorted <- Some evs;
-      evs
-  in
-  Mutex.unlock t.lock;
-  evs
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"trace.events" t.loc;
+      match t.sorted with
+      | Some evs -> evs (* sorted once on demand, reused until the next record *)
+      | None ->
+        let evs = List.sort (fun a b -> compare a.t0 b.t0) t.events in
+        t.sorted <- Some evs;
+        evs)
 
 let dropped t =
-  Mutex.lock t.lock;
-  let d = t.n_dropped in
-  Mutex.unlock t.lock;
-  d
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"trace.dropped" t.loc;
+      t.n_dropped)
 
 let n_events t =
-  Mutex.lock t.lock;
-  let n = t.n_events in
-  Mutex.unlock t.lock;
-  n
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"trace.n_events" t.loc;
+      t.n_events)
 
 let mode_char = function
   | Aeq_backend.Cost_model.Bytecode -> 'b'

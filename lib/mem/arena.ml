@@ -7,6 +7,18 @@ exception
     resident_bytes : int;
   }
 
+(* guarded-by declarations: the race detector cross-checks every
+   instrumented access below against these (see lib/race) *)
+let () =
+  Aeq_race.declare "arena.chunk_table" (Aeq_race.Lock "arena.lock");
+  Aeq_race.declare "arena.leases" (Aeq_race.Lock "arena.lock");
+  Aeq_race.declare "arena.limits" Aeq_race.Atomic;
+  Aeq_race.declare "arena.lease.slots" (Aeq_race.Lock "arena.lock");
+  Aeq_race.declare "arena.counters" Aeq_race.Atomic;
+  Aeq_race.declare "arena.generation" Aeq_race.Atomic;
+  Aeq_race.declare "arena.lease.meters" Aeq_race.Atomic;
+  Aeq_race.declare "arena.allocator" Aeq_race.Single_writer
+
 (* The chunk table is two-level: slots below the permanent base hold
    loaded tables (the catalog's lease, never released), slots above are
    scratch leased to one query at a time. A released slot drops its
@@ -25,16 +37,26 @@ type t = {
          scheduler's per-submission overload check *)
   total_used : int Atomic.t;
   generation : int Atomic.t; (* bumped by [reset]; staleness fences *)
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
   mutable base : lease option; (* permanent lease for loaded tables *)
   mutable live_leases : int; (* outstanding scratch leases; guarded by lock *)
   scratch : int Atomic.t;
       (* bytes resident in scratch chunks only (excludes the base
          lease's loaded tables) — what the scratch cap meters *)
-  mutable scratch_limit : int option; (* cap on [scratch]; None = unbounded *)
-  mutable block_seconds : float; (* backpressure deadline before giving up *)
+  scratch_limit : int option Atomic.t;
+      (* cap on [scratch]; None = unbounded. Atomic, not lock-guarded:
+         the scheduler's overload probe and the backpressure loop both
+         read it off-lock (a plain mutable field here was a real race) *)
+  block_seconds : float Atomic.t; (* backpressure deadline before giving up *)
   waits : int Atomic.t; (* chunk grabs that had to wait at the cap *)
   rejects : int Atomic.t; (* Scratch_limit_exceeded raised *)
+  bp_waiter : Aeq_util.Waiter.t;
+      (* backpressure sleeper; [do_release]/[reset] wake it so a grab
+         waiting at the scratch cap reacts to a release immediately
+         instead of polling with [Unix.sleepf] *)
+  table_loc : Aeq_race.location;
+  leases_loc : Aeq_race.location;
+  limits_loc : Aeq_race.location;
 }
 
 and lease = {
@@ -44,6 +66,7 @@ and lease = {
   mutable ls_slots : int list; (* owned chunk slots; guarded by arena lock *)
   ls_used : int Atomic.t; (* bytes handed out — the per-query budget meter *)
   ls_stale : bool Atomic.t; (* set on release/reset; allocators fail fast *)
+  ls_loc : Aeq_race.location;
 }
 
 type ptr = int
@@ -73,6 +96,7 @@ let make_lease ~scratch t =
     ls_slots = [];
     ls_used = Atomic.make 0;
     ls_stale = Atomic.make false;
+    ls_loc = Aeq_race.locate "arena.lease.slots";
   }
 
 let create ?(chunk_size = 1 lsl 20) () =
@@ -88,14 +112,18 @@ let create ?(chunk_size = 1 lsl 20) () =
       resident = Atomic.make chunk_size;
       total_used = Atomic.make 0;
       generation = Atomic.make 0;
-      lock = Mutex.create ();
+      lock = Aeq_race.Lock.create "arena.lock";
       base = None;
       live_leases = 0;
       scratch = Atomic.make 0;
-      scratch_limit = None;
-      block_seconds = 0.05;
+      scratch_limit = Atomic.make None;
+      block_seconds = Atomic.make 0.05;
       waits = Atomic.make 0;
       rejects = Atomic.make 0;
+      bp_waiter = Aeq_util.Waiter.create ();
+      table_loc = Aeq_race.locate "arena.chunk_table";
+      leases_loc = Aeq_race.locate "arena.leases";
+      limits_loc = Aeq_race.locate "arena.limits";
     }
   in
   t.base <- Some (make_lease ~scratch:false t);
@@ -110,9 +138,9 @@ let lease t =
   Aeq_util.Failpoints.hit "arena.lease";
   Aeq_util.Yieldpoint.yield "arena.lease";
   let l = make_lease ~scratch:true t in
-  Mutex.lock t.lock;
-  t.live_leases <- t.live_leases + 1;
-  Mutex.unlock t.lock;
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"arena.lease" t.leases_loc;
+      t.live_leases <- t.live_leases + 1);
   l
 
 let lease_used l = Atomic.get l.ls_used
@@ -141,49 +169,55 @@ let lease_chunk ls size =
      acquisition, so the cap is never overshot by racing grabs. *)
   let deadline = ref None in
   let rec acquire () =
-    Mutex.lock t.lock;
-    (* staleness re-checked under the SAME lock that [release] stales
-       under: a grab that raced a concurrent release used to slip a
-       fresh slot onto the already-reclaimed lease — a permanent leak,
-       reachable whenever a peer worker's failure released the lease
-       while this worker sat between [alloc]'s entry check and here *)
-    if Atomic.get ls.ls_stale || ls.ls_gen <> Atomic.get t.generation then begin
-      Mutex.unlock t.lock;
-      raise Stale_allocator
-    end;
-    let fits =
-      (not ls.ls_scratch)
-      ||
-      match t.scratch_limit with
-      | None -> true
-      | Some limit -> Atomic.get t.scratch + size <= limit
+    let outcome =
+      Aeq_race.Lock.with_ t.lock (fun () ->
+          (* staleness re-checked under the SAME lock that [release]
+             stales under: a grab that raced a concurrent release used
+             to slip a fresh slot onto the already-reclaimed lease — a
+             permanent leak, reachable whenever a peer worker's failure
+             released the lease while this worker sat between [alloc]'s
+             entry check and here *)
+          if Atomic.get ls.ls_stale || ls.ls_gen <> Atomic.get t.generation
+          then `Stale
+          else begin
+            let fits =
+              (not ls.ls_scratch)
+              ||
+              match Atomic.get t.scratch_limit with
+              | None -> true
+              | Some limit -> Atomic.get t.scratch + size <= limit
+            in
+            if fits then begin
+              Aeq_race.write ~site:"arena.lease_chunk" t.table_loc;
+              Aeq_race.write ~site:"arena.lease_chunk" ls.ls_loc;
+              let slot =
+                match t.free_slots with
+                | s :: rest ->
+                  t.free_slots <- rest;
+                  s
+                | [] ->
+                  let n = t.n_chunks in
+                  if n >= max_chunks then
+                    invalid_arg "Arena: chunk table exhausted";
+                  t.n_chunks <- n + 1;
+                  n
+              in
+              t.chunks.(slot) <- Bytes.make size '\000';
+              t.n_live <- t.n_live + 1;
+              if ls.ls_scratch then
+                ignore (Atomic.fetch_and_add t.scratch size);
+              ls.ls_slots <- slot :: ls.ls_slots;
+              `Got slot
+            end
+            else `Full (Option.value (Atomic.get t.scratch_limit) ~default:0)
+          end)
     in
-    if fits then begin
-      let slot =
-        match t.free_slots with
-        | s :: rest ->
-          t.free_slots <- rest;
-          s
-        | [] ->
-          let n = t.n_chunks in
-          if n >= max_chunks then begin
-            Mutex.unlock t.lock;
-            invalid_arg "Arena: chunk table exhausted"
-          end;
-          t.n_chunks <- n + 1;
-          n
-      in
-      t.chunks.(slot) <- Bytes.make size '\000';
-      t.n_live <- t.n_live + 1;
-      if ls.ls_scratch then ignore (Atomic.fetch_and_add t.scratch size);
-      ls.ls_slots <- slot :: ls.ls_slots;
-      Mutex.unlock t.lock;
+    match outcome with
+    | `Stale -> raise Stale_allocator
+    | `Got slot ->
       ignore (Atomic.fetch_and_add t.resident size);
       slot
-    end
-    else begin
-      let limit = Option.value t.scratch_limit ~default:0 in
-      Mutex.unlock t.lock;
+    | `Full limit ->
       (* released mid-wait (peer worker failed, driver reclaimed):
          allocating further would bump-write into recycled memory *)
       if Atomic.get ls.ls_stale then raise Stale_allocator;
@@ -193,7 +227,7 @@ let lease_chunk ls size =
         | Some d -> d
         | None ->
           ignore (Atomic.fetch_and_add t.waits 1);
-          let d = now +. t.block_seconds in
+          let d = now +. Atomic.get t.block_seconds in
           deadline := Some d;
           d
       in
@@ -207,13 +241,17 @@ let lease_chunk ls size =
                resident_bytes = Atomic.get t.scratch;
              })
       end;
-      (* under simulation the wait must go through the scheduler, not
-         a real sleep the simulator cannot preempt *)
+      (* under simulation the wait must go through the scheduler, not a
+         real sleep the simulator cannot preempt. Outside it, sleep on
+         the arena's waiter: a concurrent release wakes us at once, and
+         the cap bounds the wait if the wake is lost to a disposed pipe *)
       if Aeq_util.Yieldpoint.enabled () then
         Aeq_util.Yieldpoint.yield "arena.backpressure"
-      else Unix.sleepf 0.0002;
+      else
+        ignore
+          (Aeq_util.Waiter.wait t.bp_waiter
+             (Float.min 0.002 (Float.max 1e-4 (dl -. now))));
       acquire ()
-    end
   in
   acquire ()
 
@@ -223,24 +261,29 @@ let lease_chunk ls size =
    still in use — the driver releases only after the pool barrier. *)
 let do_release ls =
   let t = ls.ls_arena in
-  Mutex.lock t.lock;
-  if (not (Atomic.get ls.ls_stale)) && ls.ls_gen = Atomic.get t.generation
-  then begin
-    Atomic.set ls.ls_stale true;
-    if ls.ls_scratch then t.live_leases <- t.live_leases - 1;
-    List.iter
-      (fun s ->
-        let sz = Bytes.length t.chunks.(s) in
-        ignore (Atomic.fetch_and_add t.resident (-sz));
-        if ls.ls_scratch then ignore (Atomic.fetch_and_add t.scratch (-sz));
-        t.chunks.(s) <- Bytes.empty;
-        t.n_live <- t.n_live - 1;
-        t.free_slots <- s :: t.free_slots)
-      ls.ls_slots;
-    ls.ls_slots <- []
-  end
-  else Atomic.set ls.ls_stale true;
-  Mutex.unlock t.lock
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      if (not (Atomic.get ls.ls_stale)) && ls.ls_gen = Atomic.get t.generation
+      then begin
+        Aeq_race.write ~site:"arena.release" t.table_loc;
+        Aeq_race.write ~site:"arena.release" t.leases_loc;
+        Aeq_race.write ~site:"arena.release" ls.ls_loc;
+        Atomic.set ls.ls_stale true;
+        if ls.ls_scratch then t.live_leases <- t.live_leases - 1;
+        List.iter
+          (fun s ->
+            let sz = Bytes.length t.chunks.(s) in
+            ignore (Atomic.fetch_and_add t.resident (-sz));
+            if ls.ls_scratch then ignore (Atomic.fetch_and_add t.scratch (-sz));
+            t.chunks.(s) <- Bytes.empty;
+            t.n_live <- t.n_live - 1;
+            t.free_slots <- s :: t.free_slots)
+          ls.ls_slots;
+        ls.ls_slots <- []
+      end
+      else Atomic.set ls.ls_stale true);
+  (* after dropping the lock: anyone parked at the scratch cap can
+     re-examine it now *)
+  Aeq_util.Waiter.wake t.bp_waiter
 
 let release ls =
   Aeq_util.Yieldpoint.yield "arena.release";
@@ -298,36 +341,30 @@ let used t = Atomic.get t.total_used
 let resident_bytes t = Atomic.get t.resident
 
 let live_chunks t =
-  Mutex.lock t.lock;
-  let n = t.n_live in
-  Mutex.unlock t.lock;
-  n
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"arena.live_chunks" t.table_loc;
+      t.n_live)
 
 let scratch_resident_bytes t = Atomic.get t.scratch
 
-let scratch_limit t = t.scratch_limit
+let scratch_limit t = Atomic.get t.scratch_limit
 
 let set_scratch_limit t ?block_seconds limit =
-  Mutex.lock t.lock;
   (match limit with
-  | Some l when l < 0 ->
-    Mutex.unlock t.lock;
-    invalid_arg "Arena.set_scratch_limit: negative limit"
+  | Some l when l < 0 -> invalid_arg "Arena.set_scratch_limit: negative limit"
   | _ -> ());
-  t.scratch_limit <- limit;
   (match block_seconds with
-  | Some s when s >= 0.0 -> t.block_seconds <- s
-  | Some _ ->
-    Mutex.unlock t.lock;
-    invalid_arg "Arena.set_scratch_limit: negative block_seconds"
+  | Some s when s >= 0.0 -> Atomic.set t.block_seconds s
+  | Some _ -> invalid_arg "Arena.set_scratch_limit: negative block_seconds"
   | None -> ());
-  Mutex.unlock t.lock
+  Atomic.set t.scratch_limit limit;
+  (* a raised cap unblocks parked grabs *)
+  Aeq_util.Waiter.wake t.bp_waiter
 
 let live_leases t =
-  Mutex.lock t.lock;
-  let n = t.live_leases in
-  Mutex.unlock t.lock;
-  n
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"arena.live_leases" t.leases_loc;
+      t.live_leases)
 
 let backpressure_waits t = Atomic.get t.waits
 
@@ -336,7 +373,7 @@ let limit_rejections t = Atomic.get t.rejects
 (* lock-free: one atomic load + a field read, cheap enough for the
    scheduler's per-submission overload probe *)
 let scratch_under_pressure t =
-  match t.scratch_limit with
+  match Atomic.get t.scratch_limit with
   | None -> false
   | Some limit ->
     limit = 0 || float_of_int (Atomic.get t.scratch) > 0.9 *. float_of_int limit
@@ -347,7 +384,9 @@ let scratch_under_pressure t =
    the counters drift from the table is caught at the first quiescent
    instant after the drift, with the schedule in hand. *)
 let check t =
-  Mutex.lock t.lock;
+  Aeq_race.Lock.with_ t.lock @@ fun () ->
+  Aeq_race.read ~site:"arena.check" t.table_loc;
+  Aeq_race.read ~site:"arena.check" t.leases_loc;
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
   let live = ref 0 and bytes = ref 0 in
@@ -378,42 +417,42 @@ let check t =
   if scratch < 0 then err "scratch resident negative: %d" scratch;
   if scratch > Atomic.get t.resident then
     err "scratch=%d exceeds resident=%d" scratch (Atomic.get t.resident);
-  (match t.scratch_limit with
+  (match Atomic.get t.scratch_limit with
   | Some limit when scratch > limit ->
     err "scratch=%d exceeds limit=%d" scratch limit
   | _ -> ());
   if t.live_leases < 0 then err "live_leases negative: %d" t.live_leases;
-  Mutex.unlock t.lock;
   List.rev !errs
 
 let reset t =
-  Mutex.lock t.lock;
-  (* Refuse to pull memory out from under a running query: a reset
-     with scratch leases outstanding used to silently invalidate them
-     and recycle their slots, turning a maintenance call into a
-     data race with whatever those queries wrote next. *)
-  if t.live_leases > 0 then begin
-    let n = t.live_leases in
-    Mutex.unlock t.lock;
-    invalid_arg
-      (Printf.sprintf "Arena.reset: %d live scratch lease%s outstanding" n
-         (if n = 1 then "" else "s"))
-  end;
-  (* invalidate every outstanding lease and allocator (base included) *)
-  ignore (Atomic.fetch_and_add t.generation 1);
-  (match t.base with Some b -> Atomic.set b.ls_stale true | None -> ());
-  for i = 1 to t.n_chunks - 1 do
-    t.chunks.(i) <- Bytes.empty
-  done;
-  Bytes.fill t.chunks.(0) 0 (Bytes.length t.chunks.(0)) '\000';
-  t.n_chunks <- 1;
-  t.free_slots <- [];
-  t.n_live <- 1;
-  Atomic.set t.resident (Bytes.length t.chunks.(0));
-  Atomic.set t.total_used 0;
-  Atomic.set t.scratch 0;
-  t.base <- Some (make_lease ~scratch:false t);
-  Mutex.unlock t.lock
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      (* Refuse to pull memory out from under a running query: a reset
+         with scratch leases outstanding used to silently invalidate
+         them and recycle their slots, turning a maintenance call into
+         a data race with whatever those queries wrote next. *)
+      if t.live_leases > 0 then begin
+        let n = t.live_leases in
+        invalid_arg
+          (Printf.sprintf "Arena.reset: %d live scratch lease%s outstanding" n
+             (if n = 1 then "" else "s"))
+      end;
+      Aeq_race.write ~site:"arena.reset" t.table_loc;
+      Aeq_race.read ~site:"arena.reset" t.leases_loc;
+      (* invalidate every outstanding lease and allocator (base included) *)
+      ignore (Atomic.fetch_and_add t.generation 1);
+      (match t.base with Some b -> Atomic.set b.ls_stale true | None -> ());
+      for i = 1 to t.n_chunks - 1 do
+        t.chunks.(i) <- Bytes.empty
+      done;
+      Bytes.fill t.chunks.(0) 0 (Bytes.length t.chunks.(0)) '\000';
+      t.n_chunks <- 1;
+      t.free_slots <- [];
+      t.n_live <- 1;
+      Atomic.set t.resident (Bytes.length t.chunks.(0));
+      Atomic.set t.total_used 0;
+      Atomic.set t.scratch 0;
+      t.base <- Some (make_lease ~scratch:false t));
+  Aeq_util.Waiter.wake t.bp_waiter
 
 let[@inline] buf t p = Array.unsafe_get t.chunks (p lsr offset_bits)
 

@@ -18,7 +18,11 @@ type entry = {
 (* A single mutex-guarded ring is enough: at most one worker per
    pipeline wins the evaluation slot at a time, so logging pressure is
    per-morsel at worst and uncontended in practice. *)
-let lock = Mutex.create ()
+let () = Aeq_race.declare "obs.decision_log.ring" (Aeq_race.Lock "obs.decision.lock")
+
+let lock = Aeq_race.Lock.create "obs.decision.lock"
+
+let loc = Aeq_race.locate "obs.decision_log.ring"
 
 let capacity = ref 8192
 
@@ -27,32 +31,29 @@ let entries : entry Queue.t = Queue.create ()
 let dropped_count = ref 0
 
 let log e =
-  if Control.enabled () then begin
-    Mutex.lock lock;
-    if Queue.length entries >= !capacity then incr dropped_count
-    else Queue.push e entries;
-    Mutex.unlock lock
-  end
+  if Control.enabled () then
+    Aeq_race.Lock.with_ lock (fun () ->
+        Aeq_race.write ~site:"decision_log.log" loc;
+        if Queue.length entries >= !capacity then incr dropped_count
+        else Queue.push e entries)
 
 let snapshot () =
-  Mutex.lock lock;
-  let l = List.of_seq (Queue.to_seq entries) in
-  Mutex.unlock lock;
-  l
+  Aeq_race.Lock.with_ lock (fun () ->
+      Aeq_race.read ~site:"decision_log.snapshot" loc;
+      List.of_seq (Queue.to_seq entries))
 
 let clear () =
-  Mutex.lock lock;
-  Queue.clear entries;
-  dropped_count := 0;
-  Mutex.unlock lock
+  Aeq_race.Lock.with_ lock (fun () ->
+      Aeq_race.write ~site:"decision_log.clear" loc;
+      Queue.clear entries;
+      dropped_count := 0)
 
 let dropped () =
-  Mutex.lock lock;
-  let d = !dropped_count in
-  Mutex.unlock lock;
-  d
+  Aeq_race.Lock.with_ lock (fun () ->
+      Aeq_race.read ~site:"decision_log.dropped" loc;
+      !dropped_count)
 
 let set_capacity n =
-  Mutex.lock lock;
-  capacity := Stdlib.max 16 n;
-  Mutex.unlock lock
+  Aeq_race.Lock.with_ lock (fun () ->
+      Aeq_race.write ~site:"decision_log.set_capacity" loc;
+      capacity := Stdlib.max 16 n)

@@ -22,9 +22,20 @@ type entry = {
   e_instrument : instrument;
 }
 
-type registry = { lock : Mutex.t; table : (string * (string * string) list, entry) Hashtbl.t }
+let () = Aeq_race.declare "obs.metrics.registry" (Aeq_race.Lock "obs.metrics.lock")
 
-let create () = { lock = Mutex.create (); table = Hashtbl.create 64 }
+type registry = {
+  lock : Aeq_race.Lock.t;
+  table : (string * (string * string) list, entry) Hashtbl.t;
+  loc : Aeq_race.location;
+}
+
+let create () =
+  {
+    lock = Aeq_race.Lock.create "obs.metrics.lock";
+    table = Hashtbl.create 64;
+    loc = Aeq_race.locate "obs.metrics.registry";
+  }
 
 let default = create ()
 
@@ -41,22 +52,26 @@ let rec atomic_add_float a d =
 
 (* Get-or-create under the registry lock. [make] builds the instrument
    on first registration; [select] projects the expected kind out (a
-   name reused with a different kind is a programming error). *)
+   name reused with a different kind is a programming error). [make]
+   can raise (histogram bucket validation) — the raw lock/unlock pair
+   this used to be leaked the registry lock on that path. *)
 let register registry ?(help = "") ?(labels = []) name ~make ~select =
   let labels = norm_labels labels in
   let key = (name, labels) in
-  Mutex.lock registry.lock;
   let e =
-    match Hashtbl.find_opt registry.table key with
-    | Some e ->
-      if help <> "" && e.e_help = "" then e.e_help <- help;
-      e
-    | None ->
-      let e = { e_name = name; e_labels = labels; e_help = help; e_instrument = make () } in
-      Hashtbl.replace registry.table key e;
-      e
+    Aeq_race.Lock.with_ registry.lock (fun () ->
+        Aeq_race.write ~site:"metrics.register" registry.loc;
+        match Hashtbl.find_opt registry.table key with
+        | Some e ->
+          if help <> "" && e.e_help = "" then e.e_help <- help;
+          e
+        | None ->
+          let e =
+            { e_name = name; e_labels = labels; e_help = help; e_instrument = make () }
+          in
+          Hashtbl.replace registry.table key e;
+          e)
   in
-  Mutex.unlock registry.lock;
   select e
 
 let kind_error name what =
@@ -151,10 +166,9 @@ type sample = {
 
 let snapshot ?(registry = default) () =
   let entries =
-    Mutex.lock registry.lock;
-    let es = Hashtbl.fold (fun _ e acc -> e :: acc) registry.table [] in
-    Mutex.unlock registry.lock;
-    es
+    Aeq_race.Lock.with_ registry.lock (fun () ->
+        Aeq_race.read ~site:"metrics.snapshot" registry.loc;
+        Hashtbl.fold (fun _ e acc -> e :: acc) registry.table [])
   in
   let sample e =
     let v =
@@ -260,15 +274,15 @@ let render_prometheus ?(registry = default) () =
   Buffer.contents buf
 
 let reset ?(registry = default) () =
-  Mutex.lock registry.lock;
-  Hashtbl.iter
-    (fun _ e ->
-      match e.e_instrument with
-      | I_counter c -> Atomic.set c 0
-      | I_gauge _ | I_gauge_fn _ -> ()
-      | I_histogram h ->
-        Array.iter (fun c -> Atomic.set c 0) h.h_counts;
-        Atomic.set h.h_sum 0.0;
-        Atomic.set h.h_count 0)
-    registry.table;
-  Mutex.unlock registry.lock
+  Aeq_race.Lock.with_ registry.lock (fun () ->
+      Aeq_race.read ~site:"metrics.reset" registry.loc;
+      Hashtbl.iter
+        (fun _ e ->
+          match e.e_instrument with
+          | I_counter c -> Atomic.set c 0
+          | I_gauge _ | I_gauge_fn _ -> ()
+          | I_histogram h ->
+            Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_count 0)
+        registry.table)

@@ -11,10 +11,13 @@ type span = {
    exclusivity, only the common case is contention-free. *)
 let n_slots = 64
 
+let () = Aeq_race.declare "obs.span.ring" (Aeq_race.Lock "obs.span.lock")
+
 type ring = {
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
   mutable buf : span array; (* length = capacity once initialised *)
   mutable size : int; (* live spans (≤ capacity) *)
+  loc : Aeq_race.location; (* one per ring: slots are independent *)
 }
 
 let capacity = Atomic.make 8192
@@ -22,7 +25,13 @@ let capacity = Atomic.make 8192
 let dropped_count = Atomic.make 0
 
 let rings =
-  Array.init n_slots (fun _ -> { lock = Mutex.create (); buf = [||]; size = 0 })
+  Array.init n_slots (fun _ ->
+      {
+        lock = Aeq_race.Lock.create "obs.span.lock";
+        buf = [||];
+        size = 0;
+        loc = Aeq_race.locate "obs.span.ring";
+      })
 
 let set_capacity n = Atomic.set capacity (Stdlib.max 16 n)
 
@@ -32,23 +41,23 @@ let dummy =
 let push sp =
   let slot = ((Domain.self () :> int) land max_int) mod n_slots in
   let r = rings.(slot) in
-  Mutex.lock r.lock;
-  let cap = Atomic.get capacity in
-  if Array.length r.buf <> cap then begin
-    (* first use, or capacity changed: start a fresh ring *)
-    r.buf <- Array.make cap dummy;
-    r.size <- 0
-  end;
-  if r.size >= cap then
-    (* full: drop the new span rather than the old ones — early spans
-       (parse/plan/codegen) are the rare, interesting ones; late morsel
-       wraps would otherwise erase them. The drop is counted. *)
-    Atomic.incr dropped_count
-  else begin
-    r.buf.(r.size) <- sp;
-    r.size <- r.size + 1
-  end;
-  Mutex.unlock r.lock
+  Aeq_race.Lock.with_ r.lock (fun () ->
+      Aeq_race.write ~site:"span.push" r.loc;
+      let cap = Atomic.get capacity in
+      if Array.length r.buf <> cap then begin
+        (* first use, or capacity changed: start a fresh ring *)
+        r.buf <- Array.make cap dummy;
+        r.size <- 0
+      end;
+      if r.size >= cap then
+        (* full: drop the new span rather than the old ones — early spans
+           (parse/plan/codegen) are the rare, interesting ones; late morsel
+           wraps would otherwise erase them. The drop is counted. *)
+        Atomic.incr dropped_count
+      else begin
+        r.buf.(r.size) <- sp;
+        r.size <- r.size + 1
+      end)
 
 let record ?(pipeline = -1) name ~t0 ~t1 =
   if Control.enabled () then
@@ -74,21 +83,21 @@ let snapshot () =
   let acc = ref [] in
   Array.iter
     (fun r ->
-      Mutex.lock r.lock;
-      for i = 0 to r.size - 1 do
-        acc := r.buf.(i) :: !acc
-      done;
-      Mutex.unlock r.lock)
+      Aeq_race.Lock.with_ r.lock (fun () ->
+          Aeq_race.read ~site:"span.snapshot" r.loc;
+          for i = 0 to r.size - 1 do
+            acc := r.buf.(i) :: !acc
+          done))
     rings;
   List.sort (fun a b -> compare a.sp_t0 b.sp_t0) !acc
 
 let clear () =
   Array.iter
     (fun r ->
-      Mutex.lock r.lock;
-      r.buf <- [||];
-      r.size <- 0;
-      Mutex.unlock r.lock)
+      Aeq_race.Lock.with_ r.lock (fun () ->
+          Aeq_race.write ~site:"span.clear" r.loc;
+          r.buf <- [||];
+          r.size <- 0))
     rings;
   Atomic.set dropped_count 0
 

@@ -67,14 +67,30 @@ let unsafe_global_current = Atomic.make false
 
 let global_current : t option ref = ref None
 
+(* the sound DLS path is domain-local by construction and is NOT
+   instrumented; only the deliberately unsound global ref is, so the
+   race detector flags exactly the resurrected bug and nothing else *)
+let () = Aeq_race.declare "rt.context.global_current" Aeq_race.Domain_local
+
+let global_loc = Aeq_race.locate "rt.context.global_current"
+
 let set_current t =
-  if Atomic.get unsafe_global_current then global_current := Some t
+  if Atomic.get unsafe_global_current then begin
+    Aeq_race.write ~site:"context.set_current" global_loc;
+    global_current := Some t
+  end
   else Domain.DLS.get current_key := Some t
 
 let clear_current () =
-  if Atomic.get unsafe_global_current then global_current := None
+  if Atomic.get unsafe_global_current then begin
+    Aeq_race.write ~site:"context.clear_current" global_loc;
+    global_current := None
+  end
   else Domain.DLS.get current_key := None
 
 let current () =
-  if Atomic.get unsafe_global_current then !global_current
+  if Atomic.get unsafe_global_current then begin
+    Aeq_race.read ~site:"context.current" global_loc;
+    !global_current
+  end
   else !(Domain.DLS.get current_key)

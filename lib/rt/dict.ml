@@ -2,33 +2,31 @@
    now that query preparation runs without a global exec lock —
    encode/find race with concurrent plan-time predicate evaluation, so
    every entry point takes the dictionary lock. *)
+
+let () = Aeq_race.declare "dict.table" (Aeq_race.Lock "dict.lock")
+
 type t = {
-  lock : Mutex.t;
+  lock : Aeq_race.Lock.t;
   by_string : (string, int64) Hashtbl.t;
   mutable by_code : string array;
   mutable n : int;
+  loc : Aeq_race.location;
 }
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Aeq_race.Lock.create "dict.lock";
     by_string = Hashtbl.create 1024;
     by_code = Array.make 1024 "";
     n = 0;
+    loc = Aeq_race.locate "dict.table";
   }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  match f () with
-  | v ->
-    Mutex.unlock t.lock;
-    v
-  | exception e ->
-    Mutex.unlock t.lock;
-    raise e
+let with_lock t f = Aeq_race.Lock.with_ t.lock f
 
 let encode t s =
   with_lock t (fun () ->
+      Aeq_race.write ~site:"dict.encode" t.loc;
       match Hashtbl.find_opt t.by_string s with
       | Some c -> c
       | None ->
@@ -47,16 +45,30 @@ let encode t s =
 let decode t c =
   let i = Int64.to_int c in
   with_lock t (fun () ->
+      Aeq_race.read ~site:"dict.decode" t.loc;
       if i < 0 || i >= t.n then invalid_arg "Dict.decode: unknown code";
       t.by_code.(i))
 
-let find t s = with_lock t (fun () -> Hashtbl.find_opt t.by_string s)
+let find t s =
+  with_lock t (fun () ->
+      Aeq_race.read ~site:"dict.find" t.loc;
+      Hashtbl.find_opt t.by_string s)
 
-let size t = with_lock t (fun () -> t.n)
+let size t =
+  with_lock t (fun () ->
+      Aeq_race.read ~site:"dict.size" t.loc;
+      t.n)
 
 let codes_matching t pred =
-  (* snapshot under the lock, evaluate the predicate outside it *)
-  let by_code, n = with_lock t (fun () -> (t.by_code, t.n)) in
+  (* snapshot under the lock, evaluate the predicate outside it. The
+     snapshot pair is safe off-lock: [by_code] entries below [n] are
+     written exactly once (on encode) before the code escapes the lock,
+     so a reader holding a snapshot never observes a mutation *)
+  let by_code, n =
+    with_lock t (fun () ->
+        Aeq_race.read ~site:"dict.codes_matching" t.loc;
+        (t.by_code, t.n))
+  in
   let bm = Bitmap.create n in
   for c = 0 to n - 1 do
     if pred by_code.(c) then Bitmap.set bm c

@@ -1,10 +1,18 @@
 module A = Aeq_mem.Arena
 
+(* bucket heads are written under their stripe lock during the build
+   phase; probe-phase reads are lock-free, ordered after every insert
+   by the pool barrier between pipelines (so only inserts are
+   instrumented — a location per stripe, since stripes guard disjoint
+   bucket subsets) *)
+let () = Aeq_race.declare "rt.ht.buckets" (Aeq_race.Lock "rt.ht.stripe")
+
 type t = {
   arena : A.t;
   buckets : int array;
   mask : int;
-  locks : Mutex.t array;
+  locks : Aeq_race.Lock.t array;
+  locs : Aeq_race.location array; (* one per stripe *)
   payload_bytes : int;
   count : int Atomic.t;
 }
@@ -23,7 +31,8 @@ let create arena ~expected_entries ~payload_bytes =
     arena;
     buckets = Array.make n A.null;
     mask = n - 1;
-    locks = Array.init n_stripes (fun _ -> Mutex.create ());
+    locks = Array.init n_stripes (fun _ -> Aeq_race.Lock.create "rt.ht.stripe");
+    locs = Array.init n_stripes (fun _ -> Aeq_race.locate "rt.ht.buckets");
     payload_bytes;
     count = Atomic.make 0;
   }
@@ -38,11 +47,13 @@ let insert t ~allocator ~key =
   let entry = A.alloc allocator (payload_offset + t.payload_bytes) in
   A.set_i64 t.arena (entry + 8) key;
   let b = hash key land t.mask in
-  let stripe = t.locks.(b land (n_stripes - 1)) in
-  Mutex.lock stripe;
+  let s = b land (n_stripes - 1) in
+  let stripe = t.locks.(s) in
+  Aeq_race.Lock.lock stripe;
+  Aeq_race.write ~site:"ht.insert" t.locs.(s);
   A.set_i64 t.arena entry (Int64.of_int t.buckets.(b));
   t.buckets.(b) <- entry;
-  Mutex.unlock stripe;
+  Aeq_race.Lock.unlock stripe;
   Atomic.incr t.count;
   entry + payload_offset
 

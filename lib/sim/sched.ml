@@ -151,6 +151,22 @@ let run ?(max_steps = default_max_steps) ?schedule ?(checkers = []) ~seed
   let decisions = ref [] and trace = ref [] in
   let invariant_failures = ref [] and steps = ref 0 in
   let deadlocked = ref false in
+  (* when the race detector is armed, a detected race is just another
+     invariant failure: it aborts the run at the next quiescent point,
+     so the decision prefix is a deterministic, shrink-able repro. The
+     reset clears the dedup table — without it a replay of the same
+     race would be silently suppressed and the repro would "pass". *)
+  let race_on = Aeq_race.Control.enabled () in
+  if race_on then Aeq_race.reset ();
+  let drain_races () =
+    if race_on then
+      List.iter
+        (fun r ->
+          invariant_failures :=
+            (!steps, "race: " ^ Aeq_race.report_to_string r)
+            :: !invariant_failures)
+        (Aeq_race.take_reports ())
+  in
   let forced = ref (Option.value schedule ~default:[]) in
   let forced_mode = schedule <> None in
   Fun.protect
@@ -185,6 +201,7 @@ let run ?(max_steps = default_max_steps) ?schedule ?(checkers = []) ~seed
           (* checkers run with no task holding the token: the system is
              quiescent, so taking engine locks here cannot deadlock *)
           Mutex.unlock s.lock;
+          drain_races ();
           List.iter
             (fun check ->
               List.iter
@@ -242,6 +259,8 @@ let run ?(max_steps = default_max_steps) ?schedule ?(checkers = []) ~seed
         s.tasks;
       Mutex.unlock s.lock;
       Array.iter Domain.join domains;
+      (* catch races detected after the last quiescent checker pass *)
+      drain_races ();
       let task_exceptions =
         Array.to_list s.tasks
         |> List.filter_map (fun tk ->

@@ -32,7 +32,13 @@ type entry = {
    lock-free [armed] check says at least one site is active, so the
    per-morsel / per-alloc cost of a disarmed registry is one atomic
    load. *)
-let lock = Mutex.create ()
+let () =
+  Aeq_race.declare "util.failpoints.registry"
+    (Aeq_race.Lock "util.failpoints.lock")
+
+let lock = Aeq_race.Lock.create "util.failpoints.lock"
+
+let registry_loc = Aeq_race.locate "util.failpoints.registry"
 
 let table : (string, entry) Hashtbl.t = Hashtbl.create 8
 
@@ -78,13 +84,17 @@ let armed_count = Atomic.make 0
 
 let armed () = Atomic.get armed_count > 0
 
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+let locked f = Aeq_race.Lock.with_ lock f
 
-let set_seed seed = locked (fun () -> prng := Prng.create seed)
+let set_seed seed =
+  locked (fun () ->
+      Aeq_race.write ~site:"failpoints.set_seed" registry_loc;
+      prng := Prng.create seed)
 
-let register_site site = locked (fun () -> Hashtbl.replace extra_sites site ())
+let register_site site =
+  locked (fun () ->
+      Aeq_race.write ~site:"failpoints.register_site" registry_loc;
+      Hashtbl.replace extra_sites site ())
 
 let activate ?(on_hit = 1) ?(persistent = true) site action =
   check_site site;
@@ -94,6 +104,7 @@ let activate ?(on_hit = 1) ?(persistent = true) site action =
     invalid_arg "Failpoints.activate: probability must be in [0,1]"
   | _ -> ());
   locked (fun () ->
+      Aeq_race.write ~site:"failpoints.activate" registry_loc;
       if not (Hashtbl.mem table site) then Atomic.incr armed_count;
       Hashtbl.replace table site
         {
@@ -106,6 +117,7 @@ let activate ?(on_hit = 1) ?(persistent = true) site action =
 
 let deactivate site =
   locked (fun () ->
+      Aeq_race.write ~site:"failpoints.deactivate" registry_loc;
       if Hashtbl.mem table site then begin
         Hashtbl.remove table site;
         Atomic.decr armed_count
@@ -113,10 +125,14 @@ let deactivate site =
 
 let clear () =
   locked (fun () ->
+      Aeq_race.write ~site:"failpoints.clear" registry_loc;
       Hashtbl.reset table;
       Atomic.set armed_count 0)
 
-let find site = locked (fun () -> Hashtbl.find_opt table site)
+let find site =
+  locked (fun () ->
+      Aeq_race.read ~site:"failpoints.find" registry_loc;
+      Hashtbl.find_opt table site)
 
 let hits site = match find site with Some e -> Atomic.get e.hits | None -> 0
 
@@ -140,7 +156,11 @@ let hit site =
         | Prob_fail p ->
           (* draw under the lock; the coin decides whether this hit
              counts as fired at all *)
-          let draw = locked (fun () -> Prng.float !prng 1.0) in
+          let draw =
+            locked (fun () ->
+                Aeq_race.write ~site:"failpoints.draw" registry_loc;
+                Prng.float !prng 1.0)
+          in
           if draw < p then begin
             Atomic.incr e.fired;
             raise (Injected site)

@@ -77,6 +77,11 @@ val activate : ?on_hit:int -> ?persistent:bool -> string -> action -> unit
     (see {!valid_sites}, {!register_site}) or a [Prob_fail]
     probability is outside [\[0,1\]]. *)
 
+val builtin_sites : string list
+(** The sites compiled into the engine proper, without test extras.
+    The static lint cross-checks every literal [hit] call in the
+    source tree against exactly this list, both directions. *)
+
 val valid_sites : unit -> string list
 (** The armable site catalog: every site compiled into the engine
     plus any test-registered extras. *)

@@ -9,28 +9,54 @@
    are sticky until consumed: a [wake] racing slightly ahead of the
    [wait] still cuts that wait short. *)
 
+let () = Aeq_race.declare "util.waiter.state" (Aeq_race.Lock "util.waiter.lock")
+
 type t = {
   rd : Unix.file_descr;
   wr : Unix.file_descr;
-  lock : Mutex.t; (* guards the fds against wake/dispose races *)
+  lock : Aeq_race.Lock.t; (* guards the fds against wake/dispose races *)
   mutable disposed : bool;
+  loc : Aeq_race.location;
 }
+
+let dispose t =
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.write ~site:"waiter.dispose" t.loc;
+      if not t.disposed then begin
+        t.disposed <- true;
+        (try Unix.close t.rd with Unix.Unix_error _ -> ());
+        try Unix.close t.wr with Unix.Unix_error _ -> ()
+      end)
 
 let create () =
   let rd, wr = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock rd;
   Unix.set_nonblock wr;
-  { rd; wr; lock = Mutex.create (); disposed = false }
+  let t =
+    {
+      rd;
+      wr;
+      lock = Aeq_race.Lock.create "util.waiter.lock";
+      disposed = false;
+      loc = Aeq_race.locate "util.waiter.state";
+    }
+  in
+  (* waiters are cheap to forget (per-arena backpressure waiters have no
+     dispose lifecycle of their own); reclaim the pipe fds with the
+     record. [dispose] is idempotent and lock-guarded, so an explicit
+     dispose racing the finaliser is fine. *)
+  Gc.finalise dispose t;
+  t
 
 let wake t =
-  Mutex.lock t.lock;
-  if not t.disposed then begin
-    try ignore (Unix.write t.wr (Bytes.make 1 'w') 0 1) with
-    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      () (* pipe already full of unconsumed wakes: the sleeper will see them *)
-    | Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  end;
-  Mutex.unlock t.lock
+  Aeq_race.Lock.with_ t.lock (fun () ->
+      Aeq_race.read ~site:"waiter.wake" t.loc;
+      if not t.disposed then begin
+        try ignore (Unix.write t.wr (Bytes.make 1 'w') 0 1) with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          () (* pipe already full of unconsumed wakes: the sleeper will see them *)
+        | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      end)
 
 (* drain every pending wake byte so the next [wait] actually sleeps *)
 let drain t =
@@ -59,11 +85,3 @@ let wait t seconds =
   end
   else false
 
-let dispose t =
-  Mutex.lock t.lock;
-  if not t.disposed then begin
-    t.disposed <- true;
-    (try Unix.close t.rd with Unix.Unix_error _ -> ());
-    try Unix.close t.wr with Unix.Unix_error _ -> ()
-  end;
-  Mutex.unlock t.lock

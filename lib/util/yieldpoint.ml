@@ -16,26 +16,30 @@
    view. Every site below is placed before the lock is taken or after
    it is dropped. *)
 
+let () = Aeq_race.declare "util.yieldpoint.handler" Aeq_race.Atomic
+
 let enabled_flag = Atomic.make false
 
-(* Written only while disabled (install/uninstall), published by the
-   release store on [enabled_flag]; readers load the flag (acquire)
-   first, so the handler read is ordered. *)
-let handler : (string -> unit) ref = ref (fun _ -> ())
+(* An atomic in its own right: the old plain ref relied on the
+   [enabled_flag] release/acquire pair for publication, which held for
+   install but left a disable/enable cycle racing a concurrent [yield]
+   (flag observed true, handler read unordered). *)
+let handler : (string -> unit) Atomic.t = Atomic.make (fun _ -> ())
 
 let enabled () = Atomic.get enabled_flag
 
-let[@inline] yield site = if Atomic.get enabled_flag then !handler site
+let[@inline] yield site =
+  if Atomic.get enabled_flag then (Atomic.get handler) site
 
 let install f =
   if Atomic.get enabled_flag then
     invalid_arg "Yieldpoint.install: a simulation handler is already installed";
-  handler := f;
+  Atomic.set handler f;
   Atomic.set enabled_flag true
 
 let uninstall () =
   Atomic.set enabled_flag false;
-  handler := fun _ -> ()
+  Atomic.set handler (fun _ -> ())
 
 let with_handler f body =
   install f;

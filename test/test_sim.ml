@@ -177,6 +177,99 @@ let test_finds_shared_context_race () =
     Alcotest.(check bool) "repro string mentions the seed" true
       (String.length (Sim.repro_string outcome) > 0)
 
+(* ---- (b2) the dynamic race detector inside the simulator ------------- *)
+
+(* The detector catches the same resurrected bug a different way: not
+   by its symptom (wrong rows, stale lease) but by the access pattern
+   itself — two sim tasks touching the Domain_local
+   [rt.context.global_current] with no happens-before edge. Sim tasks
+   run in raw-spawned domains on purpose: only the token hand-off
+   orders them in real time, and the detector rightly does not treat
+   that as synchronization. *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let detector_reported outcome =
+  List.exists
+    (fun (_, m) ->
+      contains m "race:" && contains m "rt.context.global_current")
+    outcome.Sim.invariant_failures
+
+let detector_race_run ~seed ?schedule () =
+  Aeq_race.Control.with_enabled true (fun () ->
+      Atomic.set Aeq_rt.Context.unsafe_global_current true;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set Aeq_rt.Context.unsafe_global_current false)
+        (fun () ->
+          with_engine (fun engine ->
+              let log = ref [] in
+              let outcome =
+                Sim.run ?schedule ~checkers:(checkers engine) ~seed
+                  ~tasks:
+                    [
+                      ("count", query_task engine sql_count log "count");
+                      ("sum", query_task engine sql_sum log "sum");
+                    ]
+                  ()
+              in
+              (detector_reported outcome, outcome))))
+
+let test_detector_flags_context_race () =
+  ignore (Lazy.force reference);
+  let found = ref None in
+  let seed = ref 1 in
+  while !found = None && !seed <= seed_budget do
+    let hit, outcome = detector_race_run ~seed:(Int64.of_int !seed) () in
+    if hit then found := Some (Int64.of_int !seed, outcome);
+    incr seed
+  done;
+  match !found with
+  | None ->
+    Alcotest.failf
+      "detector missed the shared-context race within %d seeds" seed_budget
+  | Some (seed, outcome) ->
+    Alcotest.(check bool) "a race is a failure" true (Sim.failed outcome);
+    (* the recorded schedule replays the detector report *)
+    let hit_again, _ =
+      detector_race_run ~seed ~schedule:outcome.Sim.schedule ()
+    in
+    Alcotest.(check bool) "recorded schedule replays the report" true hit_again;
+    (* and the report survives shrinking, like any other failure *)
+    let replay sched = fst (detector_race_run ~seed ~schedule:sched ()) in
+    let shrunk = Sim.shrink ~budget:40 ~replay outcome.Sim.schedule in
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk repro (%d -> %d decisions) still reports"
+         (List.length outcome.Sim.schedule)
+         (List.length shrunk))
+      true (replay shrunk)
+
+(* the sound engine must be silent under the detector: every lock goes
+   through Aeq_race.Lock and every publication through publish/consume,
+   so a report here is a false positive (or a real bug) *)
+let test_detector_no_false_positives () =
+  ignore (Lazy.force reference);
+  Aeq_race.Control.with_enabled true (fun () ->
+      for seed = 1 to 6 do
+        let o, log = run_pair ~seed:(Int64.of_int seed) () in
+        List.iter
+          (fun (steps, m) ->
+            if contains m "race:" then
+              Alcotest.failf "seed %d step %d: detector false positive: %s"
+                seed steps m)
+          o.Sim.invariant_failures;
+        if Sim.failed o then
+          Alcotest.failf "seed %d failed under the detector: %s" seed
+            (Sim.repro_string o);
+        List.iter
+          (fun (name, s) ->
+            if s <> "ok" then Alcotest.failf "seed %d task %s: %s" seed name s)
+          log
+      done)
+
 (* the same workload with the flag OFF must be sound on every seed the
    finder needed — the finder detects the bug, not the harness *)
 let test_no_false_positives () =
@@ -364,6 +457,10 @@ let () =
             test_finds_shared_context_race;
           Alcotest.test_case "forced-schedule stale allocator" `Quick
             test_forced_stale_allocator;
+          Alcotest.test_case "detector flags the context race" `Quick
+            test_detector_flags_context_race;
+          Alcotest.test_case "detector: no false positives" `Quick
+            test_detector_no_false_positives;
         ] );
       ( "exhaustion",
         [
