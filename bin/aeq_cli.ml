@@ -251,7 +251,12 @@ let cmd =
             "Serve the query to N closed-loop clients through the scheduler \
              (admission control, shedding, circuit breaker) and report \
              throughput, p50/p99 and serving stats. $(b,--timeout) becomes \
-             the per-query deadline.")
+             the per-query deadline. Closed loop means each client waits \
+             for its answer before sending the next query, so the offered \
+             rate adapts to the engine and queueing delay is never \
+             measured (coordinated omission); for a fixed offered rate \
+             measured from the scheduled arrival instant, drive \
+             $(b,aeq_server) with the open-loop $(b,aeq_load).")
   in
   let iters =
     Arg.(

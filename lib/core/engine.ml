@@ -380,6 +380,11 @@ let prepare_entry t sql =
 
 let prepare t sql = ignore (prepare_entry t sql)
 
+let prepared t sql =
+  with_lock t.cache_lock (fun () ->
+      Aeq_race.read ~site:"engine.prepared" t.cache_loc;
+      Hashtbl.mem t.plan_cache sql)
+
 let cached_executions t sql =
   let entry =
     with_lock t.cache_lock (fun () ->

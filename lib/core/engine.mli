@@ -161,6 +161,13 @@ val prepare : t -> string -> unit
     (a no-op if already cached). A later {!query} of the same text is
     a cache hit and starts executing immediately. *)
 
+val prepared : t -> string -> bool
+(** Is this statement text currently resident in the plan cache? The
+    wire server's [Prepare] handler reports this to clients
+    (a session-level prepared handle stays valid across an LRU
+    eviction — re-executing simply re-prepares — but the flag tells
+    clients whether the compile cost was already paid). *)
+
 val set_plan_cache : t -> bool -> unit
 (** Disable/enable the plan cache ([true] by default). *)
 

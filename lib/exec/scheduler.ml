@@ -231,6 +231,11 @@ let await tk =
       in
       wait ())
 
+let poll tk =
+  with_lock tk.tk_lock (fun () ->
+      Aeq_race.read ~site:"sched.poll" tk.tk_loc;
+      match tk.tk_state with Done o -> Some o | Queued | Running -> None)
+
 let cancel tk = Cancel.cancel tk.tk_cancel
 
 let wait_seconds tk =

@@ -135,6 +135,13 @@ val submit :
 val await : ticket -> outcome
 (** Block until the query completes (any domain may await). *)
 
+val poll : ticket -> outcome option
+(** Non-blocking {!await}: [Some outcome] once the query completed,
+    [None] while it is still queued or running. The network session
+    loop uses this to multiplex ticket completion with socket reads
+    (an out-of-band [Cancel] frame must be seen while the query it
+    cancels is in flight). *)
+
 val run :
   ?mode:Driver.mode ->
   ?priority:priority ->

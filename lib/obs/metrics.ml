@@ -273,6 +273,8 @@ let render_prometheus ?(registry = default) () =
     samples;
   Buffer.contents buf
 
+let exposition_content_type = "text/plain; version=0.0.4"
+
 let reset ?(registry = default) () =
   Aeq_race.Lock.with_ registry.lock (fun () ->
       Aeq_race.read ~site:"metrics.reset" registry.loc;

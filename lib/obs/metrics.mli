@@ -114,6 +114,11 @@ val render_prometheus : ?registry:registry -> unit -> string
     headers once per family, histograms as [_bucket{le=...}]/
     [_sum]/[_count] series. *)
 
+val exposition_content_type : string
+(** The HTTP [Content-Type] for {!render_prometheus} output
+    (["text/plain; version=0.0.4"]) — what the wire server's
+    [/metrics] endpoint sends. *)
+
 val reset : ?registry:registry -> unit -> unit
 (** Zero all counters and histograms, for windowed scraping of
     long-running serves ([Engine.reset_stats]). Gauges keep their

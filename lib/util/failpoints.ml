@@ -58,6 +58,9 @@ let builtin_sites =
     "pool.pick";
     "sched.dispatch";
     "sched.watchdog";
+    "net.accept";
+    "net.read";
+    "net.write";
   ]
 
 let extra_sites : (string, unit) Hashtbl.t = Hashtbl.create 4

@@ -30,7 +30,14 @@
       claimed a ticket (the ticket is registered, so a [Crash] here
       exercises the supervisor's in-flight-ticket reclaim);
     - ["sched.watchdog"] — hit by the scheduler watchdog once per
-      sweep, before it takes the scheduler lock.
+      sweep, before it takes the scheduler lock;
+    - ["net.accept"] — hit by the wire server's accept loop after a
+      connection is accepted and before its session starts (a fault
+      here closes the socket without serving it);
+    - ["net.read"] — hit before every frame read off a client socket
+      (simulated connection drop / read error mid-protocol);
+    - ["net.write"] — hit before every frame written to a client
+      socket (simulated broken pipe while responding).
 
     The registry is global and thread-safe; a disarmed registry costs
     one atomic load per check. Arm programmatically with {!activate}
